@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: local refinement of evolved vectors (Section 2.6).
+ *
+ * The paper notes that its GA vector is not locally optimal: zeroing
+ * the first 12 elements of the GIPLR vector nudged the speedup from
+ * 3.1% to 3.12%, and hill climbing could refine further.  This bench
+ * reproduces both observations: it evaluates the paper's vector, the
+ * zeroed-prefix variant, and a hill-climbed refinement.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/vectors.hh"
+#include "ga/hill_climb.hh"
+
+using namespace gippr;
+using namespace gippr::bench;
+
+int
+main()
+{
+    Scale scale = resolveScale();
+    banner("abl_hillclimb: local refinement of evolved vectors",
+           "Section 2.6 (vector refinement)");
+
+    SyntheticSuite suite(suiteParams(scale));
+    SystemParams sys = systemParams();
+
+    std::vector<std::string> training = {
+        "stream_pure", "loop_thrash", "loop_fit",   "chase_medium",
+        "zipf_hot",    "hotcold_scan", "sd_bimodal", "mix_zipfscan",
+    };
+    std::vector<WorkloadTraces> workloads =
+        fitnessWorkloads(suite, training, sys);
+    std::vector<FitnessTrace> traces;
+    for (auto &w : workloads)
+        traces.insert(traces.end(), w.traces.begin(), w.traces.end());
+    FitnessEvaluator fitness(sys.hier.llc, std::move(traces));
+
+    const Ipv base = paper_vectors::giplr();
+    std::vector<uint8_t> zeroed_entries = base.entries();
+    for (size_t i = 0; i < 12; ++i)
+        zeroed_entries[i] = 0;
+    const Ipv zeroed(zeroed_entries);
+
+    double f_base = fitness.evaluate(base, IpvFamily::Giplr);
+    double f_zeroed = fitness.evaluate(zeroed, IpvFamily::Giplr);
+    std::printf("paper GIPLR vector      %s  fitness %.4f\n",
+                base.toString().c_str(), f_base);
+    std::printf("zeroed-prefix variant   %s  fitness %.4f\n",
+                zeroed.toString().c_str(), f_zeroed);
+
+    size_t budget = scale.quick ? 400 : 3000;
+    HillClimbResult hc =
+        hillClimb(fitness, IpvFamily::Giplr, base, budget);
+    std::printf("hill-climbed refinement %s  fitness %.4f "
+                "(%zu evals, %zu improving steps)\n",
+                hc.best.toString().c_str(), hc.bestFitness,
+                hc.evaluations, hc.steps);
+
+    Table table({"vector", "estimated speedup over LRU"});
+    table.newRow().add("paper GIPLR").add(f_base, 4);
+    table.newRow().add("first-12 zeroed").add(f_zeroed, 4);
+    table.newRow().add("hill-climbed").add(hc.bestFitness, 4);
+    emitTable(table, "abl_hillclimb");
+
+    note("paper shape: the evolved vector is not locally optimal — "
+         "small local edits (zeroing the prefix, hill climbing) give "
+         "small further improvements");
+    return 0;
+}

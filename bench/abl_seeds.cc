@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: seed sensitivity of the headline result.
+ *
+ * Every stochastic element of this reproduction (workload generation,
+ * BRRIP/DIP bimodal throttles, Random replacement) is seeded.  This
+ * bench regenerates the suite under several base seeds and re-measures
+ * the fig11-style geomean normalized MPKI, showing how much of the
+ * reported numbers is workload noise versus policy signal.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/vectors.hh"
+#include "util/stats.hh"
+
+using namespace gippr;
+using namespace gippr::bench;
+
+int
+main()
+{
+    Scale scale = resolveScale();
+    banner("abl_seeds: seed sensitivity of the headline comparison",
+           "methodology robustness (not a paper figure)");
+
+    std::vector<PolicyDef> policies = {
+        policyByName("LRU"),
+        policyByName("DRRIP"),
+        dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
+    };
+
+    Table table({"base seed", "DRRIP/LRU", "4-DGIPPR/LRU"});
+    std::vector<double> drrip_vals, dgippr_vals;
+    for (uint64_t seed : {0x5eedULL, 0xfeedULL, 0xbeadULL, 0xcafeULL}) {
+        SuiteParams sp = suiteParams(scale);
+        sp.baseSeed = seed;
+        // Smaller traces: four full suite passes otherwise dominate
+        // the bench directory's runtime.
+        sp.accessesPerSimpoint = scale.accessesPerSimpoint / 2;
+        SyntheticSuite suite(sp);
+        ExperimentConfig cfg = experimentConfig(scale);
+        ExperimentResult r = runMissExperiment(suite, policies, cfg);
+        size_t lru = r.columnIndex("LRU");
+        double drrip =
+            r.geomeanNormalized(r.columnIndex("DRRIP"), lru, false);
+        double dgippr =
+            r.geomeanNormalized(r.columnIndex("4-DGIPPR"), lru, false);
+        table.newRow().add(seed).add(drrip, 4).add(dgippr, 4);
+        drrip_vals.push_back(drrip);
+        dgippr_vals.push_back(dgippr);
+        std::printf("seed %#lx done\n",
+                    static_cast<unsigned long>(seed));
+    }
+    emitTable(table, "abl_seeds");
+
+    std::printf("\nacross seeds: DRRIP %.4f +- %.4f, 4-DGIPPR %.4f "
+                "+- %.4f\n",
+                mean(drrip_vals), stddev(drrip_vals),
+                mean(dgippr_vals), stddev(dgippr_vals));
+    note("expected shape: the policy ordering and the rough gap to "
+         "LRU are stable across workload seeds — the reported shapes "
+         "are signal, not noise");
+    return 0;
+}

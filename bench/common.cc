@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bench infrastructure implementation.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "ga/fitness.hh"
+
+namespace gippr::bench
+{
+
+Scale
+resolveScale()
+{
+    Scale s;
+    const char *env = std::getenv("GIPPR_BENCH_SCALE");
+    s.quick = !(env && std::string(env) == "full");
+    if (s.quick) {
+        s.accessesPerSimpoint = 300'000;
+        s.randomSamples = 800;
+        s.ga.initialPopulation = 48;
+        s.ga.population = 24;
+        s.ga.generations = 5;
+    } else {
+        s.accessesPerSimpoint = 1'000'000;
+        s.randomSamples = 15000;
+        s.ga.initialPopulation = 400;
+        s.ga.population = 128;
+        s.ga.generations = 30;
+    }
+    s.ga.threads = 8;
+    s.threads = 8;
+    return s;
+}
+
+SuiteParams
+suiteParams(const Scale &scale)
+{
+    SuiteParams p;
+    p.llcBlocks = 16384; // 1MB at 64B lines
+    p.accessesPerSimpoint = scale.accessesPerSimpoint;
+    p.baseSeed = 0x5eed;
+    return p;
+}
+
+SystemParams
+systemParams()
+{
+    SystemParams p;
+    // Paper-shaped hierarchy scaled with the 1MB LLC: the L1/L2 keep
+    // the paper's organizations, only the LLC shrinks (with the
+    // workloads scaled to match).
+    p.hier.l1 = CacheConfig::paperL1d();
+    p.hier.l2 = CacheConfig::paperL2();
+    p.hier.llc = CacheConfig::benchLlc();
+    return p;
+}
+
+ExperimentConfig
+experimentConfig(const Scale &scale)
+{
+    ExperimentConfig cfg;
+    cfg.system = systemParams();
+    cfg.threads = scale.threads;
+    return cfg;
+}
+
+std::vector<WorkloadTraces>
+fitnessWorkloads(const SyntheticSuite &suite,
+                 const std::vector<std::string> &names,
+                 const SystemParams &sys)
+{
+    std::vector<std::string> selected = names;
+    if (selected.empty())
+        selected = suite.names();
+    std::vector<WorkloadTraces> out;
+    out.reserve(selected.size());
+    for (const std::string &name : selected) {
+        Workload w = SyntheticSuite::materialize(suite.spec(name));
+        WorkloadTraces wt;
+        wt.name = name;
+        std::vector<Workload> single;
+        single.push_back(std::move(w));
+        wt.traces = buildFitnessTraces(single, sys.hier);
+        out.push_back(std::move(wt));
+    }
+    return out;
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("============================================================\n");
+}
+
+void
+emitTable(const Table &table, const std::string &csv_label)
+{
+    std::ostringstream text;
+    table.print(text);
+    std::fputs(text.str().c_str(), stdout);
+    std::printf("\n--- CSV (%s) ---\n", csv_label.c_str());
+    std::ostringstream csv;
+    table.printCsv(csv);
+    std::fputs(csv.str().c_str(), stdout);
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace gippr::bench

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table benches.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * on the synthetic suite (see DESIGN.md for the per-experiment index).
+ * Scale is controlled by the GIPPR_BENCH_SCALE environment variable:
+ *   quick (default) — minutes-long total runtime for the whole bench
+ *                     directory; reduced traces and search budgets
+ *   full            — larger traces and search budgets, closer to the
+ *                     paper's methodology (still laptop-scale)
+ */
+
+#ifndef GIPPR_BENCH_COMMON_HH_
+#define GIPPR_BENCH_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "ga/crossval.hh"
+#include "sim/experiment.hh"
+#include "workloads/suite.hh"
+
+namespace gippr::bench
+{
+
+/** Bench scale knobs resolved from the environment. */
+struct Scale
+{
+    bool quick = true;
+    /** CPU references per simpoint. */
+    uint64_t accessesPerSimpoint = 300'000;
+    /** Samples for the random design-space exploration (Fig. 1). */
+    size_t randomSamples = 1500;
+    /** GA parameters for vector-evolution benches. */
+    GaParams ga;
+    /** Worker threads. */
+    unsigned threads = 0;
+};
+
+/** Resolve the scale from GIPPR_BENCH_SCALE. */
+Scale resolveScale();
+
+/** The bench LLC: 1MB, 16-way (scaled-down from the paper's 4MB). */
+SuiteParams suiteParams(const Scale &scale);
+
+/** Hierarchy + CPU model for the bench LLC. */
+SystemParams systemParams();
+
+/** Experiment config wired to the scale. */
+ExperimentConfig experimentConfig(const Scale &scale);
+
+/**
+ * Build fitness traces for GA-driven benches: one FitnessTrace per
+ * simpoint of the selected workloads, filtered through L1+L2.  When
+ * names is empty, the whole suite is used.
+ */
+std::vector<WorkloadTraces>
+fitnessWorkloads(const SyntheticSuite &suite,
+                 const std::vector<std::string> &names,
+                 const SystemParams &sys);
+
+/** Print a section header for bench output. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+/** Print a table as aligned text followed by CSV. */
+void emitTable(const Table &table, const std::string &csv_label);
+
+/** Print a short note line (paper-shape commentary). */
+void note(const std::string &text);
+
+} // namespace gippr::bench
+
+#endif // GIPPR_BENCH_COMMON_HH_

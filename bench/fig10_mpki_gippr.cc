@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: MPKI normalized to LRU for 1-, 2- and 4-vector
+ * GIPPR/DGIPPR, with Belady's MIN as the lower bound.
+ *
+ * The paper: WN1-GIPPR 95.2%, WN1-2-DGIPPR 96.5%, WN1-4-DGIPPR 91.0%
+ * of LRU misses; MIN 67.5%.  This bench runs the trace-driven miss
+ * simulator over the suite with the locally evolved vector sets (the
+ * WN1/WI methodology distinction is bench fig12).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/vectors.hh"
+
+using namespace gippr;
+using namespace gippr::bench;
+
+int
+main()
+{
+    Scale scale = resolveScale();
+    banner("fig10_mpki_gippr: GIPPR/DGIPPR misses vs LRU and MIN",
+           "Figure 10 / Section 5.1");
+
+    SyntheticSuite suite(suiteParams(scale));
+    ExperimentConfig cfg = experimentConfig(scale);
+    cfg.includeMin = true;
+
+    std::vector<PolicyDef> policies = {
+        policyByName("LRU"),
+        gipprDef("GIPPR", local_vectors::gippr()),
+        dgipprDef("2-DGIPPR", local_vectors::dgippr2()),
+        dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
+    };
+
+    ExperimentResult r = runMissExperiment(suite, policies, cfg);
+    size_t lru = r.columnIndex("LRU");
+    size_t drrip_like = r.columnIndex("4-DGIPPR");
+    Table table = r.toNormalizedTable(lru, false, drrip_like);
+    emitTable(table, "fig10");
+
+    std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+        std::printf("  %-10s %.4f\n", r.columns[c].c_str(),
+                    r.geomeanNormalized(c, lru, false));
+    }
+    note("paper shape: all GIPPR variants below LRU; the 4-vector "
+         "configuration lowest among them; MIN far below all "
+         "(67.5% of LRU in the paper), showing the remaining headroom");
+    return 0;
+}

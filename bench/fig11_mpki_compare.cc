@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11: MPKI normalized to LRU — DRRIP vs PDP vs 4-DGIPPR vs MIN.
+ *
+ * The paper: 4-DGIPPR 91.0%, DRRIP 91.5%, PDP 90.2% of LRU misses;
+ * MIN 67.5%.  The point is the cluster: DGIPPR matches the state of
+ * the art with half (DRRIP) to a quarter (PDP) of the metadata.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/vectors.hh"
+
+using namespace gippr;
+using namespace gippr::bench;
+
+int
+main()
+{
+    Scale scale = resolveScale();
+    banner("fig11_mpki_compare: DRRIP / PDP / 4-DGIPPR misses vs MIN",
+           "Figure 11 / Section 5.1");
+
+    SyntheticSuite suite(suiteParams(scale));
+    ExperimentConfig cfg = experimentConfig(scale);
+    cfg.includeMin = true;
+
+    std::vector<PolicyDef> policies = {
+        policyByName("LRU"),
+        policyByName("DRRIP"),
+        policyByName("PDP"),
+        dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
+    };
+
+    ExperimentResult r = runMissExperiment(suite, policies, cfg);
+    size_t lru = r.columnIndex("LRU");
+    size_t drrip = r.columnIndex("DRRIP");
+    Table table = r.toNormalizedTable(lru, false, drrip);
+    emitTable(table, "fig11");
+
+    std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+        std::printf("  %-10s %.4f\n", r.columns[c].c_str(),
+                    r.geomeanNormalized(c, lru, false));
+    }
+    std::printf("\nreplacement state at the paper's 4MB/16-way LLC:\n");
+    CacheConfig paper = CacheConfig::paperLlc();
+    for (const char *name : {"DRRIP", "PDP"}) {
+        auto p = policyByName(name).make(paper);
+        std::printf("  %-10s %zu bits/set\n", name,
+                    p->stateBitsPerSet());
+    }
+    std::printf("  %-10s %zu bits/set\n", "4-DGIPPR",
+                dgipprDef("4-DGIPPR", local_vectors::dgippr4())
+                    .make(paper)
+                    ->stateBitsPerSet());
+    note("paper shape: the three high-performance policies cluster "
+         "well below LRU; DGIPPR achieves the cluster at a fraction "
+         "of the state; MIN shows large remaining headroom");
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Figure 12: workload-neutral (WN1) versus workload-inclusive (WI)
+ * vector evolution.
+ *
+ * The paper's methodology check: for each workload, WN1 evolves
+ * vectors using every *other* workload's traces (leave-one-out),
+ * while WI trains on everything.  The paper finds the gap small
+ * (e.g. 5.61% vs 5.66% geomean for 4 vectors), evidence the evolved
+ * vectors generalize.  This bench runs the actual GA on a
+ * representative sub-suite and reports estimated speedup over LRU
+ * (the GA's own fitness metric) for 1-, 2- and 4-vector
+ * configurations under both methodologies.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "cache/replay.hh"
+#include "common.hh"
+#include "core/dgippr.hh"
+#include "core/gippr.hh"
+#include "core/vectors.hh"
+#include "ga/genetic.hh"
+#include "policies/lru.hh"
+#include "util/stats.hh"
+
+using namespace gippr;
+using namespace gippr::bench;
+
+namespace
+{
+
+/** Flatten traces of all workloads except one ("" keeps all). */
+std::vector<FitnessTrace>
+flattenExcept(const std::vector<WorkloadTraces> &workloads,
+              const std::string &skip)
+{
+    std::vector<FitnessTrace> out;
+    for (const auto &w : workloads)
+        if (w.name != skip)
+            out.insert(out.end(), w.traces.begin(), w.traces.end());
+    return out;
+}
+
+/** GA once, then greedy duel sets of size 1, 2 and 4 (nested). */
+std::vector<std::vector<Ipv>>
+evolveSets(const FitnessEvaluator &fitness, const GaParams &params)
+{
+    GaResult ga = evolveIpv(fitness, IpvFamily::Gippr, params);
+    std::vector<Ipv> pool;
+    size_t take = std::min<size_t>(ga.finalPopulation.size(), 20);
+    for (size_t i = 0; i < take; ++i)
+        pool.push_back(ga.finalPopulation[i].ipv);
+    for (const Ipv &v : params.seedIpvs)
+        pool.push_back(v);
+    std::vector<Ipv> four =
+        selectDuelSet(fitness, IpvFamily::Gippr, pool, 4);
+    return {{four[0]},
+            {four[0], four[1]},
+            four};
+}
+
+/**
+ * Estimated speedup over LRU of a vector set on one workload,
+ * using the fitness function's linear CPI model (single vector ->
+ * GIPPR; multiple -> DGIPPR duel).
+ */
+double
+speedupOn(const CacheConfig &llc, const WorkloadTraces &w,
+          const std::vector<Ipv> &set)
+{
+    std::vector<double> speedups;
+    CpiModel model;
+    for (const auto &ft : w.traces) {
+        size_t warmup = ft.llcTrace->size() / 3;
+        uint64_t inst = ft.instructions * 2 / 3;
+        auto run = [&](std::unique_ptr<ReplacementPolicy> policy) {
+            SetAssocCache cache(llc, std::move(policy));
+            replayTrace(cache, *ft.llcTrace, warmup);
+            double mpi = inst ? static_cast<double>(
+                                    cache.stats().demandMisses) /
+                                    static_cast<double>(inst)
+                              : 0.0;
+            return model.baseCpi + model.missPenalty * mpi;
+        };
+        double cpi_lru = run(std::make_unique<LruPolicy>(llc));
+        double cpi_set =
+            set.size() == 1
+                ? run(std::make_unique<GipprPolicy>(llc, set[0]))
+                : run(std::make_unique<DgipprPolicy>(llc, set));
+        speedups.push_back(cpi_lru / cpi_set);
+    }
+    return mean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    Scale scale = resolveScale();
+    banner("fig12_wn_vs_wi: workload-neutral vs workload-inclusive",
+           "Figure 12 / Sections 4.4 and 5.2.1");
+
+    SyntheticSuite suite(suiteParams(scale));
+    SystemParams sys = systemParams();
+
+    // A diverse sub-suite keeps the leave-one-out GA affordable.
+    std::vector<std::string> names = {
+        "stream_pure", "loop_thrash", "loop_fit",     "chase_medium",
+        "zipf_hot",    "hotcold_scan", "sd_bimodal",  "sd_midrange",
+        "mix_zipfscan", "phase_loopstream",
+    };
+    std::printf("building LLC traces for %zu workloads...\n",
+                names.size());
+    std::vector<WorkloadTraces> workloads =
+        fitnessWorkloads(suite, names, sys);
+    const CacheConfig &llc = sys.hier.llc;
+
+    // WI: one GA over everything.
+    std::printf("evolving WI vectors...\n");
+    FitnessEvaluator wi_fitness(llc, flattenExcept(workloads, ""));
+    GaParams params = scale.ga;
+    params.seed = 0xF16012;
+    // Seed the search with the archetypes (as examples/evolve_ipv
+    // does) so duel-set selection has diverse material even when the
+    // population converges.
+    params.seedIpvs = {Ipv::lru(16), Ipv::lruInsertion(16),
+                       paper_vectors::wiGippr(),
+                       paper_vectors::wi4Dgippr()[2]};
+    auto wi_sets = evolveSets(wi_fitness, params);
+
+    // WN1: one GA per held-out workload.
+    std::map<std::string, std::vector<std::vector<Ipv>>> wn_sets;
+    unsigned fold = 0;
+    for (const auto &w : workloads) {
+        std::printf("evolving WN1 fold %u/%zu (hold out %s)...\n",
+                    ++fold, workloads.size(), w.name.c_str());
+        FitnessEvaluator fitness(llc, flattenExcept(workloads, w.name));
+        GaParams fold_params = params;
+        fold_params.seed = params.seed + 1000 * fold;
+        wn_sets[w.name] = evolveSets(fitness, fold_params);
+    }
+
+    Table table({"workload", "WN1-GIPPR", "WI-GIPPR", "WN1-2-DGIPPR",
+                 "WI-2-DGIPPR", "WN1-4-DGIPPR", "WI-4-DGIPPR"});
+    std::vector<std::vector<double>> columns(6);
+    for (const auto &w : workloads) {
+        table.newRow().add(w.name);
+        for (size_t cfg_idx = 0; cfg_idx < 3; ++cfg_idx) {
+            double wn = speedupOn(llc, w, wn_sets[w.name][cfg_idx]);
+            double wi = speedupOn(llc, w, wi_sets[cfg_idx]);
+            table.add(wn, 4).add(wi, 4);
+            columns[cfg_idx * 2].push_back(wn);
+            columns[cfg_idx * 2 + 1].push_back(wi);
+        }
+    }
+    table.newRow().add("geomean");
+    for (auto &col : columns)
+        table.add(geomean(col), 4);
+    emitTable(table, "fig12");
+
+    std::printf("\nWI vectors evolved (4-vector set):\n");
+    for (const Ipv &v : wi_sets[2])
+        std::printf("  %s\n", v.toString().c_str());
+    note("paper shape: WI slightly >= WN1 but the gap is small, and "
+         "more vectors help under both methodologies; occasionally a "
+         "WN1 fold beats WI (the GA is not optimal), which the paper "
+         "also observed");
+    return 0;
+}

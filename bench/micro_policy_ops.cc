@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Operation-level microbenchmarks (google-benchmark).
+ *
+ * Quantifies the implementation-complexity argument of Sections 2.1.2
+ * and 3.3: a PLRU/GIPPR update touches at most log2(k) tree bits while
+ * a full-LRU stack update can move k positions; and whole-policy
+ * access throughput for the main contenders.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "common.hh"
+#include "core/plru_tree.hh"
+#include "core/vectors.hh"
+#include "policies/recency_stack.hh"
+#include "util/rng.hh"
+
+using namespace gippr;
+
+namespace
+{
+
+void
+BM_PlruTreePromote(benchmark::State &state)
+{
+    const unsigned ways = static_cast<unsigned>(state.range(0));
+    PlruTree tree(ways);
+    Rng rng(1);
+    for (auto _ : state) {
+        tree.promoteMru(static_cast<unsigned>(rng.nextBounded(ways)));
+        benchmark::DoNotOptimize(tree);
+    }
+}
+BENCHMARK(BM_PlruTreePromote)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_PlruTreeSetPosition(benchmark::State &state)
+{
+    const unsigned ways = static_cast<unsigned>(state.range(0));
+    PlruTree tree(ways);
+    Rng rng(2);
+    for (auto _ : state) {
+        tree.setPosition(static_cast<unsigned>(rng.nextBounded(ways)),
+                         static_cast<unsigned>(rng.nextBounded(ways)));
+        benchmark::DoNotOptimize(tree);
+    }
+}
+BENCHMARK(BM_PlruTreeSetPosition)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_PlruTreePosition(benchmark::State &state)
+{
+    const unsigned ways = static_cast<unsigned>(state.range(0));
+    PlruTree tree(ways);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.position(
+            static_cast<unsigned>(rng.nextBounded(ways))));
+    }
+}
+BENCHMARK(BM_PlruTreePosition)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_RecencyStackMove(benchmark::State &state)
+{
+    const unsigned ways = static_cast<unsigned>(state.range(0));
+    RecencyStack stack(ways);
+    Rng rng(4);
+    for (auto _ : state) {
+        stack.moveTo(static_cast<unsigned>(rng.nextBounded(ways)),
+                     static_cast<unsigned>(rng.nextBounded(ways)));
+        benchmark::DoNotOptimize(stack);
+    }
+}
+BENCHMARK(BM_RecencyStackMove)->Arg(4)->Arg(16)->Arg(64);
+
+void
+runCacheAccess(benchmark::State &state, const PolicyDef &def)
+{
+    CacheConfig cfg = CacheConfig::benchLlc();
+    SetAssocCache cache(cfg, def.make(cfg));
+    Rng rng(5);
+    // Footprint 2x the cache so hits and misses both occur.
+    const uint64_t blocks = 2 * cfg.sets() * cfg.assoc;
+    for (auto _ : state) {
+        uint64_t addr = rng.nextBounded(blocks) * cfg.blockBytes;
+        benchmark::DoNotOptimize(
+            cache.access(addr, AccessType::Load, 0x400000));
+    }
+}
+
+void
+BM_CacheAccessLru(benchmark::State &state)
+{
+    runCacheAccess(state, policyByName("LRU"));
+}
+BENCHMARK(BM_CacheAccessLru);
+
+void
+BM_CacheAccessPlru(benchmark::State &state)
+{
+    runCacheAccess(state, policyByName("PLRU"));
+}
+BENCHMARK(BM_CacheAccessPlru);
+
+void
+BM_CacheAccessGippr(benchmark::State &state)
+{
+    runCacheAccess(state,
+                   gipprDef("GIPPR", local_vectors::gippr()));
+}
+BENCHMARK(BM_CacheAccessGippr);
+
+void
+BM_CacheAccessDgippr4(benchmark::State &state)
+{
+    runCacheAccess(state,
+                   dgipprDef("4-DGIPPR", local_vectors::dgippr4()));
+}
+BENCHMARK(BM_CacheAccessDgippr4);
+
+void
+BM_CacheAccessDrrip(benchmark::State &state)
+{
+    runCacheAccess(state, policyByName("DRRIP"));
+}
+BENCHMARK(BM_CacheAccessDrrip);
+
+void
+BM_CacheAccessPdp(benchmark::State &state)
+{
+    runCacheAccess(state, policyByName("PDP"));
+}
+BENCHMARK(BM_CacheAccessPdp);
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Evolve insertion/promotion vectors with the genetic algorithm, as
+ * in the paper's Section 4.2 — but in-process instead of on a
+ * 200-CPU cluster.
+ *
+ * Usage:
+ *   ./build/examples/evolve_ipv [options]
+ *     --family giplr|gippr   substrate (default gippr)
+ *     --generations N        GA generations (default 12)
+ *     --population N         population per generation (default 48)
+ *     --vectors N            duel-set size to select (default 4)
+ *     --accesses N           CPU references per simpoint (default 200000)
+ *     --threads N            fitness evaluation threads (default 8)
+ *     --seed N               GA seed (default 42)
+ *
+ * Prints the convergence curve, the best vector, and (for N > 1) the
+ * complementary duel set chosen from the final population.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/vectors.hh"
+#include "ga/genetic.hh"
+#include "policies/lru.hh"
+#include "sim/system.hh"
+#include "util/log.hh"
+#include "workloads/suite.hh"
+
+using namespace gippr;
+
+namespace
+{
+
+uint64_t
+argValue(int argc, char **argv, const char *flag, uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+std::string
+argString(int argc, char **argv, const char *flag,
+          const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string family_name =
+        argString(argc, argv, "--family", "gippr");
+    const IpvFamily family = family_name == "giplr" ? IpvFamily::Giplr
+                                                    : IpvFamily::Gippr;
+    GaParams params;
+    params.generations =
+        static_cast<unsigned>(argValue(argc, argv, "--generations", 12));
+    params.population = argValue(argc, argv, "--population", 48);
+    params.initialPopulation = params.population * 2;
+    params.threads =
+        static_cast<unsigned>(argValue(argc, argv, "--threads", 8));
+    params.seed = argValue(argc, argv, "--seed", 42);
+    const size_t n_vectors = argValue(argc, argv, "--vectors", 4);
+
+    // Seed generation zero with the known archetypes (classic PLRU,
+    // LIP, and the paper's published vectors) so the search starts
+    // from the corners of the design space the literature identified.
+    params.seedIpvs = {Ipv::lru(16), Ipv::lruInsertion(16),
+                       paper_vectors::giplr(),
+                       paper_vectors::wiGippr()};
+    for (const Ipv &v : paper_vectors::wi4Dgippr())
+        params.seedIpvs.push_back(v);
+
+    SuiteParams sp;
+    sp.llcBlocks = 16384;
+    sp.accessesPerSimpoint = argValue(argc, argv, "--accesses", 200000);
+    SyntheticSuite suite(sp);
+
+    SystemParams sys;
+    sys.hier.llc = CacheConfig::benchLlc();
+
+    std::printf("materializing the %zu-workload suite and filtering "
+                "to LLC traces...\n",
+                suite.specs().size());
+    std::vector<Workload> workloads;
+    for (const auto &spec : suite.specs())
+        workloads.push_back(SyntheticSuite::materialize(spec));
+    FitnessEvaluator fitness(
+        sys.hier.llc, buildFitnessTraces(workloads, sys.hier));
+
+    std::printf("evolving %s vectors: pop %zu, %u generations, "
+                "%u threads, seed %lu\n",
+                family_name.c_str(), params.population,
+                params.generations, params.threads,
+                static_cast<unsigned long>(params.seed));
+    GaResult result = evolveIpv(fitness, family, params);
+
+    std::printf("\nconvergence (best estimated speedup over LRU):\n");
+    for (size_t g = 0; g < result.history.size(); ++g)
+        std::printf("  gen %2zu: %.4f\n", g, result.history[g]);
+
+    std::printf("\nbest vector: %s  (fitness %.4f)\n",
+                result.best.toString().c_str(), result.bestFitness);
+
+    if (n_vectors > 1) {
+        std::vector<Ipv> pool;
+        size_t take =
+            std::min<size_t>(result.finalPopulation.size(), 24);
+        for (size_t i = 0; i < take; ++i)
+            pool.push_back(result.finalPopulation[i].ipv);
+        // Keep the archetypes in contention for duel-set selection
+        // even if evolution crowded them out of the population.
+        for (const Ipv &v : params.seedIpvs)
+            pool.push_back(v);
+        std::vector<Ipv> duel =
+            selectDuelSet(fitness, family, pool, n_vectors);
+        std::printf("\ncomplementary %zu-vector duel set for "
+                    "DGIPPR:\n",
+                    n_vectors);
+        for (const Ipv &v : duel)
+            std::printf("  %s\n", v.toString().c_str());
+        std::printf("\npaste these into src/core/vectors.cc "
+                    "(local_vectors) to refresh the shipped "
+                    "defaults.\n");
+    }
+    return 0;
+}

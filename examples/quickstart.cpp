@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: the core API in ~60 lines.
+ *
+ * Builds a 16-way last-level cache managed by GIPPR (the paper's
+ * IPV-driven tree PseudoLRU), replays a thrash-prone loop against it
+ * and against true LRU, and prints the resulting hit rates and the
+ * storage each policy pays.
+ *
+ * Run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "core/gippr.hh"
+#include "core/ipv.hh"
+#include "policies/lru.hh"
+
+using namespace gippr;
+
+int
+main()
+{
+    // A 1MB, 16-way, 64B-line cache (the paper evaluates 4MB).
+    CacheConfig config = CacheConfig::benchLlc();
+
+    // An insertion/promotion vector: all-zero promotions with
+    // insertion at the PLRU position — the "LIP on a PLRU tree"
+    // point of the design space.  Any 17-entry vector with values in
+    // [0, 16) is a valid policy; the paper evolves them genetically.
+    Ipv ipv = Ipv::parse("0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15");
+
+    SetAssocCache gippr_cache(config,
+                              std::make_unique<GipprPolicy>(config, ipv));
+    SetAssocCache lru_cache(config,
+                            std::make_unique<LruPolicy>(config));
+
+    // A cyclic working set 1.25x the cache: the classic pattern where
+    // LRU gets zero hits and LIP-style insertion keeps most of it.
+    const uint64_t blocks = config.sets() * config.assoc * 5 / 4;
+    for (int pass = 0; pass < 20; ++pass) {
+        for (uint64_t b = 0; b < blocks; ++b) {
+            uint64_t addr = b * config.blockBytes;
+            gippr_cache.access(addr, AccessType::Load);
+            lru_cache.access(addr, AccessType::Load);
+        }
+    }
+
+    auto report = [](const char *name, const SetAssocCache &cache) {
+        const CacheStats &s = cache.stats();
+        std::printf("%-6s  accesses %8lu  hits %8lu  hit rate %5.1f%%"
+                    "  replacement state %zu bits/set\n",
+                    name, static_cast<unsigned long>(s.accesses),
+                    static_cast<unsigned long>(s.hits),
+                    100.0 * static_cast<double>(s.hits) /
+                        static_cast<double>(s.accesses),
+                    cache.policy().stateBitsPerSet());
+    };
+    std::printf("cyclic working set at 1.25x capacity, 20 passes:\n\n");
+    report("LRU", lru_cache);
+    report("GIPPR", gippr_cache);
+
+    std::printf("\nGIPPR matches the storage of plain PseudoLRU "
+                "(%u bits/set) while choosing a far better insertion "
+                "point for this workload.\n",
+                config.assoc - 1);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * LLC trace replay implementation.
+ */
+
+#include "cache/replay.hh"
+
+namespace gippr
+{
+
+void
+replayTrace(SetAssocCache &cache, const Trace &trace, size_t warmup)
+{
+    if (warmup == 0)
+        cache.clearStats();
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (i == warmup && warmup != 0)
+            cache.clearStats();
+        const MemRecord &r = trace[i];
+        cache.access(r.addr, recordType(r), r.pc);
+    }
+}
+
+Trace
+demandOnlyTrace(const Trace &trace)
+{
+    Trace out;
+    out.reserve(trace.size());
+    uint64_t pending_gap = 0;
+    for (const auto &r : trace.records()) {
+        if (recordType(r) == AccessType::Writeback) {
+            pending_gap += r.instGap;
+            continue;
+        }
+        MemRecord d = r;
+        d.instGap = static_cast<uint32_t>(d.instGap + pending_gap);
+        pending_gap = 0;
+        out.append(d);
+    }
+    return out;
+}
+
+} // namespace gippr

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * BypassGippr implementation.
+ */
+
+#include "core/bypass_gippr.hh"
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+BypassGipprPolicy::BypassGipprPolicy(const CacheConfig &config, Ipv ipv,
+                                     unsigned epsilon_inv,
+                                     unsigned leaders,
+                                     unsigned counter_bits,
+                                     uint64_t seed)
+    : ipv_(std::move(ipv)), epsilonInv_(epsilon_inv),
+      trees_(config.sets(), PlruTree(config.assoc)),
+      leaders_(config.sets(), 2,
+               clampLeaders(config.sets(), 2, leaders)),
+      selector_(2, counter_bits), rng_(seed)
+{
+    if (ipv_.ways() != config.assoc)
+        fatal("BypassGippr: IPV arity does not match associativity");
+    if (epsilonInv_ < 1)
+        fatal("BypassGippr: epsilon_inv must be at least 1");
+}
+
+unsigned
+BypassGipprPolicy::sideFor(uint64_t set) const
+{
+    int owner = leaders_.owner(set);
+    if (owner != LeaderSets::kFollower)
+        return static_cast<unsigned>(owner);
+    return selector_.winner();
+}
+
+unsigned
+BypassGipprPolicy::victim(const AccessInfo &info)
+{
+    return trees_[info.set].findPlru();
+}
+
+void
+BypassGipprPolicy::onMiss(const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    int owner = leaders_.owner(info.set);
+    if (owner != LeaderSets::kFollower)
+        selector_.recordMiss(static_cast<unsigned>(owner));
+}
+
+bool
+BypassGipprPolicy::shouldBypass(const AccessInfo &info)
+{
+    if (sideFor(info.set) != kBypass)
+        return false;
+    // Bimodal trickle: admit one in epsilonInv_ blocks so a change in
+    // the working set can still be learned.
+    return rng_.nextBounded(epsilonInv_) != 0;
+}
+
+void
+BypassGipprPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    trees_[info.set].setPosition(way, ipv_.insertion());
+}
+
+void
+BypassGipprPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    PlruTree &tree = trees_[info.set];
+    tree.setPosition(way, ipv_.promotion(tree.position(way)));
+}
+
+void
+BypassGipprPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    trees_[set].setPosition(way, trees_[set].ways() - 1);
+}
+
+} // namespace gippr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * BypassGippr — DGIPPR combined with a dueled bypass predictor
+ * (the paper's future-work item 1: "combining DGIPPR with a predictor
+ * that decides whether a block should bypass the cache").
+ *
+ * Two policies duel over leader sets:
+ *   A: plain GIPPR with the provided IPV;
+ *   B: the same IPV, but incoming demand blocks *bypass* the cache
+ *      except for a 1-in-epsilon trickle of insertions (the bimodal
+ *      trickle keeps admitting the working set, exactly as BIP does
+ *      for LRU insertion).
+ * Followers adopt the winner.  On streaming or thrashing mixes the
+ * bypass side avoids even the churn slot's pollution; on reuse-heavy
+ * workloads the insert side wins and bypass is disabled.
+ *
+ * Storage: the PLRU tree bits plus one PSEL counter — still under one
+ * bit per block.  Note bypass violates inclusion; use only where the
+ * hierarchy tolerates it (see ReplacementPolicy::shouldBypass).
+ */
+
+#ifndef GIPPR_CORE_BYPASS_GIPPR_HH_
+#define GIPPR_CORE_BYPASS_GIPPR_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "core/ipv.hh"
+#include "core/plru_tree.hh"
+#include "policies/set_dueling.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+/** GIPPR with set-dueled bimodal bypass. */
+class BypassGipprPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param config       cache geometry
+     * @param ipv          insertion/promotion vector
+     * @param epsilon_inv  bypass side inserts once per this many misses
+     * @param leaders      leader sets per side
+     * @param counter_bits PSEL width
+     * @param seed         RNG seed for the bimodal trickle
+     */
+    BypassGipprPolicy(const CacheConfig &config, Ipv ipv,
+                      unsigned epsilon_inv = 32, unsigned leaders = 32,
+                      unsigned counter_bits = 11, uint64_t seed = 1);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onMiss(const AccessInfo &info) override;
+    bool shouldBypass(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+
+    std::string name() const override { return "B-GIPPR"; }
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        return trees_.empty() ? 0 : trees_.front().numBits();
+    }
+
+    size_t
+    globalStateBits() const override
+    {
+        return selector_.stateBits();
+    }
+
+    /** True when follower sets currently bypass (test aid). */
+    bool
+    followersBypass() const
+    {
+        return selector_.winner() == kBypass;
+    }
+
+  private:
+    // Side 1 is the PSEL's initial preference (the counter starts at
+    // its midpoint), so the conservative insert side sits there:
+    // bypassing must be *earned* by leader-set evidence.
+    static constexpr unsigned kBypass = 0;
+    static constexpr unsigned kInsert = 1;
+
+    /** Side governing @p set right now. */
+    unsigned sideFor(uint64_t set) const;
+
+    Ipv ipv_;
+    unsigned epsilonInv_;
+    std::vector<PlruTree> trees_;
+    LeaderSets leaders_;
+    TournamentSelector selector_;
+    Rng rng_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_CORE_BYPASS_GIPPR_HH_

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DGIPPR implementation.
+ */
+
+#include "core/dgippr.hh"
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+DgipprPolicy::DgipprPolicy(const CacheConfig &config,
+                           std::vector<Ipv> ipvs, unsigned leaders,
+                           unsigned counter_bits)
+    : ipvs_(std::move(ipvs)),
+      trees_(config.sets(), PlruTree(config.assoc)),
+      leaders_(config.sets(), static_cast<unsigned>(ipvs_.size()),
+               clampLeaders(config.sets(),
+                            static_cast<unsigned>(ipvs_.size()),
+                            leaders)),
+      selector_(static_cast<unsigned>(ipvs_.size()), counter_bits)
+{
+    if (ipvs_.size() < 2)
+        fatal("DGIPPR needs at least two IPVs to duel");
+    for (const Ipv &v : ipvs_) {
+        if (v.ways() != config.assoc)
+            fatal("DGIPPR: IPV arity does not match associativity");
+    }
+}
+
+const Ipv &
+DgipprPolicy::ipvFor(uint64_t set) const
+{
+    int owner = leaders_.owner(set);
+    if (owner != LeaderSets::kFollower)
+        return ipvs_[static_cast<size_t>(owner)];
+    return ipvs_[selector_.winner()];
+}
+
+unsigned
+DgipprPolicy::victim(const AccessInfo &info)
+{
+    return trees_[info.set].findPlru();
+}
+
+void
+DgipprPolicy::onMiss(const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    int owner = leaders_.owner(info.set);
+    if (owner != LeaderSets::kFollower)
+        selector_.recordMiss(static_cast<unsigned>(owner));
+}
+
+void
+DgipprPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    trees_[info.set].setPosition(way, ipvFor(info.set).insertion());
+}
+
+void
+DgipprPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    PlruTree &tree = trees_[info.set];
+    const Ipv &ipv = ipvFor(info.set);
+    tree.setPosition(way, ipv.promotion(tree.position(way)));
+}
+
+void
+DgipprPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    trees_[set].setPosition(way, trees_[set].ways() - 1);
+}
+
+std::string
+DgipprPolicy::name() const
+{
+    return std::to_string(ipvs_.size()) + "-DGIPPR";
+}
+
+} // namespace gippr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DGIPPR — dynamic GIPPR (paper, Section 3.5).
+ *
+ * Several offline-evolved IPVs duel at runtime: each IPV owns a group
+ * of leader sets that always use it; saturating counters tally leader
+ * misses; follower sets use the currently winning IPV.  With two IPVs
+ * this is Qureshi-style single-counter set-dueling (2-DGIPPR); with
+ * four it is Loh-style multi-set-dueling with two pair counters and a
+ * meta counter (4-DGIPPR) — three 11-bit counters for the whole cache,
+ * the paper's "33 bits added to the entire microprocessor".  Only one
+ * set of PseudoLRU bits is kept per set regardless of the IPV count.
+ */
+
+#ifndef GIPPR_CORE_DGIPPR_HH_
+#define GIPPR_CORE_DGIPPR_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "core/ipv.hh"
+#include "core/plru_tree.hh"
+#include "policies/set_dueling.hh"
+
+namespace gippr
+{
+
+/** Set-dueling between multiple GIPPR vectors. */
+class DgipprPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param config        cache geometry
+     * @param ipvs          2^m candidate vectors (paper uses 2 or 4)
+     * @param leaders       leader sets per vector
+     * @param counter_bits  PSEL width (paper: 11)
+     */
+    DgipprPolicy(const CacheConfig &config, std::vector<Ipv> ipvs,
+                 unsigned leaders = 32, unsigned counter_bits = 11);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onMiss(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+
+    std::string name() const override;
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        return trees_.empty() ? 0 : trees_.front().numBits();
+    }
+
+    size_t
+    globalStateBits() const override
+    {
+        return selector_.stateBits();
+    }
+
+    /** Vector currently used by follower sets (test aid). */
+    unsigned currentWinner() const { return selector_.winner(); }
+
+    const std::vector<Ipv> &ipvs() const { return ipvs_; }
+
+  private:
+    /** IPV governing @p set right now. */
+    const Ipv &ipvFor(uint64_t set) const;
+
+    std::vector<Ipv> ipvs_;
+    std::vector<PlruTree> trees_;
+    LeaderSets leaders_;
+    TournamentSelector selector_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_CORE_DGIPPR_HH_

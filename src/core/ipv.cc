@@ -1,0 +1,165 @@
+/**
+ * @file
+ * IPV implementation.
+ */
+
+#include "core/ipv.hh"
+
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+Ipv::Ipv(std::vector<uint8_t> entries)
+    : entries_(std::move(entries))
+{
+    if (!isValidVector(entries_))
+        fatal("malformed IPV: " + toString());
+}
+
+bool
+Ipv::isValidVector(const std::vector<uint8_t> &entries)
+{
+    if (entries.size() < 3) // k >= 2 implies at least 3 entries
+        return false;
+    const size_t k = entries.size() - 1;
+    for (uint8_t v : entries)
+        if (v >= k)
+            return false;
+    return true;
+}
+
+Ipv
+Ipv::lru(unsigned ways)
+{
+    assert(ways >= 2);
+    return Ipv(std::vector<uint8_t>(ways + 1, 0));
+}
+
+Ipv
+Ipv::lruInsertion(unsigned ways)
+{
+    assert(ways >= 2);
+    std::vector<uint8_t> v(ways + 1, 0);
+    v[ways] = static_cast<uint8_t>(ways - 1);
+    return Ipv(std::move(v));
+}
+
+Ipv
+Ipv::parse(const std::string &text)
+{
+    std::string cleaned;
+    cleaned.reserve(text.size());
+    for (char c : text) {
+        if (c == ',' || c == '[' || c == ']')
+            cleaned.push_back(' ');
+        else
+            cleaned.push_back(c);
+    }
+    std::istringstream is(cleaned);
+    std::vector<uint8_t> entries;
+    long v;
+    while (is >> v) {
+        if (v < 0 || v > 255)
+            fatal("IPV entry out of range: " + std::to_string(v));
+        entries.push_back(static_cast<uint8_t>(v));
+    }
+    if (!isValidVector(entries))
+        fatal("malformed IPV string: " + text);
+    return Ipv(std::move(entries));
+}
+
+unsigned
+Ipv::ways() const
+{
+    assert(!entries_.empty());
+    return static_cast<unsigned>(entries_.size() - 1);
+}
+
+unsigned
+Ipv::promotion(unsigned i) const
+{
+    assert(i < ways());
+    return entries_[i];
+}
+
+unsigned
+Ipv::insertion() const
+{
+    return entries_[ways()];
+}
+
+std::string
+Ipv::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (uint8_t v : entries_)
+        os << ' ' << static_cast<int>(v);
+    os << " ]";
+    return os.str();
+}
+
+Ipv::ShiftEdges
+Ipv::shiftEdges() const
+{
+    const unsigned k = ways();
+    ShiftEdges edges;
+    edges.down.assign(k, false);
+    edges.up.assign(k, false);
+    // A move of an accessed block from position i to V[i] (or an
+    // insertion from k-1 to V[k]) shifts the intervening blocks.
+    auto mark = [&](unsigned from, unsigned to) {
+        if (to < from) {
+            // Blocks in [to, from-1] shift down by one.
+            for (unsigned p = to; p < from; ++p)
+                edges.down[p] = true;
+        } else if (to > from) {
+            // Blocks in [from+1, to] shift up by one.
+            for (unsigned p = from + 1; p <= to; ++p)
+                edges.up[p] = true;
+        }
+    };
+    for (unsigned i = 0; i < k; ++i)
+        mark(i, promotion(i));
+    mark(k - 1, insertion());
+    return edges;
+}
+
+std::vector<bool>
+Ipv::reachableFromInsertion() const
+{
+    const unsigned k = ways();
+    const ShiftEdges edges = shiftEdges();
+    std::vector<bool> reachable(k, false);
+    std::deque<unsigned> frontier;
+    auto visit = [&](unsigned p) {
+        if (!reachable[p]) {
+            reachable[p] = true;
+            frontier.push_back(p);
+        }
+    };
+    visit(insertion());
+    while (!frontier.empty()) {
+        unsigned p = frontier.front();
+        frontier.pop_front();
+        visit(promotion(p));
+        if (edges.down[p] && p + 1 < k)
+            visit(p + 1);
+        if (edges.up[p] && p > 0)
+            visit(p - 1);
+    }
+    return reachable;
+}
+
+bool
+Ipv::isDegenerate() const
+{
+    return !reachableFromInsertion()[0];
+}
+
+} // namespace gippr

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Insertion/Promotion Vectors — the paper's central abstraction.
+ *
+ * For a k-way set-associative cache, an IPV is a (k+1)-entry vector of
+ * positions in [0, k).  Entry i < k gives the new recency-stack
+ * position for a block re-referenced at position i; entry k gives the
+ * position where an incoming block is inserted.  Classic LRU is the
+ * all-zero vector; LRU-insertion (LIP) is all zeros with V[k] = k-1.
+ */
+
+#ifndef GIPPR_CORE_IPV_HH_
+#define GIPPR_CORE_IPV_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gippr
+{
+
+/** An insertion/promotion vector over k ways. */
+class Ipv
+{
+  public:
+    /** Default: empty (invalid until assigned). */
+    Ipv() = default;
+
+    /**
+     * Construct from the k+1 raw entries.
+     * @pre entries form a valid IPV (see isValidVector)
+     */
+    explicit Ipv(std::vector<uint8_t> entries);
+
+    /** Classic LRU for @p ways: all zeros. */
+    static Ipv lru(unsigned ways);
+
+    /** LRU-insertion (Qureshi's LIP): zeros with V[k] = k-1. */
+    static Ipv lruInsertion(unsigned ways);
+
+    /**
+     * Parse from whitespace- or comma-separated integers, e.g. the
+     * paper's "0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13".
+     * Throws std::runtime_error on malformed input.
+     */
+    static Ipv parse(const std::string &text);
+
+    /** True when @p entries has length k+1 and values < k (k >= 2). */
+    static bool isValidVector(const std::vector<uint8_t> &entries);
+
+    /** Associativity k this vector serves. */
+    unsigned ways() const;
+
+    /** New position for a block promoted from position @p i (i < k). */
+    unsigned promotion(unsigned i) const;
+
+    /** Position where incoming blocks are inserted (V[k]). */
+    unsigned insertion() const;
+
+    const std::vector<uint8_t> &entries() const { return entries_; }
+
+    /** "[ 0 0 1 ... 13 ]", the paper's rendering. */
+    std::string toString() const;
+
+    /**
+     * Degeneracy check (paper, footnote 1): an IPV is degenerate when
+     * the transition graph induced by promotions *and* shifts admits
+     * no path from the insertion position to MRU (position 0), i.e. no
+     * incoming block can ever become MRU.
+     */
+    bool isDegenerate() const;
+
+    /**
+     * Positions reachable from the insertion position under promotion
+     * and shift moves (exposed for the transition-graph bench).
+     */
+    std::vector<bool> reachableFromInsertion() const;
+
+    /**
+     * Shift edges of the transition graph (Fig. 2/3 dashed edges):
+     * returns for each position p whether some move shifts a block at
+     * p down (to p+1) or up (to p-1).
+     */
+    struct ShiftEdges
+    {
+        std::vector<bool> down; ///< p -> p+1 possible
+        std::vector<bool> up;   ///< p -> p-1 possible
+    };
+    ShiftEdges shiftEdges() const;
+
+    bool operator==(const Ipv &o) const { return entries_ == o.entries_; }
+
+  private:
+    std::vector<uint8_t> entries_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_CORE_IPV_HH_

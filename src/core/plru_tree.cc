@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PseudoLRU tree implementation.
+ */
+
+#include "core/plru_tree.hh"
+
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace gippr
+{
+
+PlruTree::PlruTree(unsigned ways)
+    : ways_(ways), levels_(floorLog2(ways)), bits_(ways - 1, 0)
+{
+    assert(ways >= 2 && ways <= 256);
+    assert(isPow2(ways));
+}
+
+unsigned
+PlruTree::findPlru() const
+{
+    unsigned p = 0;
+    while (p < ways_ - 1)
+        p = bits_[p] ? 2 * p + 2 : 2 * p + 1;
+    return p - (ways_ - 1);
+}
+
+void
+PlruTree::promoteMru(unsigned way)
+{
+    assert(way < ways_);
+    unsigned q = leafNode(way);
+    while (q != 0) {
+        unsigned par = parent(q);
+        // Point the parent's bit away from this subtree.
+        bits_[par] = isRightChild(q) ? 0 : 1;
+        q = par;
+    }
+}
+
+unsigned
+PlruTree::position(unsigned way) const
+{
+    assert(way < ways_);
+    unsigned x = 0;
+    unsigned i = 0;
+    unsigned q = leafNode(way);
+    while (q != 0) {
+        unsigned par = parent(q);
+        // A right child's bit is the parent's plru bit; a left child's
+        // is its complement: a 1 in the position means the eviction
+        // walk would descend toward this node.
+        unsigned bit_value = isRightChild(q)
+                                 ? bits_[par]
+                                 : static_cast<unsigned>(!bits_[par]);
+        x |= bit_value << i;
+        q = par;
+        ++i;
+    }
+    return x;
+}
+
+void
+PlruTree::setPosition(unsigned way, unsigned x)
+{
+    assert(way < ways_);
+    assert(x < ways_);
+    unsigned i = 0;
+    unsigned q = leafNode(way);
+    while (q != 0) {
+        unsigned par = parent(q);
+        unsigned bit_value = getBit(x, i);
+        bits_[par] = static_cast<uint8_t>(
+            isRightChild(q) ? bit_value : !bit_value);
+        q = par;
+        ++i;
+    }
+}
+
+unsigned
+PlruTree::wayAtPosition(unsigned x) const
+{
+    assert(x < ways_);
+    unsigned p = 0;
+    for (unsigned i = levels_; i-- > 0;) {
+        // Going right contributes the parent's bit at index i; going
+        // left contributes its complement.  Pick the child whose
+        // contribution matches bit i of x.
+        unsigned want = getBit(x, i);
+        bool go_right = (bits_[p] == want);
+        p = go_right ? 2 * p + 2 : 2 * p + 1;
+    }
+    return p - (ways_ - 1);
+}
+
+bool
+PlruTree::bit(unsigned node) const
+{
+    assert(node < bits_.size());
+    return bits_[node] != 0;
+}
+
+void
+PlruTree::setBit(unsigned node, bool value)
+{
+    assert(node < bits_.size());
+    bits_[node] = value ? 1 : 0;
+}
+
+} // namespace gippr

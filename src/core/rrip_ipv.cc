@@ -1,0 +1,83 @@
+/**
+ * @file
+ * IPV-driven RRIP implementation.
+ */
+
+#include "core/rrip_ipv.hh"
+
+#include <cassert>
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+RripIpvPolicy::RripIpvPolicy(const CacheConfig &config, Ipv ipv,
+                             unsigned rrpv_bits)
+    : ways_(config.assoc), rrpvBits_(rrpv_bits),
+      levels_(1U << rrpv_bits), ipv_(std::move(ipv)),
+      rrpv_(config.sets() * config.assoc,
+            static_cast<uint8_t>((1U << rrpv_bits) - 1))
+{
+    assert(rrpv_bits >= 1 && rrpv_bits <= 8);
+    if (ipv_.ways() != levels_)
+        fatal("RripIpv: vector arity must equal the RRPV level count");
+}
+
+uint8_t &
+RripIpvPolicy::rrpvRef(uint64_t set, unsigned way)
+{
+    return rrpv_[set * ways_ + way];
+}
+
+unsigned
+RripIpvPolicy::rrpv(uint64_t set, unsigned way) const
+{
+    return rrpv_[set * ways_ + way];
+}
+
+unsigned
+RripIpvPolicy::victim(const AccessInfo &info)
+{
+    const uint8_t max_rrpv = static_cast<uint8_t>(levels_ - 1);
+    for (;;) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (rrpvRef(info.set, w) == max_rrpv)
+                return w;
+        }
+        for (unsigned w = 0; w < ways_; ++w)
+            ++rrpvRef(info.set, w);
+    }
+}
+
+void
+RripIpvPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    rrpvRef(info.set, way) = static_cast<uint8_t>(ipv_.insertion());
+}
+
+void
+RripIpvPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    uint8_t &r = rrpvRef(info.set, way);
+    r = static_cast<uint8_t>(ipv_.promotion(r));
+}
+
+void
+RripIpvPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    rrpvRef(set, way) = static_cast<uint8_t>(levels_ - 1);
+}
+
+Ipv
+RripIpvPolicy::srripVector(unsigned rrpv_bits)
+{
+    unsigned levels = 1U << rrpv_bits;
+    std::vector<uint8_t> entries(levels + 1, 0);
+    entries[levels] = static_cast<uint8_t>(levels - 2);
+    return Ipv(std::move(entries));
+}
+
+} // namespace gippr

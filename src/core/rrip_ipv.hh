@@ -1,0 +1,77 @@
+/**
+ * @file
+ * IPVs generalized to RRIP (the paper's future-work item 5: "it may
+ * be adapted to other LRU-like algorithms such as RRIP").
+ *
+ * An RRPV is a coarse recency-stack position, so the IPV idea carries
+ * over directly: for an M-bit RRIP with L = 2^M levels, a
+ * re-reference vector is an (L+1)-entry vector over [0, L) where
+ * entry i is the new RRPV for a block hit at RRPV i, and entry L is
+ * the insertion RRPV.  Victim selection and aging are standard RRIP
+ * (evict at RRPV L-1, increment all until one appears).
+ *
+ * Classic policies are points in this space (L = 4):
+ *   SRRIP          [ 0 0 0 0 | 2 ]
+ *   "frequency"    [ 0 0 1 2 | 2 ]  (hit promotes one level)
+ *   LIP-like       [ 0 0 0 0 | 3 ]
+ * and the genetic machinery evolves over it via IpvFamily::RripIpv.
+ */
+
+#ifndef GIPPR_CORE_RRIP_IPV_HH_
+#define GIPPR_CORE_RRIP_IPV_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "core/ipv.hh"
+
+namespace gippr
+{
+
+/** IPV-driven RRIP replacement. */
+class RripIpvPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param config  cache geometry
+     * @param ipv     vector with ipv.ways() == 2^rrpv_bits
+     * @param rrpv_bits  RRPV width (default 2, as in DRRIP)
+     */
+    RripIpvPolicy(const CacheConfig &config, Ipv ipv,
+                  unsigned rrpv_bits = 2);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+
+    std::string name() const override { return "RRIP-IPV"; }
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        return static_cast<size_t>(ways_) * rrpvBits_;
+    }
+
+    const Ipv &ipv() const { return ipv_; }
+
+    /** RRPV of (set, way) — test aid. */
+    unsigned rrpv(uint64_t set, unsigned way) const;
+
+    /** The SRRIP point of this design space. */
+    static Ipv srripVector(unsigned rrpv_bits = 2);
+
+  private:
+    uint8_t &rrpvRef(uint64_t set, unsigned way);
+
+    unsigned ways_;
+    unsigned rrpvBits_;
+    unsigned levels_;
+    Ipv ipv_;
+    std::vector<uint8_t> rrpv_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_CORE_RRIP_IPV_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Named insertion/promotion vectors.
+ *
+ * Includes every vector the paper publishes (all for 16-way caches),
+ * plus vectors evolved locally against this repository's synthetic
+ * workload suite (see bench/fig12 and examples/evolve_ipv).  The
+ * paper's vectors were trained on SPEC CPU 2006 reuse behaviour; the
+ * locally evolved ones are trained on the synthetic suite, so the
+ * dynamic benches default to the local sets and print both.
+ */
+
+#ifndef GIPPR_CORE_VECTORS_HH_
+#define GIPPR_CORE_VECTORS_HH_
+
+#include <vector>
+
+#include "core/ipv.hh"
+
+namespace gippr
+{
+
+/** Vectors published in the paper (16-way). */
+namespace paper_vectors
+{
+
+/** Section 2.5: the GIPLR vector found for true LRU. */
+Ipv giplr();
+
+/** Section 5.3: the workload-inclusive single GIPPR vector. */
+Ipv wiGippr();
+
+/** Section 5.3: the WN1 GIPLR vector for 400.perlbench. */
+Ipv wn1Perlbench();
+
+/** Section 5.3: the WI-2-DGIPPR pair (PLRU-ish vs pessimistic). */
+std::vector<Ipv> wi2Dgippr();
+
+/** Section 5.3: the WI-4-DGIPPR quad. */
+std::vector<Ipv> wi4Dgippr();
+
+} // namespace paper_vectors
+
+/** Vectors evolved against this repo's synthetic suite (16-way). */
+namespace local_vectors
+{
+
+/** Best single vector for true-LRU stacks (GIPLR). */
+Ipv giplr();
+
+/** Best single vector for PLRU trees (GIPPR). */
+Ipv gippr();
+
+/** Two-vector duel set for 2-DGIPPR. */
+std::vector<Ipv> dgippr2();
+
+/** Four-vector duel set for 4-DGIPPR. */
+std::vector<Ipv> dgippr4();
+
+/** Eight-vector set for the vector-count ablation. */
+std::vector<Ipv> dgippr8();
+
+} // namespace local_vectors
+
+} // namespace gippr
+
+#endif // GIPPR_CORE_VECTORS_HH_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cross-validation implementation.
+ */
+
+#include "ga/crossval.hh"
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+/** Flatten a list of workloads' traces, optionally skipping one. */
+std::vector<FitnessTrace>
+flattenExcept(const std::vector<WorkloadTraces> &workloads,
+              const std::string &skip)
+{
+    std::vector<FitnessTrace> out;
+    for (const auto &w : workloads) {
+        if (w.name == skip)
+            continue;
+        out.insert(out.end(), w.traces.begin(), w.traces.end());
+    }
+    return out;
+}
+
+/** Run one GA fold and pick a duel set from its final population. */
+std::vector<Ipv>
+evolveAndSelect(const FitnessEvaluator &fitness, IpvFamily family,
+                size_t n_vectors, const GaParams &params)
+{
+    GaResult ga = evolveIpv(fitness, family, params);
+    if (n_vectors <= 1)
+        return {ga.best};
+    // Consider the top of the final population as the vector farm.
+    std::vector<Ipv> candidates;
+    size_t pool = std::min<size_t>(ga.finalPopulation.size(), 24);
+    candidates.reserve(pool);
+    for (size_t i = 0; i < pool; ++i)
+        candidates.push_back(ga.finalPopulation[i].ipv);
+    return selectDuelSet(fitness, family, candidates, n_vectors);
+}
+
+} // namespace
+
+std::vector<Ipv>
+evolveWi(const CacheConfig &llc,
+         const std::vector<WorkloadTraces> &workloads, IpvFamily family,
+         size_t n_vectors, const GaParams &params)
+{
+    if (workloads.empty())
+        fatal("evolveWi: no workloads");
+    FitnessEvaluator fitness(llc, flattenExcept(workloads, ""), {});
+    return evolveAndSelect(fitness, family, n_vectors, params);
+}
+
+Wn1Vectors
+evolveWn1(const CacheConfig &llc,
+          const std::vector<WorkloadTraces> &workloads, IpvFamily family,
+          size_t n_vectors, const GaParams &params)
+{
+    if (workloads.size() < 2)
+        fatal("evolveWn1 needs at least two workloads");
+    Wn1Vectors out;
+    unsigned fold = 0;
+    for (const auto &held_out : workloads) {
+        FitnessEvaluator fitness(
+            llc, flattenExcept(workloads, held_out.name), {});
+        GaParams fold_params = params;
+        fold_params.seed = params.seed + 0x9e37 * (fold + 1);
+        out[held_out.name] =
+            evolveAndSelect(fitness, family, n_vectors, fold_params);
+        inform("WN1 fold complete: " + held_out.name);
+        ++fold;
+    }
+    return out;
+}
+
+} // namespace gippr

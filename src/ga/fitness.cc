@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fitness function implementation.
+ */
+
+#include "ga/fitness.hh"
+
+#include <cassert>
+
+#include "cache/cache.hh"
+#include "cache/replay.hh"
+#include "core/giplr.hh"
+#include "core/gippr.hh"
+#include "core/rrip_ipv.hh"
+#include "policies/lru.hh"
+#include "util/log.hh"
+#include "util/stats.hh"
+
+namespace gippr
+{
+
+FitnessEvaluator::FitnessEvaluator(const CacheConfig &llc,
+                                   std::vector<FitnessTrace> traces,
+                                   CpiModel model)
+    : llc_(llc), traces_(std::move(traces)), model_(model)
+{
+    if (traces_.empty())
+        fatal("fitness evaluator needs at least one training trace");
+    lruMisses_.reserve(traces_.size());
+    for (size_t i = 0; i < traces_.size(); ++i) {
+        SetAssocCache cache(llc_, std::make_unique<LruPolicy>(llc_));
+        replayTrace(cache, *traces_[i].llcTrace, warmupOf(i));
+        lruMisses_.push_back(cache.stats().demandMisses);
+    }
+}
+
+size_t
+FitnessEvaluator::warmupOf(size_t idx) const
+{
+    // First third warms the cache, as in the paper's 500M/1.5B split.
+    return traces_[idx].llcTrace->size() / 3;
+}
+
+double
+FitnessEvaluator::estimateCpi(uint64_t misses,
+                              uint64_t instructions) const
+{
+    if (instructions == 0)
+        return model_.baseCpi;
+    return model_.baseCpi + model_.missPenalty *
+                                static_cast<double>(misses) /
+                                static_cast<double>(instructions);
+}
+
+uint64_t
+FitnessEvaluator::missesOn(size_t idx, const Ipv &ipv,
+                           IpvFamily family) const
+{
+    assert(idx < traces_.size());
+    std::unique_ptr<ReplacementPolicy> policy;
+    switch (family) {
+      case IpvFamily::Giplr:
+        policy = std::make_unique<GiplrPolicy>(llc_, ipv);
+        break;
+      case IpvFamily::Gippr:
+        policy = std::make_unique<GipprPolicy>(llc_, ipv);
+        break;
+      case IpvFamily::RripIpv:
+        policy = std::make_unique<RripIpvPolicy>(llc_, ipv, 2);
+        break;
+    }
+    SetAssocCache cache(llc_, std::move(policy));
+    replayTrace(cache, *traces_[idx].llcTrace, warmupOf(idx));
+    return cache.stats().demandMisses;
+}
+
+uint64_t
+FitnessEvaluator::lruMisses(size_t idx) const
+{
+    assert(idx < lruMisses_.size());
+    return lruMisses_[idx];
+}
+
+std::vector<double>
+FitnessEvaluator::perTraceSpeedups(const Ipv &ipv,
+                                   IpvFamily family) const
+{
+    std::vector<double> speedups;
+    speedups.reserve(traces_.size());
+    for (size_t i = 0; i < traces_.size(); ++i) {
+        // Measured instructions: 2/3 of the segment (post-warmup).
+        uint64_t inst = traces_[i].instructions * 2 / 3;
+        double cpi_lru = estimateCpi(lruMisses_[i], inst);
+        double cpi_ipv = estimateCpi(missesOn(i, ipv, family), inst);
+        speedups.push_back(cpi_lru / cpi_ipv);
+    }
+    return speedups;
+}
+
+double
+FitnessEvaluator::evaluate(const Ipv &ipv, IpvFamily family) const
+{
+    return mean(perTraceSpeedups(ipv, family));
+}
+
+unsigned
+familyArity(IpvFamily family, const CacheConfig &llc)
+{
+    switch (family) {
+      case IpvFamily::Giplr:
+      case IpvFamily::Gippr:
+        return llc.assoc;
+      case IpvFamily::RripIpv:
+        return 4; // 2-bit RRPVs
+    }
+    return llc.assoc;
+}
+
+std::vector<FitnessTrace>
+buildFitnessTraces(const std::vector<Workload> &workloads,
+                   const HierarchyConfig &hier)
+{
+    auto lru_factory = [](const CacheConfig &cfg) {
+        return std::make_unique<LruPolicy>(cfg);
+    };
+    std::vector<FitnessTrace> out;
+    for (const Workload &w : workloads) {
+        for (size_t s = 0; s < w.simpoints().size(); ++s) {
+            const Simpoint &sp = w.simpoints()[s];
+            FitnessTrace ft;
+            ft.name = w.name() + "/" + std::to_string(s);
+            ft.llcTrace = std::make_shared<Trace>(Hierarchy::filterToLlc(
+                *sp.trace, hier, lru_factory, lru_factory));
+            ft.instructions = sp.trace->instructions();
+            out.push_back(std::move(ft));
+        }
+    }
+    return out;
+}
+
+} // namespace gippr

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The genetic algorithm's fitness function (paper, Section 4.3).
+ *
+ * The paper evaluates candidate IPVs on a *fast* cache-only simulator:
+ * LLC access traces are replayed under the candidate policy, and CPI
+ * is estimated as a linear function of the miss count; fitness is the
+ * average estimated speedup over the LRU baseline across all training
+ * simpoints.  The first third of each trace warms the cache and the
+ * remainder is measured (the paper warms with 500M of 1.5B
+ * instructions).  As the paper notes, this model deliberately ignores
+ * memory-level parallelism; the full CPU model in src/sim is used for
+ * final reporting only.
+ */
+
+#ifndef GIPPR_GA_FITNESS_HH_
+#define GIPPR_GA_FITNESS_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/hierarchy.hh"
+#include "core/ipv.hh"
+#include "trace/simpoint.hh"
+#include "trace/trace.hh"
+
+namespace gippr
+{
+
+/** Which IPV-driven policy family a vector is evaluated under. */
+enum class IpvFamily
+{
+    Giplr,   ///< true-LRU recency stack (paper Section 2)
+    Gippr,   ///< tree PseudoLRU (paper Section 3)
+    RripIpv, ///< 2-bit RRIP generalization (paper Section 7, item 5)
+};
+
+/**
+ * Arity of the vectors a family evolves: the associativity for the
+ * stack/tree families, the RRPV level count (4) for RripIpv.
+ */
+unsigned familyArity(IpvFamily family, const CacheConfig &llc);
+
+/** Linear CPI model parameters. */
+struct CpiModel
+{
+    /** Cycles per instruction with a perfect LLC. */
+    double baseCpi = 0.5;
+    /** Extra cycles charged per LLC demand miss. */
+    double missPenalty = 200.0;
+};
+
+/** One training unit: a pre-filtered LLC trace. */
+struct FitnessTrace
+{
+    /** Name of the workload/simpoint this trace came from. */
+    std::string name;
+    /** LLC-level access trace (see Hierarchy::filterToLlc). */
+    std::shared_ptr<const Trace> llcTrace;
+    /** Instructions the originating CPU-level segment covered. */
+    uint64_t instructions = 0;
+};
+
+/** Evaluates IPVs by estimated speedup over LRU. */
+class FitnessEvaluator
+{
+  public:
+    /**
+     * @param llc     geometry of the LLC under study
+     * @param traces  training traces; LRU baselines are precomputed
+     * @param model   linear CPI model
+     */
+    FitnessEvaluator(const CacheConfig &llc,
+                     std::vector<FitnessTrace> traces,
+                     CpiModel model = {});
+
+    /**
+     * Mean estimated speedup of @p ipv over LRU across the training
+     * traces (the paper's arithmetic-mean fitness).
+     */
+    double evaluate(const Ipv &ipv, IpvFamily family) const;
+
+    /** Per-trace speedups for @p ipv (diagnostics, set selection). */
+    std::vector<double> perTraceSpeedups(const Ipv &ipv,
+                                         IpvFamily family) const;
+
+    /** Demand misses of @p ipv on trace @p idx (measured region). */
+    uint64_t missesOn(size_t idx, const Ipv &ipv,
+                      IpvFamily family) const;
+
+    /** Precomputed LRU demand misses on trace @p idx. */
+    uint64_t lruMisses(size_t idx) const;
+
+    size_t traceCount() const { return traces_.size(); }
+    const FitnessTrace &trace(size_t idx) const { return traces_[idx]; }
+    const CacheConfig &llc() const { return llc_; }
+    const CpiModel &model() const { return model_; }
+
+    /** Estimated CPI given misses and an instruction count. */
+    double estimateCpi(uint64_t misses, uint64_t instructions) const;
+
+  private:
+    size_t warmupOf(size_t idx) const;
+
+    CacheConfig llc_;
+    std::vector<FitnessTrace> traces_;
+    CpiModel model_;
+    std::vector<uint64_t> lruMisses_;
+};
+
+/**
+ * Convenience: filter CPU-level workloads down to LLC traces for
+ * fitness evaluation (one FitnessTrace per simpoint, named
+ * "<workload>/<index>").  L1 and L2 use true LRU, as in the paper.
+ */
+std::vector<FitnessTrace>
+buildFitnessTraces(const std::vector<Workload> &workloads,
+                   const HierarchyConfig &hier);
+
+} // namespace gippr
+
+#endif // GIPPR_GA_FITNESS_HH_

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Genetic algorithm implementation.
+ */
+
+#include "ga/genetic.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "ga/random_search.hh"
+#include "util/log.hh"
+#include "util/stats.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+/** Evaluate a population in parallel. */
+void
+evaluateAll(const FitnessEvaluator &fitness, IpvFamily family,
+            std::vector<SampledIpv> &pop, unsigned threads)
+{
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = cursor.fetch_add(1);
+            if (i >= pop.size())
+                return;
+            pop[i].fitness = fitness.evaluate(pop[i].ipv, family);
+        }
+    };
+    if (threads <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+void
+sortByFitnessDesc(std::vector<SampledIpv> &pop)
+{
+    std::sort(pop.begin(), pop.end(),
+              [](const SampledIpv &a, const SampledIpv &b) {
+                  return a.fitness > b.fitness;
+              });
+}
+
+/** Tournament selection: best of @p t random individuals. */
+const SampledIpv &
+selectParent(const std::vector<SampledIpv> &pop, unsigned t, Rng &rng)
+{
+    const SampledIpv *best = &pop[rng.nextBounded(pop.size())];
+    for (unsigned i = 1; i < t; ++i) {
+        const SampledIpv &cand = pop[rng.nextBounded(pop.size())];
+        if (cand.fitness > best->fitness)
+            best = &cand;
+    }
+    return *best;
+}
+
+/** Single-point crossover (paper: elements 0..k of one parent). */
+Ipv
+crossover(const Ipv &a, const Ipv &b, Rng &rng)
+{
+    const auto &ea = a.entries();
+    const auto &eb = b.entries();
+    assert(ea.size() == eb.size());
+    size_t cut = 1 + rng.nextBounded(ea.size() - 1);
+    std::vector<uint8_t> child(ea.begin(),
+                               ea.begin() + static_cast<long>(cut));
+    child.insert(child.end(), eb.begin() + static_cast<long>(cut),
+                 eb.end());
+    return Ipv(std::move(child));
+}
+
+/** With probability rate, replace one random element. */
+Ipv
+mutate(Ipv v, double rate, unsigned ways, Rng &rng)
+{
+    if (!rng.nextBool(rate))
+        return v;
+    std::vector<uint8_t> entries = v.entries();
+    size_t idx = rng.nextBounded(entries.size());
+    entries[idx] = static_cast<uint8_t>(rng.nextBounded(ways));
+    return Ipv(std::move(entries));
+}
+
+} // namespace
+
+GaResult
+evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
+          const GaParams &params)
+{
+    const unsigned ways = familyArity(family, fitness.llc());
+    Rng rng(params.seed);
+
+    // Generation zero: random individuals plus any provided seeds.
+    std::vector<SampledIpv> pop;
+    pop.reserve(params.initialPopulation + params.seedIpvs.size());
+    for (const Ipv &seed_ipv : params.seedIpvs)
+        pop.push_back({seed_ipv, 0.0});
+    while (pop.size() < params.initialPopulation)
+        pop.push_back({randomIpv(ways, rng), 0.0});
+    evaluateAll(fitness, family, pop, params.threads);
+    sortByFitnessDesc(pop);
+
+    GaResult result;
+    result.history.push_back(pop.front().fitness);
+
+    for (unsigned g = 0; g < params.generations; ++g) {
+        std::vector<SampledIpv> next;
+        next.reserve(params.population);
+        const size_t elites = std::min(params.elites, pop.size());
+        for (size_t e = 0; e < elites; ++e)
+            next.push_back(pop[e]);
+        while (next.size() < params.population) {
+            const SampledIpv &pa =
+                selectParent(pop, params.tournament, rng);
+            const SampledIpv &pb =
+                selectParent(pop, params.tournament, rng);
+            Ipv child = mutate(crossover(pa.ipv, pb.ipv, rng),
+                               params.mutationRate, ways, rng);
+            next.push_back({std::move(child), 0.0});
+        }
+        evaluateAll(fitness, family, next, params.threads);
+        sortByFitnessDesc(next);
+        pop = std::move(next);
+        result.history.push_back(pop.front().fitness);
+    }
+
+    result.best = pop.front().ipv;
+    result.bestFitness = pop.front().fitness;
+    result.finalPopulation = std::move(pop);
+    return result;
+}
+
+std::vector<Ipv>
+selectDuelSet(const FitnessEvaluator &fitness, IpvFamily family,
+              const std::vector<Ipv> &candidates, size_t n)
+{
+    if (candidates.empty())
+        fatal("selectDuelSet: no candidate vectors");
+    // Per-candidate, per-trace speedups.
+    std::vector<std::vector<double>> speedups;
+    speedups.reserve(candidates.size());
+    for (const Ipv &c : candidates)
+        speedups.push_back(fitness.perTraceSpeedups(c, family));
+
+    const size_t traces = fitness.traceCount();
+    std::vector<size_t> chosen;
+    std::vector<bool> used(candidates.size(), false);
+    std::vector<double> best_per_trace(traces, 0.0);
+
+    while (chosen.size() < std::min(n, candidates.size())) {
+        double best_gain = -1.0;
+        size_t best_idx = 0;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            if (used[c])
+                continue;
+            double total = 0.0;
+            for (size_t t = 0; t < traces; ++t)
+                total += std::max(best_per_trace[t], speedups[c][t]);
+            if (total > best_gain) {
+                best_gain = total;
+                best_idx = c;
+            }
+        }
+        used[best_idx] = true;
+        chosen.push_back(best_idx);
+        for (size_t t = 0; t < traces; ++t)
+            best_per_trace[t] =
+                std::max(best_per_trace[t], speedups[best_idx][t]);
+    }
+
+    std::vector<Ipv> out;
+    out.reserve(chosen.size());
+    for (size_t idx : chosen)
+        out.push_back(candidates[idx]);
+    // If asked for more vectors than candidates, pad with the best.
+    while (out.size() < n)
+        out.push_back(out.front());
+    return out;
+}
+
+} // namespace gippr

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hill climbing implementation.
+ */
+
+#include "ga/hill_climb.hh"
+
+namespace gippr
+{
+
+HillClimbResult
+hillClimb(const FitnessEvaluator &fitness, IpvFamily family,
+          const Ipv &start, size_t max_evaluations)
+{
+    const unsigned ways = familyArity(family, fitness.llc());
+    HillClimbResult result;
+    result.best = start;
+    result.bestFitness = fitness.evaluate(start, family);
+    ++result.evaluations;
+
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        std::vector<uint8_t> entries = result.best.entries();
+        for (size_t i = 0; i < entries.size() && !improved; ++i) {
+            const uint8_t original = entries[i];
+            for (unsigned v = 0; v < ways; ++v) {
+                if (v == original)
+                    continue;
+                if (max_evaluations &&
+                    result.evaluations >= max_evaluations)
+                    return result;
+                entries[i] = static_cast<uint8_t>(v);
+                Ipv candidate(entries);
+                double f = fitness.evaluate(candidate, family);
+                ++result.evaluations;
+                if (f > result.bestFitness) {
+                    result.best = candidate;
+                    result.bestFitness = f;
+                    ++result.steps;
+                    improved = true;
+                    break;
+                }
+            }
+            if (!improved)
+                entries[i] = original;
+        }
+    }
+    return result;
+}
+
+} // namespace gippr

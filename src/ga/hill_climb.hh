@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hill-climbing refinement of an IPV (paper, Section 2.6: "We may
+ * further refine the vector using a hill-climbing approach").
+ *
+ * First-improvement local search: repeatedly scan every (element,
+ * value) neighbour of the current vector and move to the first strict
+ * improvement, until a full scan finds none or the evaluation budget
+ * is exhausted.
+ */
+
+#ifndef GIPPR_GA_HILL_CLIMB_HH_
+#define GIPPR_GA_HILL_CLIMB_HH_
+
+#include "core/ipv.hh"
+#include "ga/fitness.hh"
+
+namespace gippr
+{
+
+/** Result of a hill-climbing run. */
+struct HillClimbResult
+{
+    Ipv best;
+    double bestFitness = 0.0;
+    /** Neighbour evaluations performed. */
+    size_t evaluations = 0;
+    /** Accepted improving moves. */
+    size_t steps = 0;
+};
+
+/**
+ * Refine @p start by local search.
+ *
+ * @param max_evaluations  evaluation budget (0 = unlimited)
+ */
+HillClimbResult hillClimb(const FitnessEvaluator &fitness,
+                          IpvFamily family, const Ipv &start,
+                          size_t max_evaluations = 0);
+
+} // namespace gippr
+
+#endif // GIPPR_GA_HILL_CLIMB_HH_

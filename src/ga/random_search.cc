@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Random design-space search implementation.
+ */
+
+#include "ga/random_search.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace gippr
+{
+
+Ipv
+randomIpv(unsigned ways, Rng &rng)
+{
+    std::vector<uint8_t> entries(ways + 1);
+    for (auto &e : entries)
+        e = static_cast<uint8_t>(rng.nextBounded(ways));
+    return Ipv(std::move(entries));
+}
+
+std::vector<SampledIpv>
+randomSearch(const FitnessEvaluator &fitness, IpvFamily family,
+             size_t count, uint64_t seed, unsigned threads)
+{
+    const unsigned ways = familyArity(family, fitness.llc());
+    std::vector<SampledIpv> samples(count);
+    Rng rng(seed);
+    for (auto &s : samples)
+        s.ipv = randomIpv(ways, rng);
+
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = cursor.fetch_add(1);
+            if (i >= samples.size())
+                return;
+            samples[i].fitness = fitness.evaluate(samples[i].ipv, family);
+        }
+    };
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    std::sort(samples.begin(), samples.end(),
+              [](const SampledIpv &a, const SampledIpv &b) {
+                  return a.fitness < b.fitness;
+              });
+    return samples;
+}
+
+} // namespace gippr

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Uniform random exploration of the IPV design space (paper, Section
+ * 4.1 and Figure 1): sample IPVs uniformly, evaluate each with the
+ * fitness function, and report the sorted speedups.  The paper's
+ * observation — most random IPVs lose to LRU, a thin right tail wins a
+ * few percent — is the motivation for the genetic search.
+ */
+
+#ifndef GIPPR_GA_RANDOM_SEARCH_HH_
+#define GIPPR_GA_RANDOM_SEARCH_HH_
+
+#include <vector>
+
+#include "core/ipv.hh"
+#include "ga/fitness.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+/** One sampled point of the design space. */
+struct SampledIpv
+{
+    Ipv ipv;
+    double fitness = 0.0;
+};
+
+/** Draw a uniformly random IPV for @p ways. */
+Ipv randomIpv(unsigned ways, Rng &rng);
+
+/**
+ * Sample @p count random IPVs, evaluate each, and return them sorted
+ * by ascending fitness (Figure 1's x-axis ordering).
+ *
+ * @param threads  worker threads for fitness evaluation (>= 1)
+ */
+std::vector<SampledIpv> randomSearch(const FitnessEvaluator &fitness,
+                                     IpvFamily family, size_t count,
+                                     uint64_t seed, unsigned threads = 1);
+
+} // namespace gippr
+
+#endif // GIPPR_GA_RANDOM_SEARCH_HH_

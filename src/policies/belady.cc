@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Belady MIN implementation.
+ */
+
+#include "policies/belady.hh"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "cache/replay.hh"
+#include "util/log.hh"
+
+namespace gippr
+{
+
+BeladyPolicy::BeladyPolicy(const CacheConfig &config, const Trace &trace)
+    : ways_(config.assoc),
+      lineNextUse_(config.sets() * config.assoc, kNever)
+{
+    // Backward scan: nextUse_[i] = next index referencing record i's
+    // block, or kNever.
+    nextUse_.assign(trace.size(), kNever);
+    std::unordered_map<uint64_t, uint64_t> next_of_block;
+    next_of_block.reserve(trace.size() / 2 + 16);
+    const unsigned shift = config.blockShift();
+    for (size_t i = trace.size(); i-- > 0;) {
+        uint64_t block = trace[i].addr >> shift;
+        auto it = next_of_block.find(block);
+        if (it != next_of_block.end()) {
+            nextUse_[i] = it->second;
+            it->second = i;
+        } else {
+            next_of_block.emplace(block, i);
+        }
+    }
+}
+
+unsigned
+BeladyPolicy::victim(const AccessInfo &info)
+{
+    // Evict the line referenced farthest in the future; a line never
+    // referenced again (kNever) wins immediately.
+    unsigned best_way = 0;
+    uint64_t best_next = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        uint64_t next = lineNextUse_[info.set * ways_ + w];
+        if (next == kNever)
+            return w;
+        if (next > best_next) {
+            best_next = next;
+            best_way = w;
+        }
+    }
+    return best_way;
+}
+
+void
+BeladyPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    if (info.sequence >= nextUse_.size())
+        panic("BeladyPolicy replayed beyond its trace");
+    lineNextUse_[info.set * ways_ + way] = nextUse_[info.sequence];
+}
+
+void
+BeladyPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.sequence >= nextUse_.size())
+        panic("BeladyPolicy replayed beyond its trace");
+    lineNextUse_[info.set * ways_ + way] = nextUse_[info.sequence];
+}
+
+void
+BeladyPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    lineNextUse_[set * ways_ + way] = kNever;
+}
+
+uint64_t
+runMinMisses(const CacheConfig &config, const Trace &trace, size_t warmup)
+{
+    SetAssocCache cache(config,
+                        std::make_unique<BeladyPolicy>(config, trace));
+    replayTrace(cache, trace, warmup);
+    return cache.stats().demandMisses;
+}
+
+} // namespace gippr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DIP implementation.
+ */
+
+#include "policies/dip.hh"
+
+namespace gippr
+{
+
+DipPolicy::DipPolicy(const CacheConfig &config, unsigned epsilon_inv,
+                     unsigned leaders, uint64_t seed)
+    : ways_(config.assoc), epsilonInv_(epsilon_inv),
+      stacks_(config.sets(), RecencyStack(config.assoc)),
+      leaders_(config.sets(), 2,
+               clampLeaders(config.sets(), 2, leaders)),
+      selector_(2), rng_(seed)
+{
+}
+
+unsigned
+DipPolicy::policyFor(uint64_t set) const
+{
+    int owner = leaders_.owner(set);
+    if (owner != LeaderSets::kFollower)
+        return static_cast<unsigned>(owner);
+    return selector_.winner();
+}
+
+unsigned
+DipPolicy::victim(const AccessInfo &info)
+{
+    return stacks_[info.set].lruWay();
+}
+
+void
+DipPolicy::onMiss(const AccessInfo &info)
+{
+    // Writebacks are not demand misses; they do not train the duel.
+    if (info.type == AccessType::Writeback)
+        return;
+    int owner = leaders_.owner(info.set);
+    if (owner != LeaderSets::kFollower)
+        selector_.recordMiss(static_cast<unsigned>(owner));
+}
+
+void
+DipPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    const unsigned policy = policyFor(info.set);
+    if (policy == kLru) {
+        stacks_[info.set].moveTo(way, 0);
+    } else {
+        // BIP: LRU-position insertion, MRU once per epsilonInv_ fills.
+        const bool promote = rng_.nextBounded(epsilonInv_) == 0;
+        stacks_[info.set].moveTo(way, promote ? 0 : ways_ - 1);
+    }
+}
+
+void
+DipPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    stacks_[info.set].moveTo(way, 0);
+}
+
+void
+DipPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    stacks_[set].moveTo(way, ways_ - 1);
+}
+
+} // namespace gippr

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic Insertion Policy (Qureshi et al., ISCA 2007).
+ *
+ * Duels traditional LRU (MRU insertion) against BIP (bimodal insertion:
+ * incoming blocks usually land in the LRU position, occasionally at
+ * MRU so the working set can eventually be admitted).  DIP changes only
+ * insertion; promotion on hit is always to MRU.  It still pays full
+ * LRU's k*log2(k) bits per set — the cost the paper's DGIPPR avoids.
+ */
+
+#ifndef GIPPR_POLICIES_DIP_HH_
+#define GIPPR_POLICIES_DIP_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "policies/recency_stack.hh"
+#include "policies/set_dueling.hh"
+#include "util/bitops.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+/** DIP: set-dueling between LRU insertion and bimodal insertion. */
+class DipPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param config       cache geometry
+     * @param epsilon_inv  BIP inserts at MRU once per this many fills
+     * @param leaders      leader sets per policy
+     * @param seed         RNG seed for the bimodal throttle
+     */
+    explicit DipPolicy(const CacheConfig &config,
+                       unsigned epsilon_inv = 32, unsigned leaders = 32,
+                       uint64_t seed = 1);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onMiss(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+
+    std::string name() const override { return "DIP"; }
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        return static_cast<size_t>(ways_) * ceilLog2(ways_);
+    }
+
+    size_t
+    globalStateBits() const override
+    {
+        return selector_.stateBits();
+    }
+
+    /** True when followers are currently using BIP (test aid). */
+    bool followersUseBip() const { return selector_.winner() == 1; }
+
+  private:
+    /** Policy indices in the duel. */
+    static constexpr unsigned kLru = 0;
+    static constexpr unsigned kBip = 1;
+
+    /** Insertion policy governing @p set right now. */
+    unsigned policyFor(uint64_t set) const;
+
+    unsigned ways_;
+    unsigned epsilonInv_;
+    std::vector<RecencyStack> stacks_;
+    LeaderSets leaders_;
+    TournamentSelector selector_;
+    Rng rng_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_POLICIES_DIP_HH_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FIFO implementation.
+ */
+
+#include "policies/fifo.hh"
+
+namespace gippr
+{
+
+FifoPolicy::FifoPolicy(const CacheConfig &config)
+    : ways_(config.assoc), next_(config.sets(), 0)
+{
+}
+
+unsigned
+FifoPolicy::victim(const AccessInfo &info)
+{
+    return next_[info.set];
+}
+
+void
+FifoPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    // Advance the pointer past the way we just filled so the oldest
+    // line is evicted next.  When filling invalid ways in way order the
+    // pointer tracks them naturally.
+    if (way == next_[info.set])
+        next_[info.set] = static_cast<uint8_t>((way + 1) % ways_);
+}
+
+void
+FifoPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    (void)way;
+    (void)info;
+}
+
+} // namespace gippr

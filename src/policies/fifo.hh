@@ -1,0 +1,46 @@
+/**
+ * @file
+ * First-in-first-out replacement (classic baseline; Denning 1968).
+ */
+
+#ifndef GIPPR_POLICIES_FIFO_HH_
+#define GIPPR_POLICIES_FIFO_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "util/bitops.hh"
+
+namespace gippr
+{
+
+/**
+ * Round-robin victim pointer per set; hits do not update state, which
+ * is what distinguishes FIFO from LRU.
+ */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    explicit FifoPolicy(const CacheConfig &config);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+
+    std::string name() const override { return "FIFO"; }
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        return ceilLog2(ways_);
+    }
+
+  private:
+    unsigned ways_;
+    std::vector<uint8_t> next_; // per-set round-robin pointer
+};
+
+} // namespace gippr
+
+#endif // GIPPR_POLICIES_FIFO_HH_

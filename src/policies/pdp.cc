@@ -1,0 +1,201 @@
+/**
+ * @file
+ * PDP implementation.
+ */
+
+#include "policies/pdp.hh"
+
+#include <cassert>
+
+namespace gippr
+{
+
+PdpPolicy::PdpPolicy(const CacheConfig &config, PdpParams params)
+    : ways_(config.assoc), params_(params), dp_(params.initialDp),
+      prot_(config.sets() * config.assoc, 0),
+      reused_(config.sets() * config.assoc, 0),
+      setState_(config.sets()), rdHist_(params.maxDistance)
+{
+    assert(params_.counterBits >= 2 && params_.counterBits <= 8);
+    assert(params_.initialDp >= 1);
+    decrementPeriod_ =
+        std::max(1U, dp_ / ((1U << params_.counterBits) - 1));
+}
+
+uint8_t &
+PdpPolicy::prot(uint64_t set, unsigned way)
+{
+    return prot_[set * ways_ + way];
+}
+
+uint8_t &
+PdpPolicy::reused(uint64_t set, unsigned way)
+{
+    return reused_[set * ways_ + way];
+}
+
+bool
+PdpPolicy::sampledSet(uint64_t set) const
+{
+    return (set & ((uint64_t{1} << params_.sampleShift) - 1)) == 0;
+}
+
+uint8_t
+PdpPolicy::protectedValue() const
+{
+    const unsigned max_val = (1U << params_.counterBits) - 1;
+    unsigned v = (dp_ + decrementPeriod_ - 1) / decrementPeriod_;
+    return static_cast<uint8_t>(std::min(v, max_val));
+}
+
+void
+PdpPolicy::sampleAccess(const AccessInfo &info)
+{
+    if (!sampledSet(info.set))
+        return;
+    SetState &st = setState_[info.set];
+    auto it = lastUse_.find(info.blockAddr);
+    if (it != lastUse_.end()) {
+        uint32_t dist = st.accessCount - it->second;
+        rdHist_.add(dist);
+        it->second = st.accessCount;
+    } else {
+        // Bound the sampler footprint: this is a hardware structure.
+        if (lastUse_.size() > 65536)
+            lastUse_.clear();
+        lastUse_.emplace(info.blockAddr, st.accessCount);
+    }
+}
+
+void
+PdpPolicy::tickSet(uint64_t set)
+{
+    SetState &st = setState_[set];
+    ++st.accessCount;
+    if (++st.tick < decrementPeriod_)
+        return;
+    st.tick = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        uint8_t &p = prot(set, w);
+        if (p > 0)
+            --p;
+    }
+}
+
+unsigned
+PdpPolicy::solveDp(const Histogram &rd, unsigned max_distance)
+{
+    const uint64_t total = rd.total();
+    if (total == 0)
+        return std::max(1U, max_distance / 4);
+    unsigned best_dp = 1;
+    double best_e = -1.0;
+    for (unsigned dp = 1; dp <= max_distance; ++dp) {
+        const uint64_t hits = rd.cumulative(dp);
+        const uint64_t hit_time = rd.weightedCumulative(dp);
+        const uint64_t miss_time =
+            static_cast<uint64_t>(dp) * (total - hits);
+        const uint64_t denom = hit_time + miss_time;
+        if (denom == 0)
+            continue;
+        const double e = static_cast<double>(hits) /
+                         static_cast<double>(denom);
+        if (e > best_e) {
+            best_e = e;
+            best_dp = dp;
+        }
+    }
+    return best_dp;
+}
+
+void
+PdpPolicy::endEpoch()
+{
+    dp_ = solveDp(rdHist_, params_.maxDistance);
+    decrementPeriod_ =
+        std::max(1U, dp_ / ((1U << params_.counterBits) - 1));
+    rdHist_.decay();
+}
+
+unsigned
+PdpPolicy::victim(const AccessInfo &info)
+{
+    // Prefer an unprotected line.  When every line is protected,
+    // non-bypass PDP approximates bypass by sacrificing the newest
+    // *unproven* line: among lines never re-referenced since
+    // insertion, the one with the largest remaining distance (the
+    // most recent insertion).  Proven (reused) lines are spared so a
+    // hot working set survives pollution; if everything has reused,
+    // fall back to the most recently protected line.  This keeps
+    // PDP's thrash resistance without violating inclusion.
+    unsigned best_way = ways_;
+    uint8_t best_prot = 0;
+    unsigned fallback_way = 0;
+    uint8_t fallback_prot = prot(info.set, 0);
+    for (unsigned w = 0; w < ways_; ++w) {
+        uint8_t p = prot(info.set, w);
+        if (p == 0)
+            return w;
+        if (!reused(info.set, w) &&
+            (best_way == ways_ || p > best_prot)) {
+            best_prot = p;
+            best_way = w;
+        }
+        if (p > fallback_prot) {
+            fallback_prot = p;
+            fallback_way = w;
+        }
+    }
+    return best_way != ways_ ? best_way : fallback_way;
+}
+
+void
+PdpPolicy::onMiss(const AccessInfo &info)
+{
+    (void)info;
+}
+
+void
+PdpPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    sampleAccess(info);
+    tickSet(info.set);
+    prot(info.set, way) = protectedValue();
+    reused(info.set, way) = 0;
+    if (++accessesThisEpoch_ >= params_.epochAccesses) {
+        accessesThisEpoch_ = 0;
+        endEpoch();
+    }
+}
+
+void
+PdpPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    sampleAccess(info);
+    tickSet(info.set);
+    prot(info.set, way) = protectedValue();
+    reused(info.set, way) = 1;
+    if (++accessesThisEpoch_ >= params_.epochAccesses) {
+        accessesThisEpoch_ = 0;
+        endEpoch();
+    }
+}
+
+void
+PdpPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    prot(set, way) = 0;
+    reused(set, way) = 0;
+}
+
+size_t
+PdpPolicy::globalStateBits() const
+{
+    // Reuse-distance histogram registers plus the dp/period registers;
+    // stands in for the paper's "specialized microcontroller" storage.
+    return (params_.maxDistance + 1) * 16 + 2 * 16;
+}
+
+} // namespace gippr

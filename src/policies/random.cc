@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Random replacement implementation.
+ */
+
+#include "policies/random.hh"
+
+namespace gippr
+{
+
+RandomPolicy::RandomPolicy(const CacheConfig &config, uint64_t seed)
+    : ways_(config.assoc), rng_(seed)
+{
+}
+
+unsigned
+RandomPolicy::victim(const AccessInfo &info)
+{
+    (void)info;
+    return static_cast<unsigned>(rng_.nextBounded(ways_));
+}
+
+void
+RandomPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    (void)way;
+    (void)info;
+}
+
+void
+RandomPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    (void)way;
+    (void)info;
+}
+
+} // namespace gippr

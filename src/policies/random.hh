@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Random replacement, the zero-state baseline of Figure 4.
+ */
+
+#ifndef GIPPR_POLICIES_RANDOM_HH_
+#define GIPPR_POLICIES_RANDOM_HH_
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+/** Uniform random victim; no per-set state at all. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(const CacheConfig &config, uint64_t seed = 1);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+
+    std::string name() const override { return "Random"; }
+    size_t stateBitsPerSet() const override { return 0; }
+
+  private:
+    unsigned ways_;
+    Rng rng_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_POLICIES_RANDOM_HH_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Recency stack implementation.
+ */
+
+#include "policies/recency_stack.hh"
+
+#include <cassert>
+
+namespace gippr
+{
+
+RecencyStack::RecencyStack(unsigned ways)
+{
+    assert(ways >= 1 && ways <= 255);
+    pos_.resize(ways);
+    for (unsigned w = 0; w < ways; ++w)
+        pos_[w] = static_cast<uint8_t>(w);
+}
+
+unsigned
+RecencyStack::position(unsigned way) const
+{
+    assert(way < ways());
+    return pos_[way];
+}
+
+unsigned
+RecencyStack::wayAt(unsigned position) const
+{
+    assert(position < ways());
+    for (unsigned w = 0; w < ways(); ++w)
+        if (pos_[w] == position)
+            return w;
+    assert(false && "recency stack positions not a permutation");
+    return 0;
+}
+
+void
+RecencyStack::moveTo(unsigned way, unsigned new_pos)
+{
+    assert(way < ways());
+    assert(new_pos < ways());
+    const unsigned old_pos = pos_[way];
+    if (new_pos == old_pos)
+        return;
+    if (new_pos < old_pos) {
+        // Blocks in [new_pos, old_pos-1] shift down (position + 1).
+        for (unsigned w = 0; w < ways(); ++w)
+            if (pos_[w] >= new_pos && pos_[w] < old_pos)
+                ++pos_[w];
+    } else {
+        // Blocks in [old_pos+1, new_pos] shift up (position - 1).
+        for (unsigned w = 0; w < ways(); ++w)
+            if (pos_[w] > old_pos && pos_[w] <= new_pos)
+                --pos_[w];
+    }
+    pos_[way] = static_cast<uint8_t>(new_pos);
+}
+
+bool
+RecencyStack::isPermutation() const
+{
+    std::vector<bool> seen(ways(), false);
+    for (unsigned w = 0; w < ways(); ++w) {
+        if (pos_[w] >= ways() || seen[pos_[w]])
+            return false;
+        seen[pos_[w]] = true;
+    }
+    return true;
+}
+
+} // namespace gippr

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * True-LRU recency stack with generalized moves.
+ *
+ * Implements the paper's Section 2.1.2 representation: each way holds
+ * an integer position in [0, k), 0 being MRU and k-1 LRU.  moveTo()
+ * implements the generalized IPV move semantics of Section 2.3:
+ * moving a block from position i to position j < i shifts the blocks
+ * in [j, i-1] down by one; moving to j > i shifts blocks in [i+1, j]
+ * up by one.  Plain LRU is the special case of always moving to 0.
+ */
+
+#ifndef GIPPR_POLICIES_RECENCY_STACK_HH_
+#define GIPPR_POLICIES_RECENCY_STACK_HH_
+
+#include <cstdint>
+#include <vector>
+
+namespace gippr
+{
+
+/** Recency stack over k ways; positions are always a permutation. */
+class RecencyStack
+{
+  public:
+    /** Construct with identity layout: way w starts at position w. */
+    explicit RecencyStack(unsigned ways);
+
+    unsigned ways() const { return static_cast<unsigned>(pos_.size()); }
+
+    /** Current position of @p way. */
+    unsigned position(unsigned way) const;
+
+    /** Way currently occupying @p position. */
+    unsigned wayAt(unsigned position) const;
+
+    /**
+     * Move @p way from its current position to @p new_pos, shifting the
+     * intervening blocks per the IPV semantics.
+     */
+    void moveTo(unsigned way, unsigned new_pos);
+
+    /** Way in the LRU (k-1) position — the victim under true LRU. */
+    unsigned lruWay() const { return wayAt(ways() - 1); }
+
+    /** Verify the positions form a permutation (test aid). */
+    bool isPermutation() const;
+
+  private:
+    std::vector<uint8_t> pos_; // way -> position
+};
+
+} // namespace gippr
+
+#endif // GIPPR_POLICIES_RECENCY_STACK_HH_

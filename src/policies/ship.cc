@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SHiP implementation.
+ */
+
+#include "policies/ship.hh"
+
+#include <cassert>
+
+namespace gippr
+{
+
+ShipPolicy::ShipPolicy(const CacheConfig &config, unsigned shct_bits,
+                       unsigned rrpv_bits)
+    : ways_(config.assoc), shctBits_(shct_bits), rrpvBits_(rrpv_bits),
+      rrpvMax_((1U << rrpv_bits) - 1)
+{
+    assert(shct_bits >= 4 && shct_bits <= 16);
+    meta_.assign(config.sets() * config.assoc,
+                 LineMeta{static_cast<uint8_t>(rrpvMax_), 0, false});
+    shct_.assign(size_t{1} << shctBits_, SatCounter(2, 1));
+}
+
+ShipPolicy::LineMeta &
+ShipPolicy::meta(uint64_t set, unsigned way)
+{
+    return meta_[set * ways_ + way];
+}
+
+uint16_t
+ShipPolicy::signatureOf(uint64_t pc) const
+{
+    // Fold the PC down to the signature width.
+    uint64_t h = pc * 0x9e3779b97f4a7c15ULL;
+    return static_cast<uint16_t>((h >> (64 - shctBits_)) &
+                                 ((1U << shctBits_) - 1));
+}
+
+unsigned
+ShipPolicy::victim(const AccessInfo &info)
+{
+    for (;;) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (meta(info.set, w).rrpv == rrpvMax_) {
+                // Train down on a dead block (never reused).
+                LineMeta &m = meta(info.set, w);
+                if (!m.reused)
+                    shct_[m.signature].decrement();
+                return w;
+            }
+        }
+        for (unsigned w = 0; w < ways_; ++w)
+            ++meta(info.set, w).rrpv;
+    }
+}
+
+void
+ShipPolicy::onInsert(unsigned way, const AccessInfo &info)
+{
+    LineMeta &m = meta(info.set, way);
+    m.signature = signatureOf(info.pc);
+    m.reused = false;
+    const bool predicted_dead = shct_[m.signature].value() == 0;
+    m.rrpv = static_cast<uint8_t>(predicted_dead ? rrpvMax_
+                                                 : rrpvMax_ - 1);
+}
+
+void
+ShipPolicy::onHit(unsigned way, const AccessInfo &info)
+{
+    if (info.type == AccessType::Writeback)
+        return;
+    LineMeta &m = meta(info.set, way);
+    if (!m.reused) {
+        m.reused = true;
+        shct_[m.signature].increment();
+    }
+    m.rrpv = 0;
+}
+
+void
+ShipPolicy::onInvalidate(uint64_t set, unsigned way)
+{
+    meta(set, way).rrpv = static_cast<uint8_t>(rrpvMax_);
+    meta(set, way).reused = false;
+}
+
+} // namespace gippr

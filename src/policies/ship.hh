@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Signature-based Hit Predictor (SHiP-PC, Wu et al., MICRO 2011).
+ *
+ * An extension baseline discussed in the paper's related work: the
+ * referencing PC is hashed to a signature indexing a table of
+ * saturating counters that learn whether blocks brought in by that
+ * instruction are re-referenced.  Insertions predicted dead go
+ * straight to the distant RRPV.  Costs the signature + outcome bit per
+ * line (the paper quotes 5 extra bits/block) plus the SHCT, and needs
+ * the PC at the LLC — exactly the overhead DGIPPR avoids.
+ */
+
+#ifndef GIPPR_POLICIES_SHIP_HH_
+#define GIPPR_POLICIES_SHIP_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "util/sat_counter.hh"
+
+namespace gippr
+{
+
+/** SHiP-PC on an SRRIP eviction substrate. */
+class ShipPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param config     cache geometry
+     * @param shct_bits  log2 of SHCT entries (default 14 -> 16K)
+     * @param rrpv_bits  RRPV width
+     */
+    explicit ShipPolicy(const CacheConfig &config,
+                        unsigned shct_bits = 14, unsigned rrpv_bits = 2);
+
+    unsigned victim(const AccessInfo &info) override;
+    void onInsert(unsigned way, const AccessInfo &info) override;
+    void onHit(unsigned way, const AccessInfo &info) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+
+    std::string name() const override { return "SHiP"; }
+
+    size_t
+    stateBitsPerSet() const override
+    {
+        // RRPV + signature + outcome bit per line.
+        return static_cast<size_t>(ways_) *
+               (rrpvBits_ + shctBits_ + 1);
+    }
+
+    size_t
+    globalStateBits() const override
+    {
+        return (size_t{1} << shctBits_) * 2; // 2-bit SHCT entries
+    }
+
+  private:
+    struct LineMeta
+    {
+        uint8_t rrpv;
+        uint16_t signature = 0;
+        bool reused = false;
+    };
+
+    LineMeta &meta(uint64_t set, unsigned way);
+    uint16_t signatureOf(uint64_t pc) const;
+
+    unsigned ways_;
+    unsigned shctBits_;
+    unsigned rrpvBits_;
+    unsigned rrpvMax_;
+    std::vector<LineMeta> meta_;
+    std::vector<SatCounter> shct_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_POLICIES_SHIP_HH_

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Multicore simulation implementation.
+ */
+
+#include "sim/multicore.hh"
+
+#include <cassert>
+
+#include "policies/lru.hh"
+#include "util/log.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+/** One core's private state. */
+struct Core
+{
+    std::unique_ptr<SetAssocCache> l1;
+    std::unique_ptr<SetAssocCache> l2;
+    CpuModel cpu;
+    const Trace *trace = nullptr;
+    size_t cursor = 0;
+    size_t warmup = 0;
+    bool warmed = false;
+    uint64_t llcAccesses = 0;
+
+    bool done() const { return cursor >= trace->size(); }
+};
+
+} // namespace
+
+double
+MulticoreResult::throughput() const
+{
+    double s = 0.0;
+    for (const auto &c : cores)
+        s += c.ipc;
+    return s;
+}
+
+double
+MulticoreResult::weightedSpeedup(const std::vector<double> &baseline) const
+{
+    assert(baseline.size() == cores.size());
+    double s = 0.0;
+    for (size_t i = 0; i < cores.size(); ++i) {
+        assert(baseline[i] > 0.0);
+        s += cores[i].ipc / baseline[i];
+    }
+    return s / static_cast<double>(cores.size());
+}
+
+MulticoreResult
+simulateMulticore(const std::vector<const Trace *> &traces,
+                  const PolicyFactory &llc_policy,
+                  const MulticoreParams &params)
+{
+    if (traces.empty())
+        fatal("simulateMulticore: no traces");
+    for (const Trace *t : traces)
+        if (!t)
+            fatal("simulateMulticore: null trace");
+
+    SetAssocCache llc(params.hier.llc, llc_policy(params.hier.llc));
+
+    std::vector<Core> cores(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i) {
+        Core &c = cores[i];
+        c.l1 = std::make_unique<SetAssocCache>(
+            params.hier.l1,
+            std::make_unique<LruPolicy>(params.hier.l1));
+        c.l2 = std::make_unique<SetAssocCache>(
+            params.hier.l2,
+            std::make_unique<LruPolicy>(params.hier.l2));
+        c.cpu = CpuModel(params.cpu);
+        c.trace = traces[i];
+        c.warmup = static_cast<size_t>(
+            static_cast<double>(traces[i]->size()) *
+            params.warmupFraction);
+    }
+
+    bool llc_cleared = false;
+
+    auto step = [&](Core &core) {
+        if (!core.warmed && core.cursor >= core.warmup) {
+            core.warmed = true;
+            core.cpu.clearStats();
+            core.l1->clearStats();
+            core.l2->clearStats();
+            core.llcAccesses = 0;
+            // Clear the shared LLC stats once, when the first core
+            // enters its measured region (the shared stream has no
+            // single warmup boundary).
+            if (!llc_cleared) {
+                llc.clearStats();
+                llc_cleared = true;
+            }
+        }
+        const MemRecord &rec = (*core.trace)[core.cursor++];
+        const AccessType type =
+            rec.isWrite ? AccessType::Store : AccessType::Load;
+
+        HitLevel level;
+        AccessResult r1 = core.l1->access(rec.addr, type, rec.pc);
+        if (r1.hit) {
+            level = HitLevel::L1;
+        } else {
+            if (r1.evictedBlock && r1.evictedDirty) {
+                uint64_t wb = *r1.evictedBlock
+                              << params.hier.l1.blockShift();
+                AccessResult wbres =
+                    core.l2->access(wb, AccessType::Writeback, 0);
+                if (wbres.evictedBlock && wbres.evictedDirty) {
+                    llc.access(*wbres.evictedBlock
+                                   << params.hier.l2.blockShift(),
+                               AccessType::Writeback, 0);
+                }
+            }
+            AccessResult r2 = core.l2->access(rec.addr, type, rec.pc);
+            if (r2.evictedBlock && r2.evictedDirty) {
+                llc.access(*r2.evictedBlock
+                               << params.hier.l2.blockShift(),
+                           AccessType::Writeback, 0);
+            }
+            if (r2.hit) {
+                level = HitLevel::L2;
+            } else {
+                ++core.llcAccesses;
+                AccessResult r3 = llc.access(rec.addr, type, rec.pc);
+                level = (r3.hit && !r3.bypassed) ? HitLevel::Llc
+                                                 : HitLevel::Memory;
+            }
+        }
+        core.cpu.step(rec.instGap, level);
+    };
+
+    // Next-event interleaving: the core with the smallest local cycle
+    // count (among unfinished cores) advances.
+    for (;;) {
+        Core *next = nullptr;
+        for (Core &c : cores) {
+            if (c.done())
+                continue;
+            if (!next || c.cpu.totalCycles() < next->cpu.totalCycles())
+                next = &c;
+        }
+        if (!next)
+            break;
+        step(*next);
+    }
+
+    MulticoreResult result;
+    result.cores.resize(cores.size());
+    for (size_t i = 0; i < cores.size(); ++i) {
+        cores[i].cpu.drain();
+        result.cores[i].ipc = cores[i].cpu.ipc();
+        result.cores[i].instructions = cores[i].cpu.instructions();
+        result.cores[i].cycles = cores[i].cpu.cycles();
+        result.cores[i].llcAccesses = cores[i].llcAccesses;
+    }
+    result.llcStats = llc.stats();
+    return result;
+}
+
+} // namespace gippr

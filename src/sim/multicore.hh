@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-core shared-LLC simulation (the paper's future-work item 4:
+ * "we are actively researching extending it to multi-core").
+ *
+ * Each core owns a private L1D and L2 plus an interval CPU model and
+ * replays its own trace; all cores share one LLC managed by the
+ * policy under study.  Cores advance in next-event order (the core
+ * with the smallest local cycle count steps next), which interleaves
+ * the LLC access streams roughly as their relative speeds dictate —
+ * a fast core under a friendly policy issues more LLC traffic per
+ * unit time, exactly the feedback loop that makes shared-cache
+ * policy studies interesting.
+ *
+ * Reported metrics follow the multi-programmed literature:
+ * per-core IPC, aggregate throughput (sum of IPCs), and weighted
+ * speedup (mean of per-core IPC ratios against a baseline run).
+ */
+
+#ifndef GIPPR_SIM_MULTICORE_HH_
+#define GIPPR_SIM_MULTICORE_HH_
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/cpu_model.hh"
+#include "trace/trace.hh"
+
+namespace gippr
+{
+
+/** Per-core outcome of a multicore run. */
+struct CoreResult
+{
+    double ipc = 0.0;
+    uint64_t instructions = 0;
+    double cycles = 0.0;
+    /** Demand accesses this core issued to the shared LLC. */
+    uint64_t llcAccesses = 0;
+};
+
+/** Outcome of one multicore simulation. */
+struct MulticoreResult
+{
+    std::vector<CoreResult> cores;
+    /** Shared-LLC statistics over the measured region. */
+    CacheStats llcStats;
+
+    /** Sum of per-core IPCs. */
+    double throughput() const;
+
+    /**
+     * Weighted speedup versus per-core baseline IPCs (mean of
+     * ipc_i / baseline_i).  @pre baseline.size() == cores.size()
+     */
+    double weightedSpeedup(const std::vector<double> &baseline) const;
+};
+
+/** Multicore simulation parameters. */
+struct MulticoreParams
+{
+    /** Geometry: l1/l2 are per-core private, llc is shared. */
+    HierarchyConfig hier;
+    CpuParams cpu;
+    /** Fraction of each core's trace used as warmup. */
+    double warmupFraction = 1.0 / 3.0;
+};
+
+/**
+ * Run @p traces (one per core) against a shared LLC built by
+ * @p llc_policy.  Cores with shorter traces simply finish early.
+ *
+ * @pre !traces.empty(), no null entries
+ */
+MulticoreResult
+simulateMulticore(const std::vector<const Trace *> &traces,
+                  const PolicyFactory &llc_policy,
+                  const MulticoreParams &params);
+
+} // namespace gippr
+
+#endif // GIPPR_SIM_MULTICORE_HH_

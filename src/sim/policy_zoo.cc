@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Policy zoo implementation.
+ */
+
+#include "sim/policy_zoo.hh"
+
+#include <memory>
+
+#include "core/bypass_gippr.hh"
+#include "core/dgippr.hh"
+#include "core/giplr.hh"
+#include "core/gippr.hh"
+#include "core/rrip_ipv.hh"
+#include "core/plru.hh"
+#include "core/vectors.hh"
+#include "policies/dip.hh"
+#include "policies/fifo.hh"
+#include "policies/lru.hh"
+#include "policies/pdp.hh"
+#include "policies/random.hh"
+#include "policies/rrip.hh"
+#include "policies/ship.hh"
+#include "util/log.hh"
+
+namespace gippr
+{
+
+PolicyDef
+lruDef()
+{
+    return {"LRU", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<LruPolicy>(cfg));
+            }};
+}
+
+PolicyDef
+plruDef()
+{
+    return {"PLRU", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<PlruPolicy>(cfg));
+            }};
+}
+
+PolicyDef
+randomDef(uint64_t seed)
+{
+    return {"Random", [seed](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<RandomPolicy>(cfg, seed));
+            }};
+}
+
+PolicyDef
+fifoDef()
+{
+    return {"FIFO", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<FifoPolicy>(cfg));
+            }};
+}
+
+PolicyDef
+dipDef(uint64_t seed)
+{
+    return {"DIP", [seed](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<DipPolicy>(cfg, 32, 32, seed));
+            }};
+}
+
+PolicyDef
+srripDef()
+{
+    return {"SRRIP", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    makeSrrip(cfg));
+            }};
+}
+
+PolicyDef
+brripDef(uint64_t seed)
+{
+    return {"BRRIP", [seed](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    makeBrrip(cfg, 2, seed));
+            }};
+}
+
+PolicyDef
+drripDef(uint64_t seed)
+{
+    return {"DRRIP", [seed](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    makeDrrip(cfg, 2, 32, seed));
+            }};
+}
+
+PolicyDef
+pdpDef()
+{
+    return {"PDP", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<PdpPolicy>(cfg));
+            }};
+}
+
+PolicyDef
+shipDef()
+{
+    return {"SHiP", [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<ShipPolicy>(cfg));
+            }};
+}
+
+PolicyDef
+giplrDef(const std::string &name, const Ipv &ipv)
+{
+    return {name, [ipv](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<GiplrPolicy>(cfg, ipv));
+            }};
+}
+
+PolicyDef
+gipprDef(const std::string &name, const Ipv &ipv)
+{
+    return {name, [ipv](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<GipprPolicy>(cfg, ipv));
+            }};
+}
+
+PolicyDef
+dgipprDef(const std::string &name, std::vector<Ipv> ipvs,
+          unsigned leaders)
+{
+    return {name, [ipvs, leaders](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<DgipprPolicy>(cfg, ipvs, leaders));
+            }};
+}
+
+PolicyDef
+bypassGipprDef(const std::string &name, const Ipv &ipv, uint64_t seed)
+{
+    return {name, [ipv, seed](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<BypassGipprPolicy>(cfg, ipv, 32,
+                                                        32, 11, seed));
+            }};
+}
+
+PolicyDef
+rripIpvDef(const std::string &name, const Ipv &ipv)
+{
+    return {name, [ipv](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<RripIpvPolicy>(cfg, ipv, 2));
+            }};
+}
+
+PolicyDef
+policyByName(const std::string &text)
+{
+    if (text == "LRU")
+        return lruDef();
+    if (text == "PLRU")
+        return plruDef();
+    if (text == "Random")
+        return randomDef();
+    if (text == "FIFO")
+        return fifoDef();
+    if (text == "DIP")
+        return dipDef();
+    if (text == "SRRIP")
+        return srripDef();
+    if (text == "BRRIP")
+        return brripDef();
+    if (text == "DRRIP")
+        return drripDef();
+    if (text == "PDP")
+        return pdpDef();
+    if (text == "SHiP")
+        return shipDef();
+    if (text == "DGIPPR2")
+        return dgipprDef("2-DGIPPR", local_vectors::dgippr2());
+    if (text == "DGIPPR4")
+        return dgipprDef("4-DGIPPR", local_vectors::dgippr4());
+    if (text == "DGIPPR8")
+        return dgipprDef("8-DGIPPR", local_vectors::dgippr8());
+    if (text == "BGIPPR")
+        return bypassGipprDef("B-GIPPR", local_vectors::gippr());
+    if (text == "RRIPIPV")
+        return rripIpvDef("RRIP-IPV", RripIpvPolicy::srripVector());
+    auto colon = text.find(':');
+    if (colon != std::string::npos) {
+        std::string kind = text.substr(0, colon);
+        Ipv ipv = Ipv::parse(text.substr(colon + 1));
+        if (kind == "GIPLR")
+            return giplrDef(text, ipv);
+        if (kind == "GIPPR")
+            return gipprDef(text, ipv);
+        if (kind == "BGIPPR")
+            return bypassGipprDef(text, ipv);
+        if (kind == "RRIPIPV")
+            return rripIpvDef(text, ipv);
+    }
+    fatal("unknown policy name: " + text);
+}
+
+} // namespace gippr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Named policy definitions shared by benches, examples and tests.
+ *
+ * A PolicyDef couples a display name with a factory that builds the
+ * policy for any cache geometry, so an experiment can be described as
+ * a list of PolicyDefs and run against any configuration.
+ */
+
+#ifndef GIPPR_SIM_POLICY_ZOO_HH_
+#define GIPPR_SIM_POLICY_ZOO_HH_
+
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/ipv.hh"
+
+namespace gippr
+{
+
+/** A named replacement policy usable at any geometry. */
+struct PolicyDef
+{
+    std::string name;
+    PolicyFactory make;
+};
+
+/** Baselines. */
+PolicyDef lruDef();
+PolicyDef plruDef();
+PolicyDef randomDef(uint64_t seed = 1);
+PolicyDef fifoDef();
+PolicyDef dipDef(uint64_t seed = 1);
+PolicyDef srripDef();
+PolicyDef brripDef(uint64_t seed = 1);
+PolicyDef drripDef(uint64_t seed = 1);
+PolicyDef pdpDef();
+PolicyDef shipDef();
+
+/** IPV-driven policies.  @p name appears in result tables. */
+PolicyDef giplrDef(const std::string &name, const Ipv &ipv);
+PolicyDef gipprDef(const std::string &name, const Ipv &ipv);
+PolicyDef dgipprDef(const std::string &name, std::vector<Ipv> ipvs,
+                    unsigned leaders = 32);
+
+/** Extensions (paper Section 7 future work). */
+PolicyDef bypassGipprDef(const std::string &name, const Ipv &ipv,
+                         uint64_t seed = 1);
+PolicyDef rripIpvDef(const std::string &name, const Ipv &ipv);
+
+/**
+ * Parse a policy description string:
+ *   "LRU", "PLRU", "Random", "FIFO", "DIP", "SRRIP", "BRRIP",
+ *   "DRRIP", "PDP", "SHiP",
+ *   "GIPLR:<v0 v1 ... vk>", "GIPPR:<...>",
+ *   "DGIPPR2", "DGIPPR4", "DGIPPR8" (local vector sets).
+ * Throws std::runtime_error for unknown names.
+ */
+PolicyDef policyByName(const std::string &text);
+
+} // namespace gippr
+
+#endif // GIPPR_SIM_POLICY_ZOO_HH_

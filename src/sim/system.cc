@@ -1,0 +1,75 @@
+/**
+ * @file
+ * System simulation implementation.
+ */
+
+#include "sim/system.hh"
+
+#include <memory>
+
+#include "policies/lru.hh"
+#include "util/stats.hh"
+
+namespace gippr
+{
+
+PolicyFactory
+lruFactory()
+{
+    return [](const CacheConfig &cfg) {
+        return std::make_unique<LruPolicy>(cfg);
+    };
+}
+
+SimResult
+simulateTrace(const Trace &cpu_trace, const PolicyFactory &llc_policy,
+              const SystemParams &params)
+{
+    Hierarchy hier(params.hier, lruFactory(), lruFactory(), llc_policy);
+    CpuModel cpu(params.cpu);
+
+    const size_t warmup = static_cast<size_t>(
+        static_cast<double>(cpu_trace.size()) * params.warmupFraction);
+
+    for (size_t i = 0; i < cpu_trace.size(); ++i) {
+        if (i == warmup) {
+            hier.clearStats();
+            cpu.clearStats();
+        }
+        const MemRecord &r = cpu_trace[i];
+        HitLevel level = hier.access(r.addr, r.isWrite, r.pc);
+        cpu.step(r.instGap, level);
+    }
+    cpu.drain();
+
+    SimResult result;
+    result.ipc = cpu.ipc();
+    result.instructions = cpu.instructions();
+    result.cycles = cpu.cycles();
+    result.llcStats = hier.llc().stats();
+    result.llcMisses = result.llcStats.demandMisses;
+    result.llcMpki = result.llcStats.mpki(result.instructions);
+    return result;
+}
+
+SimResult
+simulateWorkload(const Workload &workload,
+                 const PolicyFactory &llc_policy,
+                 const SystemParams &params)
+{
+    std::vector<double> ipcs, mpkis;
+    SimResult combined;
+    for (const Simpoint &sp : workload.simpoints()) {
+        SimResult r = simulateTrace(*sp.trace, llc_policy, params);
+        ipcs.push_back(r.ipc);
+        mpkis.push_back(r.llcMpki);
+        combined.instructions += r.instructions;
+        combined.cycles += r.cycles;
+        combined.llcMisses += r.llcMisses;
+    }
+    combined.ipc = workload.combine(ipcs);
+    combined.llcMpki = workload.combine(mpkis);
+    return combined;
+}
+
+} // namespace gippr

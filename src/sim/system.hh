@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Whole-system simulation: CPU trace -> hierarchy -> CPU model.
+ */
+
+#ifndef GIPPR_SIM_SYSTEM_HH_
+#define GIPPR_SIM_SYSTEM_HH_
+
+#include "cache/hierarchy.hh"
+#include "sim/cpu_model.hh"
+#include "trace/simpoint.hh"
+#include "trace/trace.hh"
+
+namespace gippr
+{
+
+/** Result of simulating one trace segment under one LLC policy. */
+struct SimResult
+{
+    double ipc = 0.0;
+    uint64_t instructions = 0;
+    double cycles = 0.0;
+    /** LLC demand misses in the measured region. */
+    uint64_t llcMisses = 0;
+    /** LLC demand misses per kilo-instruction. */
+    double llcMpki = 0.0;
+    /** Full LLC statistics for the measured region. */
+    CacheStats llcStats;
+};
+
+/** System-level simulation parameters. */
+struct SystemParams
+{
+    HierarchyConfig hier;
+    CpuParams cpu;
+    /** Fraction of each trace used to warm caches before measuring. */
+    double warmupFraction = 1.0 / 3.0;
+};
+
+/**
+ * Simulate @p cpu_trace end to end with @p llc_policy in the LLC
+ * (L1/L2 use true LRU, as in the paper's CMP$im setup).
+ */
+SimResult simulateTrace(const Trace &cpu_trace,
+                        const PolicyFactory &llc_policy,
+                        const SystemParams &params);
+
+/**
+ * Simulate every simpoint of @p workload and combine per-simpoint IPC
+ * and MPKI with the SimPoint weights (the paper's per-benchmark
+ * reporting rule).
+ */
+SimResult simulateWorkload(const Workload &workload,
+                           const PolicyFactory &llc_policy,
+                           const SystemParams &params);
+
+/** A PolicyFactory building true LRU (for L1/L2 and baselines). */
+PolicyFactory lruFactory();
+
+} // namespace gippr
+
+#endif // GIPPR_SIM_SYSTEM_HH_

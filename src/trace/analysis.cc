@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Stack-distance profiling implementation.
+ *
+ * Mattson's algorithm with an order-statistic treap keyed by "time of
+ * last access": each resident block is a treap node; the stack
+ * distance of an access is the number of nodes with a *more recent*
+ * last-access time than the accessed block, which the treap answers
+ * in O(log n) via subtree sizes.
+ */
+
+#include "trace/analysis.hh"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "util/bitops.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+/** Treap node: key = last-access time (unique, increasing). */
+struct Node
+{
+    uint64_t time;
+    uint32_t priority;
+    uint32_t size = 1;
+    Node *left = nullptr;
+    Node *right = nullptr;
+};
+
+uint32_t
+sizeOf(const Node *n)
+{
+    return n ? n->size : 0;
+}
+
+void
+pull(Node *n)
+{
+    n->size = 1 + sizeOf(n->left) + sizeOf(n->right);
+}
+
+/** Split by time: left subtree holds times < t, right holds >= t. */
+void
+split(Node *n, uint64_t t, Node *&left, Node *&right)
+{
+    if (!n) {
+        left = right = nullptr;
+        return;
+    }
+    if (n->time < t) {
+        split(n->right, t, n->right, right);
+        left = n;
+        pull(left);
+    } else {
+        split(n->left, t, left, n->left);
+        right = n;
+        pull(right);
+    }
+}
+
+Node *
+merge(Node *a, Node *b)
+{
+    if (!a)
+        return b;
+    if (!b)
+        return a;
+    if (a->priority > b->priority) {
+        a->right = merge(a->right, b);
+        pull(a);
+        return a;
+    }
+    b->left = merge(a, b->left);
+    pull(b);
+    return b;
+}
+
+} // namespace
+
+struct StackDistanceProfiler::Impl
+{
+    Node *root = nullptr;
+    /** block -> (its node, its last-access time). */
+    std::unordered_map<uint64_t, Node *> nodes;
+    uint64_t clock = 0;
+    Rng rng{0x57ac4d15ULL}; // treap priorities only
+
+    ~Impl() { destroy(root); }
+
+    static void
+    destroy(Node *n)
+    {
+        if (!n)
+            return;
+        destroy(n->left);
+        destroy(n->right);
+        delete n;
+    }
+
+    /** Count nodes with time > t (blocks touched more recently). */
+    uint32_t
+    countNewer(uint64_t t) const
+    {
+        uint32_t count = 0;
+        const Node *n = root;
+        while (n) {
+            if (n->time > t) {
+                count += 1 + sizeOf(n->right);
+                n = n->left;
+            } else {
+                n = n->right;
+            }
+        }
+        return count;
+    }
+
+    /** Remove the node with exactly time t. */
+    void
+    erase(uint64_t t)
+    {
+        Node *left, *mid, *right;
+        split(root, t, left, mid);
+        split(mid, t + 1, mid, right);
+        assert(mid && !mid->left && !mid->right);
+        delete mid;
+        root = merge(left, right);
+    }
+
+    /** Insert a new node with the current (max) time. */
+    Node *
+    insertNewest(uint64_t t)
+    {
+        Node *n = new Node{t, static_cast<uint32_t>(rng.next()), 1,
+                           nullptr, nullptr};
+        // t exceeds every key in the treap; merge on the right.
+        root = merge(root, n);
+        return n;
+    }
+};
+
+StackDistanceProfiler::StackDistanceProfiler()
+    : impl_(new Impl)
+{
+}
+
+StackDistanceProfiler::~StackDistanceProfiler()
+{
+    delete impl_;
+}
+
+uint64_t
+StackDistanceProfiler::access(uint64_t block)
+{
+    Impl &im = *impl_;
+    const uint64_t now = im.clock++;
+    auto it = im.nodes.find(block);
+    uint64_t distance;
+    if (it == im.nodes.end()) {
+        distance = kCold;
+    } else {
+        uint64_t last = it->second->time;
+        distance = im.countNewer(last);
+        im.erase(last);
+    }
+    Node *n = im.insertNewest(now);
+    im.nodes[block] = n;
+    return distance;
+}
+
+size_t
+StackDistanceProfiler::distinctBlocks() const
+{
+    return impl_->nodes.size();
+}
+
+double
+TraceProfile::lruHitRate(uint64_t capacity_blocks) const
+{
+    if (accesses == 0)
+        return 0.0;
+    uint64_t hits =
+        capacity_blocks == 0
+            ? 0
+            : stackDistance.cumulative(
+                  static_cast<size_t>(capacity_blocks) - 1);
+    return static_cast<double>(hits) / static_cast<double>(accesses);
+}
+
+TraceProfile
+profileTrace(const Trace &trace, unsigned block_bytes,
+             uint64_t max_distance)
+{
+    TraceProfile profile{Histogram(static_cast<size_t>(max_distance)),
+                         0, 0, 0};
+    StackDistanceProfiler profiler;
+    const unsigned shift = floorLog2(block_bytes);
+    for (const auto &r : trace.records()) {
+        uint64_t d = profiler.access(r.addr >> shift);
+        ++profile.accesses;
+        if (d == StackDistanceProfiler::kCold)
+            ++profile.coldAccesses;
+        else
+            profile.stackDistance.add(d);
+    }
+    profile.footprint = profiler.distinctBlocks();
+    return profile;
+}
+
+std::vector<double>
+missRateCurve(const TraceProfile &profile,
+              const std::vector<uint64_t> &capacities)
+{
+    std::vector<double> out;
+    out.reserve(capacities.size());
+    for (uint64_t c : capacities)
+        out.push_back(1.0 - profile.lruHitRate(c));
+    return out;
+}
+
+} // namespace gippr

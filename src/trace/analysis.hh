@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trace characterization: stack-distance and reuse-distance profiles.
+ *
+ * The paper reasons about workloads through their reuse structure
+ * (zero-reuse blocks, thrash loops, scan pollution).  This module
+ * computes those structures from a trace so workloads can be
+ * characterized quantitatively: an exact LRU stack-distance profile
+ * (via an order-statistic tree, O(log n) per access), a plain
+ * reuse-distance profile, and derived summaries such as the working
+ * set size and the hit-rate-vs-capacity curve that a fully
+ * associative LRU cache would achieve (Mattson et al.'s one-pass
+ * construction).
+ */
+
+#ifndef GIPPR_TRACE_ANALYSIS_HH_
+#define GIPPR_TRACE_ANALYSIS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/histogram.hh"
+
+namespace gippr
+{
+
+/**
+ * Exact LRU stack-distance computation (Mattson's algorithm) over
+ * block addresses, using an order-statistic treap so each access
+ * costs O(log n).
+ *
+ * The stack distance of an access is the number of *distinct* blocks
+ * referenced since the previous access to the same block; cold
+ * accesses report kCold.  A fully associative LRU cache of capacity C
+ * hits exactly the accesses with stack distance < C, which is how
+ * profiles translate into hit-rate curves.
+ */
+class StackDistanceProfiler
+{
+  public:
+    StackDistanceProfiler();
+    ~StackDistanceProfiler();
+
+    StackDistanceProfiler(const StackDistanceProfiler &) = delete;
+    StackDistanceProfiler &
+    operator=(const StackDistanceProfiler &) = delete;
+
+    /** Sentinel for first-touch (compulsory) accesses. */
+    static constexpr uint64_t kCold = ~uint64_t{0};
+
+    /**
+     * Record an access to @p block and return its stack distance
+     * (kCold on first touch).
+     */
+    uint64_t access(uint64_t block);
+
+    /** Number of distinct blocks seen so far. */
+    size_t distinctBlocks() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/** Profile of one trace. */
+struct TraceProfile
+{
+    /** Stack-distance histogram (block granular, bounded + overflow). */
+    Histogram stackDistance;
+    /** Compulsory (first-touch) accesses. */
+    uint64_t coldAccesses = 0;
+    /** Total accesses profiled. */
+    uint64_t accesses = 0;
+    /** Distinct blocks (working footprint). */
+    uint64_t footprint = 0;
+
+    /**
+     * Hit rate of a fully associative LRU cache of @p capacity_blocks
+     * implied by the profile (distances >= bound count as misses).
+     */
+    double lruHitRate(uint64_t capacity_blocks) const;
+};
+
+/**
+ * Profile @p trace at @p block_bytes granularity; distances above
+ * @p max_distance land in the overflow bucket.
+ */
+TraceProfile profileTrace(const Trace &trace, unsigned block_bytes = 64,
+                          uint64_t max_distance = 1 << 20);
+
+/**
+ * Miss-rate curve: fully associative LRU miss rates at the given
+ * capacities (in blocks), from a single profiling pass.
+ */
+std::vector<double> missRateCurve(const TraceProfile &profile,
+                                  const std::vector<uint64_t> &capacities);
+
+} // namespace gippr
+
+#endif // GIPPR_TRACE_ANALYSIS_HH_

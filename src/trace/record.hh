@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The unit of a memory trace.
+ *
+ * Mirrors what the paper collects with its modified Valgrind: one entry
+ * per memory reference, carrying the instruction-count gap since the
+ * previous reference (so the performance model can reconstruct CPI and
+ * window occupancy), the byte address, the access kind, and the address
+ * of the memory instruction (the "PC"), which signature-based policies
+ * such as SHiP consume.
+ */
+
+#ifndef GIPPR_TRACE_RECORD_HH_
+#define GIPPR_TRACE_RECORD_HH_
+
+#include <cstdint>
+
+namespace gippr
+{
+
+/** One memory reference in a trace. */
+struct MemRecord
+{
+    /** Instructions retired since the previous record (>= 1). */
+    uint32_t instGap = 1;
+    /** Byte address referenced. */
+    uint64_t addr = 0;
+    /** Address of the referencing instruction (for PC-based policies). */
+    uint64_t pc = 0;
+    /** True for stores. */
+    bool isWrite = false;
+
+    bool
+    operator==(const MemRecord &o) const
+    {
+        return instGap == o.instGap && addr == o.addr && pc == o.pc &&
+               isWrite == o.isWrite;
+    }
+};
+
+} // namespace gippr
+
+#endif // GIPPR_TRACE_RECORD_HH_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Workload / simpoint implementation.
+ */
+
+#include "trace/simpoint.hh"
+
+#include <cassert>
+
+#include "util/stats.hh"
+
+namespace gippr
+{
+
+void
+Workload::addSimpoint(std::shared_ptr<const Trace> trace, double weight)
+{
+    assert(trace);
+    assert(weight > 0.0);
+    simpoints_.push_back({std::move(trace), weight});
+}
+
+double
+Workload::totalWeight() const
+{
+    double s = 0.0;
+    for (const auto &sp : simpoints_)
+        s += sp.weight;
+    return s;
+}
+
+double
+Workload::combine(const std::vector<double> &per_simpoint) const
+{
+    assert(per_simpoint.size() == simpoints_.size());
+    std::vector<double> weights;
+    weights.reserve(simpoints_.size());
+    for (const auto &sp : simpoints_)
+        weights.push_back(sp.weight);
+    return weightedMean(per_simpoint, weights);
+}
+
+} // namespace gippr

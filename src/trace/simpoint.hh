@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simpoint-weighted workloads.
+ *
+ * The paper evaluates each SPEC benchmark as up to six SimPoint
+ * segments, combining per-simpoint statistics with SimPoint weights
+ * that represent the fraction of execution each segment stands for.
+ * We reproduce the same structure: a Workload is a named list of
+ * (trace, weight) pairs, and per-benchmark statistics are weighted
+ * means over simpoints.
+ */
+
+#ifndef GIPPR_TRACE_SIMPOINT_HH_
+#define GIPPR_TRACE_SIMPOINT_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace gippr
+{
+
+/** One simpoint: a trace segment plus its SimPoint weight. */
+struct Simpoint
+{
+    std::shared_ptr<const Trace> trace;
+    double weight = 1.0;
+};
+
+/** A named benchmark: one or more weighted simpoints. */
+class Workload
+{
+  public:
+    Workload() = default;
+    explicit Workload(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Add one simpoint.  @pre weight > 0 */
+    void addSimpoint(std::shared_ptr<const Trace> trace, double weight);
+
+    const std::vector<Simpoint> &simpoints() const { return simpoints_; }
+    size_t size() const { return simpoints_.size(); }
+    bool empty() const { return simpoints_.empty(); }
+
+    /** Sum of simpoint weights. */
+    double totalWeight() const;
+
+    /**
+     * Combine per-simpoint statistics into a per-benchmark figure via
+     * the SimPoint-weighted mean.
+     * @pre per_simpoint.size() == size()
+     */
+    double combine(const std::vector<double> &per_simpoint) const;
+
+  private:
+    std::string name_;
+    std::vector<Simpoint> simpoints_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_TRACE_SIMPOINT_HH_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Binary trace file reader/writer.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'G', 'P', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void
+writeScalar(std::FILE *f, T v)
+{
+    if (std::fwrite(&v, sizeof(T), 1, f) != 1)
+        fatal("trace write failed");
+}
+
+template <typename T>
+T
+readScalar(std::FILE *f)
+{
+    T v;
+    if (std::fread(&v, sizeof(T), 1, f) != 1)
+        fatal("trace read failed: truncated file");
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file for writing: " + path);
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        fatal("trace write failed");
+    writeScalar<uint32_t>(f.get(), kVersion);
+    writeScalar<uint64_t>(f.get(), trace.size());
+    for (const auto &r : trace.records()) {
+        writeScalar<uint32_t>(f.get(), r.instGap);
+        writeScalar<uint64_t>(f.get(), r.addr);
+        writeScalar<uint64_t>(f.get(), r.pc);
+        writeScalar<uint8_t>(f.get(), r.isWrite ? 1 : 0);
+    }
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file for reading: " + path);
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        fatal("not a GPTR trace file: " + path);
+    }
+    uint32_t version = readScalar<uint32_t>(f.get());
+    if (version != kVersion)
+        fatal("unsupported trace version in " + path);
+    uint64_t count = readScalar<uint64_t>(f.get());
+    Trace trace;
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        MemRecord r;
+        r.instGap = readScalar<uint32_t>(f.get());
+        r.addr = readScalar<uint64_t>(f.get());
+        r.pc = readScalar<uint64_t>(f.get());
+        r.isWrite = readScalar<uint8_t>(f.get()) != 0;
+        trace.append(r);
+    }
+    return trace;
+}
+
+} // namespace gippr

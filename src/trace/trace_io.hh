@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * Layout (little-endian):
+ *   magic   "GPTR"            4 bytes
+ *   version u32               currently 1
+ *   count   u64               number of records
+ *   records: per record
+ *     instGap u32, addr u64, pc u64, flags u8 (bit0 = write)
+ *
+ * The format exists so that expensive synthetic traces (or externally
+ * collected ones) can be cached on disk between experiment runs.
+ */
+
+#ifndef GIPPR_TRACE_TRACE_IO_HH_
+#define GIPPR_TRACE_TRACE_IO_HH_
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace gippr
+{
+
+/** Serialize @p trace to @p path; throws std::runtime_error on error. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Load a trace from @p path; throws std::runtime_error on error. */
+Trace readTrace(const std::string &path);
+
+} // namespace gippr
+
+#endif // GIPPR_TRACE_TRACE_IO_HH_

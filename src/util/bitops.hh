@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the cache and policy models.
+ */
+
+#ifndef GIPPR_UTIL_BITOPS_HH_
+#define GIPPR_UTIL_BITOPS_HH_
+
+#include <cassert>
+#include <cstdint>
+
+namespace gippr
+{
+
+/** Return true iff @p x is a (nonzero) power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Floor of log base 2.  floorLog2(1) == 0, floorLog2(16) == 4.
+ *
+ * @pre x > 0
+ */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling of log base 2.  ceilLog2(1) == 0, ceilLog2(9) == 4. */
+constexpr unsigned
+ceilLog2(uint64_t x)
+{
+    return (x <= 1) ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Extract bit @p i (0 = LSB) of @p x. */
+constexpr unsigned
+getBit(uint64_t x, unsigned i)
+{
+    return (x >> i) & 1;
+}
+
+/** Return @p x with bit @p i set to @p v (v must be 0 or 1). */
+constexpr uint64_t
+setBit(uint64_t x, unsigned i, unsigned v)
+{
+    return (x & ~(uint64_t{1} << i)) | (uint64_t{v & 1} << i);
+}
+
+/** Mask of the @p n low bits. */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return (n >= 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_BITOPS_HH_

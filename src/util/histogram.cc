@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded integer histogram implementation.
+ */
+
+#include "util/histogram.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace gippr
+{
+
+Histogram::Histogram(size_t buckets)
+    : counts_(buckets + 1, 0)
+{
+    assert(buckets >= 1);
+}
+
+void
+Histogram::add(uint64_t value, uint64_t count)
+{
+    size_t idx = value < buckets() ? static_cast<size_t>(value)
+                                   : buckets();
+    counts_[idx] += count;
+    total_ += count;
+}
+
+uint64_t
+Histogram::bucket(size_t i) const
+{
+    assert(i < counts_.size());
+    return counts_[i];
+}
+
+uint64_t
+Histogram::cumulative(size_t limit) const
+{
+    uint64_t s = 0;
+    size_t hi = limit < buckets() ? limit : buckets() - 1;
+    for (size_t i = 0; i <= hi; ++i)
+        s += counts_[i];
+    return s;
+}
+
+uint64_t
+Histogram::weightedCumulative(size_t limit) const
+{
+    uint64_t s = 0;
+    size_t hi = limit < buckets() ? limit : buckets() - 1;
+    for (size_t i = 0; i <= hi; ++i)
+        s += counts_[i] * static_cast<uint64_t>(i);
+    return s;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+}
+
+void
+Histogram::decay()
+{
+    uint64_t new_total = 0;
+    for (auto &c : counts_) {
+        c >>= 1;
+        new_total += c;
+    }
+    total_ = new_total;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << counts_[i];
+    }
+    return os.str();
+}
+
+} // namespace gippr

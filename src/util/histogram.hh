@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bounded integer histogram.
+ *
+ * Used by the PDP reuse-distance sampler and by workload-characterization
+ * tooling (stack-distance profiles).  Values at or beyond the bound are
+ * accumulated in a final overflow bucket.
+ */
+
+#ifndef GIPPR_UTIL_HISTOGRAM_HH_
+#define GIPPR_UTIL_HISTOGRAM_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gippr
+{
+
+/** Histogram over [0, buckets), plus an overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param buckets number of in-range buckets (>= 1) */
+    explicit Histogram(size_t buckets);
+
+    /** Record one observation of @p value. */
+    void add(uint64_t value, uint64_t count = 1);
+
+    /** Count in bucket @p i (i == buckets() means overflow). */
+    uint64_t bucket(size_t i) const;
+
+    /** Number of in-range buckets. */
+    size_t buckets() const { return counts_.size() - 1; }
+
+    /** Total observations including overflow. */
+    uint64_t total() const { return total_; }
+
+    /** Observations that landed in the overflow bucket. */
+    uint64_t overflow() const { return counts_.back(); }
+
+    /** Sum of counts in buckets [0, limit] (no overflow). */
+    uint64_t cumulative(size_t limit) const;
+
+    /** Sum of value*count over buckets [0, limit] (no overflow). */
+    uint64_t weightedCumulative(size_t limit) const;
+
+    /** Reset all counts to zero. */
+    void clear();
+
+    /** Halve every bucket (aging, as PDP's sampler does per epoch). */
+    void decay();
+
+    /** Render as "v0 v1 ... overflow" for debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<uint64_t> counts_; // last element = overflow
+    uint64_t total_ = 0;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_HISTOGRAM_HH_

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal leveled logging for library and harness code.
+ *
+ * Follows the gem5 convention of separating user-facing status
+ * (inform/warn) from internal invariant failures (panic).  panic()
+ * aborts; it marks simulator bugs, never user input errors.
+ */
+
+#ifndef GIPPR_UTIL_LOG_HH_
+#define GIPPR_UTIL_LOG_HH_
+
+#include <string>
+
+namespace gippr
+{
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** Set the global verbosity threshold (default Info). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Informational status message (suppressed at Warn/Quiet). */
+void inform(const std::string &msg);
+
+/** Warning about degraded but continuable behaviour. */
+void warn(const std::string &msg);
+
+/** Debug chatter (suppressed unless level == Debug). */
+void debug(const std::string &msg);
+
+/** Internal invariant violation: print and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Unrecoverable user/configuration error: print and throw
+ * std::runtime_error so harnesses can exit cleanly.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_LOG_HH_

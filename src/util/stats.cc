@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Summary statistics implementation.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gippr
+{
+
+double
+mean(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    double s = 0.0;
+    for (double x : v) {
+        assert(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    return *std::max_element(v.begin(), v.end());
+}
+
+double
+weightedMean(const std::vector<double> &v, const std::vector<double> &w)
+{
+    assert(v.size() == w.size());
+    assert(!v.empty());
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        assert(w[i] >= 0.0);
+        num += v[i] * w[i];
+        den += w[i];
+    }
+    assert(den > 0.0);
+    return num / den;
+}
+
+double
+median(std::vector<double> v)
+{
+    return percentile(std::move(v), 50.0);
+}
+
+double
+percentile(std::vector<double> v, double pct)
+{
+    assert(!v.empty());
+    assert(pct >= 0.0 && pct <= 100.0);
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    double pos = pct / 100.0 * static_cast<double>(v.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    if (lo >= v.size() - 1)
+        return v.back();
+    double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace gippr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Summary statistics used to aggregate per-benchmark results, following
+ * the paper's reporting conventions (geometric-mean speedups, weighted
+ * simpoint averages).
+ */
+
+#ifndef GIPPR_UTIL_STATS_HH_
+#define GIPPR_UTIL_STATS_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace gippr
+{
+
+/** Arithmetic mean.  @pre !v.empty() */
+double mean(const std::vector<double> &v);
+
+/**
+ * Geometric mean; the paper's headline statistic for speedups.
+ * @pre !v.empty() and all elements > 0
+ */
+double geomean(const std::vector<double> &v);
+
+/** Population standard deviation.  @pre !v.empty() */
+double stddev(const std::vector<double> &v);
+
+/** Minimum / maximum.  @pre !v.empty() */
+double minOf(const std::vector<double> &v);
+double maxOf(const std::vector<double> &v);
+
+/**
+ * Weighted arithmetic mean, used to combine simpoints into a
+ * per-benchmark figure with SimPoint-style weights.
+ *
+ * @pre v.size() == w.size(), weights nonnegative with positive sum
+ */
+double weightedMean(const std::vector<double> &v,
+                    const std::vector<double> &w);
+
+/** Median (of a copy; input not modified).  @pre !v.empty() */
+double median(std::vector<double> v);
+
+/** Percentile in [0,100] via linear interpolation.  @pre !v.empty() */
+double percentile(std::vector<double> v, double pct);
+
+/** Incremental mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    void add(double x);
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_STATS_HH_

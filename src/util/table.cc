@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "util/table.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace gippr
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+Table &
+Table::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    assert(!rows_.empty());
+    assert(rows_.back().size() < headers_.size());
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+}
+
+Table &
+Table::add(uint64_t value)
+{
+    return add(std::to_string(value));
+}
+
+Table &
+Table::add(unsigned value)
+{
+    return add(std::to_string(value));
+}
+
+Table &
+Table::add(int value)
+{
+    return add(std::to_string(value));
+}
+
+const std::string &
+Table::cell(size_t row, size_t col) const
+{
+    assert(row < rows_.size());
+    assert(col < rows_[row].size());
+    return rows_[row][col];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell_text =
+                c < row.size() ? row[c] : std::string();
+            os << (c ? "  " : "") << std::left
+               << std::setw(static_cast<int>(widths[c])) << cell_text;
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            // Quote cells containing separators.
+            if (row[c].find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace gippr

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Text-table and CSV rendering for the benchmark harness.
+ *
+ * Every figure/table bench prints its series both as an aligned,
+ * human-readable table (what the paper's bar charts show) and as CSV
+ * suitable for replotting.
+ */
+
+#ifndef GIPPR_UTIL_TABLE_HH_
+#define GIPPR_UTIL_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gippr
+{
+
+/** Column-aligned table with a header row and typed cells. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; cells are appended with add(). */
+    Table &newRow();
+
+    /** Append a string cell to the current row. */
+    Table &add(const std::string &cell);
+
+    /** Append a numeric cell with @p precision decimal places. */
+    Table &add(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &add(uint64_t value);
+    Table &add(unsigned value);
+    Table &add(int value);
+
+    size_t rows() const { return rows_.size(); }
+    size_t columns() const { return headers_.size(); }
+
+    /** Cell accessor (row-major, header excluded). */
+    const std::string &cell(size_t row, size_t col) const;
+
+    /** Render aligned text to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render CSV (header + rows) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_TABLE_HH_

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Synthetic access generator implementations.
+ */
+
+#include "workloads/generators.hh"
+
+#include <cassert>
+
+#include "util/log.hh"
+
+namespace gippr
+{
+
+namespace
+{
+
+/** Sample an instruction gap with mean roughly @p mean_gap. */
+uint32_t
+sampleGap(Rng &rng, uint32_t mean_gap)
+{
+    if (mean_gap <= 1)
+        return 1;
+    // 1 + geometric with mean (mean_gap - 1).
+    double p = 1.0 / static_cast<double>(mean_gap);
+    uint64_t g = rng.nextGeometric(p);
+    if (g > 1000)
+        g = 1000; // keep gaps bounded for the CPU model
+    return static_cast<uint32_t>(1 + g);
+}
+
+/** Mix a 64-bit value (splitmix-style finalizer). */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+MemRecord
+AccessGenerator::makeRecord(uint64_t block, uint64_t pc, uint32_t gap,
+                            bool write)
+{
+    MemRecord r;
+    r.addr = block * kBlockBytes;
+    r.pc = pc;
+    r.instGap = gap;
+    r.isWrite = write;
+    return r;
+}
+
+StreamGenerator::StreamGenerator(const GenParams &params, uint64_t stride,
+                                 uint64_t wrap)
+    : params_(params), stride_(stride), wrap_(wrap)
+{
+    assert(stride_ >= 1);
+    assert(wrap_ >= 1);
+}
+
+MemRecord
+StreamGenerator::next(Rng &rng)
+{
+    uint64_t block = params_.regionBase + cursor_;
+    cursor_ = (cursor_ + stride_) % wrap_;
+    return makeRecord(block, params_.pcBase,
+                      sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+LoopGenerator::LoopGenerator(const GenParams &params, uint64_t blocks)
+    : params_(params), blocks_(blocks)
+{
+    assert(blocks_ >= 1);
+}
+
+MemRecord
+LoopGenerator::next(Rng &rng)
+{
+    uint64_t block = params_.regionBase + cursor_;
+    cursor_ = (cursor_ + 1) % blocks_;
+    // Two PCs: one for the bulk of the loop, one for the row tail,
+    // so signature policies see a non-trivial PC distribution.
+    uint64_t pc = params_.pcBase + (cursor_ % 64 == 0 ? 8 : 0);
+    return makeRecord(block, pc, sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+PointerChaseGenerator::PointerChaseGenerator(const GenParams &params,
+                                             uint64_t blocks,
+                                             uint64_t seed)
+    : params_(params)
+{
+    assert(blocks >= 2);
+    assert(blocks <= UINT32_MAX);
+    // Sattolo's algorithm: a single cycle covering every node, so the
+    // chase visits all blocks before repeating (reuse distance ==
+    // working-set size, the mcf-like worst case).
+    nextNode_.resize(blocks);
+    for (uint64_t i = 0; i < blocks; ++i)
+        nextNode_[i] = static_cast<uint32_t>(i);
+    Rng perm_rng(seed);
+    for (uint64_t i = blocks - 1; i >= 1; --i) {
+        uint64_t j = perm_rng.nextBounded(i);
+        std::swap(nextNode_[i], nextNode_[j]);
+    }
+}
+
+MemRecord
+PointerChaseGenerator::next(Rng &rng)
+{
+    uint64_t block = params_.regionBase + current_;
+    current_ = nextNode_[current_];
+    return makeRecord(block, params_.pcBase,
+                      sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+ZipfGenerator::ZipfGenerator(const GenParams &params, uint64_t blocks,
+                             double theta, uint64_t seed)
+    : params_(params), sampler_(blocks, theta), seed_(seed)
+{
+}
+
+MemRecord
+ZipfGenerator::next(Rng &rng)
+{
+    uint64_t rank = sampler_.sample(rng);
+    // Scatter ranks over the region so popular blocks are not
+    // physically adjacent (avoids set-index pathologies).
+    uint64_t block =
+        params_.regionBase + mix64(rank ^ seed_) % sampler_.n();
+    uint64_t pc = params_.pcBase + (rank % 8) * 4;
+    return makeRecord(block, pc, sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+HotColdGenerator::HotColdGenerator(const GenParams &params,
+                                   uint64_t hot_blocks, double hot_frac,
+                                   uint64_t cold_wrap)
+    : params_(params), hotBlocks_(hot_blocks), hotFrac_(hot_frac),
+      coldWrap_(cold_wrap)
+{
+    assert(hotBlocks_ >= 1);
+    assert(coldWrap_ >= 1);
+    assert(hotFrac_ >= 0.0 && hotFrac_ <= 1.0);
+}
+
+MemRecord
+HotColdGenerator::next(Rng &rng)
+{
+    if (rng.nextBool(hotFrac_)) {
+        uint64_t block = params_.regionBase + rng.nextBounded(hotBlocks_);
+        return makeRecord(block, params_.pcBase,
+                          sampleGap(rng, params_.meanGap),
+                          rng.nextBool(params_.writeFrac));
+    }
+    uint64_t block = params_.regionBase + hotBlocks_ + coldCursor_;
+    coldCursor_ = (coldCursor_ + 1) % coldWrap_;
+    // The cold stream has its own PC, the classic zero-reuse signature.
+    return makeRecord(block, params_.pcBase + 64,
+                      sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+StencilGenerator::StencilGenerator(const GenParams &params,
+                                   uint64_t row_blocks, uint64_t rows)
+    : params_(params), rowBlocks_(row_blocks), rows_(rows)
+{
+    assert(rowBlocks_ >= 1);
+    assert(rows_ >= 3);
+}
+
+MemRecord
+StencilGenerator::next(Rng &rng)
+{
+    // For grid point (r, c) emit north, center, south in successive
+    // calls: reuse distance between vertical neighbours is one row.
+    uint64_t r = cursor_ / rowBlocks_;
+    uint64_t c = cursor_ % rowBlocks_;
+    uint64_t row;
+    uint64_t pc;
+    switch (phase_) {
+      case 0:
+        row = (r + rows_ - 1) % rows_;
+        pc = params_.pcBase;
+        break;
+      case 1:
+        row = r;
+        pc = params_.pcBase + 4;
+        break;
+      default:
+        row = (r + 1) % rows_;
+        pc = params_.pcBase + 8;
+        break;
+    }
+    if (++phase_ == 3) {
+        phase_ = 0;
+        cursor_ = (cursor_ + 1) % (rowBlocks_ * rows_);
+    }
+    uint64_t block = params_.regionBase + row * rowBlocks_ + c;
+    // The center access writes (Jacobi-style update).
+    bool write = phase_ == 2 && rng.nextBool(0.5);
+    return makeRecord(block, pc, sampleGap(rng, params_.meanGap), write);
+}
+
+SdProfileGenerator::SdProfileGenerator(const GenParams &params,
+                                       std::vector<Band> bands,
+                                       double new_weight)
+    : params_(params), bands_(std::move(bands)), newWeight_(new_weight)
+{
+    assert(newWeight_ >= 0.0);
+    totalWeight_ = newWeight_;
+    uint64_t max_hi = 0;
+    for (const Band &b : bands_) {
+        assert(b.lo <= b.hi);
+        assert(b.weight >= 0.0);
+        totalWeight_ += b.weight;
+        max_hi = std::max(max_hi, b.hi);
+    }
+    assert(totalWeight_ > 0.0);
+    history_.assign(max_hi + 2, 0);
+}
+
+MemRecord
+SdProfileGenerator::next(Rng &rng)
+{
+    double pick = rng.nextDouble() * totalWeight_;
+    uint64_t block;
+    uint64_t pc = params_.pcBase;
+    const Band *chosen = nullptr;
+    double acc = newWeight_;
+    if (pick >= acc) {
+        for (size_t i = 0; i < bands_.size(); ++i) {
+            acc += bands_[i].weight;
+            if (pick < acc) {
+                chosen = &bands_[i];
+                pc = params_.pcBase + 4 * (i + 1);
+                break;
+            }
+        }
+    }
+    if (chosen == nullptr || emitted_ == 0) {
+        // Compulsory reference to a brand-new block.
+        block = params_.regionBase + nextNew_++;
+    } else {
+        // Re-touch the block emitted `dist` references ago (dist == 1
+        // is the immediately preceding reference).  A chosen ring slot
+        // may hold a block that was *also* emitted more recently,
+        // which would produce a shorter observed distance than the
+        // band requests; redraw a few times to keep the realized
+        // profile faithful.
+        uint64_t max_dist =
+            std::min<uint64_t>(emitted_, history_.size() - 1);
+        uint64_t lo = std::max<uint64_t>(chosen->lo, 1);
+        lo = std::min(lo, max_dist);
+        uint64_t hi = std::min(std::max<uint64_t>(chosen->hi, 1),
+                               max_dist);
+        block = history_[(emitted_ -
+                          (lo + rng.nextBounded(hi - lo + 1))) %
+                         history_.size()];
+        for (int attempt = 0;
+             attempt < 8 && emitted_ - lastEmit_[block] < lo;
+             ++attempt) {
+            block = history_[(emitted_ -
+                              (lo + rng.nextBounded(hi - lo + 1))) %
+                             history_.size()];
+        }
+    }
+    history_[emitted_ % history_.size()] = block;
+    lastEmit_[block] = emitted_;
+    // Prune the last-emission map once it far exceeds the ring.
+    if (lastEmit_.size() > 4 * history_.size()) {
+        std::unordered_map<uint64_t, uint64_t> kept;
+        kept.reserve(history_.size() * 2);
+        for (uint64_t b : history_) {
+            auto it = lastEmit_.find(b);
+            if (it != lastEmit_.end())
+                kept.emplace(it->first, it->second);
+        }
+        lastEmit_ = std::move(kept);
+    }
+    ++emitted_;
+    return makeRecord(block, pc, sampleGap(rng, params_.meanGap),
+                      rng.nextBool(params_.writeFrac));
+}
+
+PhasedGenerator::PhasedGenerator(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    assert(!phases_.empty());
+    for (const Phase &p : phases_) {
+        assert(p.gen != nullptr);
+        assert(p.length >= 1);
+    }
+}
+
+MemRecord
+PhasedGenerator::next(Rng &rng)
+{
+    if (emitted_ >= phases_[current_].length) {
+        emitted_ = 0;
+        current_ = (current_ + 1) % phases_.size();
+    }
+    ++emitted_;
+    return phases_[current_].gen->next(rng);
+}
+
+MixGenerator::MixGenerator(std::vector<Component> components)
+    : components_(std::move(components))
+{
+    assert(!components_.empty());
+    totalWeight_ = 0.0;
+    for (const Component &c : components_) {
+        assert(c.gen != nullptr);
+        assert(c.weight > 0.0);
+        totalWeight_ += c.weight;
+    }
+}
+
+MemRecord
+MixGenerator::next(Rng &rng)
+{
+    double pick = rng.nextDouble() * totalWeight_;
+    double acc = 0.0;
+    for (Component &c : components_) {
+        acc += c.weight;
+        if (pick < acc)
+            return c.gen->next(rng);
+    }
+    return components_.back().gen->next(rng);
+}
+
+Trace
+generateTrace(AccessGenerator &gen, uint64_t accesses, Rng &rng)
+{
+    Trace trace;
+    trace.reserve(accesses);
+    for (uint64_t i = 0; i < accesses; ++i)
+        trace.append(gen.next(rng));
+    return trace;
+}
+
+} // namespace gippr

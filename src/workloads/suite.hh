@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The synthetic benchmark suite standing in for SPEC CPU 2006.
+ *
+ * Thirty named workloads, each one or more weighted "simpoints"
+ * (mirroring the paper's SimPoint methodology), spanning the reuse
+ * archetypes that differentiate replacement policies: zero-reuse
+ * streams, LRU-thrashing loops, pointer chases, skewed popularity,
+ * scan-polluted hot sets, stencils, explicit reuse-distance profiles
+ * and phase-changing behaviours.  Sizes are expressed relative to the
+ * LLC capacity so the suite scales with the cache under study.
+ *
+ * Workloads are described by *specs* and materialized on demand, so a
+ * harness can process one workload at a time without holding every
+ * trace in memory.
+ */
+
+#ifndef GIPPR_WORKLOADS_SUITE_HH_
+#define GIPPR_WORKLOADS_SUITE_HH_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/simpoint.hh"
+#include "workloads/generators.hh"
+
+namespace gippr
+{
+
+/** Suite-wide scaling knobs. */
+struct SuiteParams
+{
+    /** Capacity, in blocks, of the LLC the suite should stress. */
+    uint64_t llcBlocks = 16384; // 1MB at 64B lines
+    /** CPU-level references generated per simpoint. */
+    uint64_t accessesPerSimpoint = 1'000'000;
+    /** Base seed; every simpoint derives a distinct stream from it. */
+    uint64_t baseSeed = 0x5eed;
+};
+
+/** Recipe for one simpoint: how to build its generator. */
+struct SimpointSpec
+{
+    std::function<std::unique_ptr<AccessGenerator>()> make;
+    uint64_t accesses = 0;
+    double weight = 1.0;
+    uint64_t seed = 1;
+};
+
+/** Recipe for one named workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<SimpointSpec> simpoints;
+};
+
+/** The full suite. */
+class SyntheticSuite
+{
+  public:
+    explicit SyntheticSuite(SuiteParams params = {});
+
+    const std::vector<WorkloadSpec> &specs() const { return specs_; }
+    const SuiteParams &params() const { return params_; }
+
+    /** Find a spec by name; throws if absent. */
+    const WorkloadSpec &spec(const std::string &name) const;
+
+    /** Build the traces for one workload. */
+    static Workload materialize(const WorkloadSpec &spec);
+
+    /** Names of every workload, in suite order. */
+    std::vector<std::string> names() const;
+
+  private:
+    SuiteParams params_;
+    std::vector<WorkloadSpec> specs_;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_WORKLOADS_SUITE_HH_

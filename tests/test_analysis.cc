@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the stack-distance profiler and trace profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "trace/analysis.hh"
+#include "util/rng.hh"
+#include "workloads/generators.hh"
+
+namespace gippr
+{
+namespace
+{
+
+constexpr uint64_t kCold = StackDistanceProfiler::kCold;
+
+TEST(StackDistance, FirstTouchIsCold)
+{
+    StackDistanceProfiler p;
+    EXPECT_EQ(p.access(10), kCold);
+    EXPECT_EQ(p.access(20), kCold);
+    EXPECT_EQ(p.distinctBlocks(), 2u);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero)
+{
+    StackDistanceProfiler p;
+    p.access(5);
+    EXPECT_EQ(p.access(5), 0u);
+}
+
+TEST(StackDistance, CountsDistinctIntervening)
+{
+    StackDistanceProfiler p;
+    p.access(1);
+    p.access(2);
+    p.access(3);
+    // One distinct block (2, 3) touched since 1... two blocks.
+    EXPECT_EQ(p.access(1), 2u);
+}
+
+TEST(StackDistance, DuplicatesDoNotInflateDistance)
+{
+    StackDistanceProfiler p;
+    p.access(1);
+    p.access(2);
+    p.access(2);
+    p.access(2);
+    // Only one distinct block since the last access to 1.
+    EXPECT_EQ(p.access(1), 1u);
+}
+
+TEST(StackDistance, ClassicSequence)
+{
+    // a b c b a: distance(b)=1? No: a b c, then b -> distinct {c} = 1,
+    // then a -> distinct {b, c} = 2.
+    StackDistanceProfiler p;
+    EXPECT_EQ(p.access('a'), kCold);
+    EXPECT_EQ(p.access('b'), kCold);
+    EXPECT_EQ(p.access('c'), kCold);
+    EXPECT_EQ(p.access('b'), 1u);
+    EXPECT_EQ(p.access('a'), 2u);
+}
+
+TEST(StackDistance, MatchesNaiveReferenceImplementation)
+{
+    // Property test against an O(n) list-based LRU stack.
+    StackDistanceProfiler fast;
+    std::list<uint64_t> stack; // front = most recent
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where;
+    Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t block = rng.nextBounded(300);
+        uint64_t expect;
+        auto it = where.find(block);
+        if (it == where.end()) {
+            expect = kCold;
+        } else {
+            expect = 0;
+            for (auto pos = stack.begin(); pos != it->second; ++pos)
+                ++expect;
+            stack.erase(it->second);
+        }
+        stack.push_front(block);
+        where[block] = stack.begin();
+        ASSERT_EQ(fast.access(block), expect) << "access " << i;
+    }
+}
+
+TEST(TraceProfile, LoopProfileIsExact)
+{
+    // A loop over W blocks has every non-cold access at distance W-1.
+    GenParams gp;
+    gp.writeFrac = 0.0;
+    LoopGenerator gen(gp, 32);
+    Rng rng(3);
+    Trace t = generateTrace(gen, 32 * 10, rng);
+    TraceProfile prof = profileTrace(t, 64, 1024);
+    EXPECT_EQ(prof.coldAccesses, 32u);
+    EXPECT_EQ(prof.footprint, 32u);
+    EXPECT_EQ(prof.stackDistance.bucket(31), 32u * 9);
+}
+
+TEST(TraceProfile, LruHitRateFromProfile)
+{
+    GenParams gp;
+    gp.writeFrac = 0.0;
+    LoopGenerator gen(gp, 32);
+    Rng rng(4);
+    Trace t = generateTrace(gen, 3200, rng);
+    TraceProfile prof = profileTrace(t, 64, 1024);
+    // Capacity 32 holds the loop: everything but cold hits.
+    EXPECT_NEAR(prof.lruHitRate(32), 1.0 - 32.0 / 3200.0, 1e-9);
+    // Capacity 31 < loop: LRU gets zero hits.
+    EXPECT_DOUBLE_EQ(prof.lruHitRate(31), 0.0);
+}
+
+TEST(TraceProfile, StreamIsAllCold)
+{
+    GenParams gp;
+    StreamGenerator gen(gp, 1, 1 << 30);
+    Rng rng(5);
+    Trace t = generateTrace(gen, 2000, rng);
+    TraceProfile prof = profileTrace(t, 64, 1024);
+    EXPECT_EQ(prof.coldAccesses, 2000u);
+    EXPECT_EQ(prof.footprint, 2000u);
+}
+
+TEST(TraceProfile, MissRateCurveMonotone)
+{
+    GenParams gp;
+    ZipfGenerator gen(gp, 4096, 0.9, 11);
+    Rng rng(6);
+    Trace t = generateTrace(gen, 20000, rng);
+    TraceProfile prof = profileTrace(t, 64, 1 << 16);
+    std::vector<uint64_t> caps = {16, 64, 256, 1024, 4096};
+    std::vector<double> curve = missRateCurve(prof, caps);
+    for (size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i], curve[i - 1] + 1e-12) << i;
+}
+
+TEST(TraceProfile, BlockGranularityMerges)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i) {
+        MemRecord r;
+        r.addr = static_cast<uint64_t>(i) * 7; // 0..63: one 64B block
+        t.append(r);
+    }
+    TraceProfile prof = profileTrace(t, 64, 64);
+    EXPECT_EQ(prof.footprint, 1u);
+    EXPECT_EQ(prof.coldAccesses, 1u);
+    EXPECT_EQ(prof.stackDistance.bucket(0), 9u);
+}
+
+} // namespace
+} // namespace gippr

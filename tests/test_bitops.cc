@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for util/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Bitops, IsPow2RecognizesPowers)
+{
+    for (unsigned shift = 0; shift < 63; ++shift)
+        EXPECT_TRUE(isPow2(uint64_t{1} << shift)) << shift;
+}
+
+TEST(Bitops, IsPow2RejectsZero)
+{
+    EXPECT_FALSE(isPow2(0));
+}
+
+TEST(Bitops, IsPow2RejectsComposites)
+{
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(6));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_FALSE(isPow2(255));
+    EXPECT_FALSE(isPow2((uint64_t{1} << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2Exact)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(16), 4u);
+    EXPECT_EQ(floorLog2(uint64_t{1} << 40), 40u);
+}
+
+TEST(Bitops, FloorLog2Rounding)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(17), 4u);
+    EXPECT_EQ(floorLog2(31), 4u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(9), 4u);
+    EXPECT_EQ(ceilLog2(16), 4u);
+    EXPECT_EQ(ceilLog2(17), 5u);
+}
+
+TEST(Bitops, GetBit)
+{
+    EXPECT_EQ(getBit(0b1010, 0), 0u);
+    EXPECT_EQ(getBit(0b1010, 1), 1u);
+    EXPECT_EQ(getBit(0b1010, 3), 1u);
+    EXPECT_EQ(getBit(uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bitops, SetBit)
+{
+    EXPECT_EQ(setBit(0, 3, 1), 0b1000u);
+    EXPECT_EQ(setBit(0b1111, 1, 0), 0b1101u);
+    EXPECT_EQ(setBit(0b1000, 3, 1), 0b1000u);
+}
+
+TEST(Bitops, SetBitThenGetBitRoundTrip)
+{
+    uint64_t x = 0;
+    for (unsigned i = 0; i < 64; i += 7)
+        x = setBit(x, i, 1);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(getBit(x, i), (i % 7 == 0) ? 1u : 0u) << i;
+}
+
+TEST(Bitops, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(4), 0xFu);
+    EXPECT_EQ(lowMask(64), ~uint64_t{0});
+}
+
+} // namespace
+} // namespace gippr

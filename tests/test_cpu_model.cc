@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the interval CPU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu_model.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(CpuModel, L1HitsRunAtIssueWidth)
+{
+    CpuParams p;
+    p.width = 4;
+    CpuModel m(p);
+    for (int i = 0; i < 1000; ++i)
+        m.step(4, HitLevel::L1);
+    m.drain();
+    EXPECT_NEAR(m.ipc(), 4.0, 1e-9);
+}
+
+TEST(CpuModel, IpcNeverExceedsWidth)
+{
+    CpuParams p;
+    p.width = 4;
+    CpuModel m(p);
+    for (int i = 0; i < 100; ++i)
+        m.step(1, HitLevel::L1);
+    m.drain();
+    EXPECT_LE(m.ipc(), 4.0 + 1e-9);
+}
+
+TEST(CpuModel, MemoryMissesAddLatency)
+{
+    CpuParams p;
+    CpuModel hits(p), misses(p);
+    for (int i = 0; i < 100; ++i) {
+        hits.step(10, HitLevel::L1);
+        misses.step(10, HitLevel::Memory);
+    }
+    hits.drain();
+    misses.drain();
+    EXPECT_GT(misses.cycles(), hits.cycles());
+    EXPECT_LT(misses.ipc(), hits.ipc());
+}
+
+TEST(CpuModel, LatencyOrderingAcrossLevels)
+{
+    auto run = [](HitLevel level) {
+        CpuModel m{CpuParams{}};
+        for (int i = 0; i < 200; ++i)
+            m.step(4, level);
+        m.drain();
+        return m.ipc();
+    };
+    double l1 = run(HitLevel::L1);
+    double l2 = run(HitLevel::L2);
+    double llc = run(HitLevel::Llc);
+    double mem = run(HitLevel::Memory);
+    EXPECT_GT(l1, l2);
+    EXPECT_GT(l2, llc);
+    EXPECT_GT(llc, mem);
+}
+
+TEST(CpuModel, MlpOverlapsAdjacentMisses)
+{
+    // Two misses issued back-to-back (within the window) must cost
+    // far less than two serialized misses.
+    CpuParams p;
+    p.robSize = 128;
+    CpuModel overlapped(p);
+    overlapped.step(1, HitLevel::Memory);
+    overlapped.step(1, HitLevel::Memory);
+    overlapped.drain();
+
+    CpuModel serial(p);
+    serial.step(1, HitLevel::Memory);
+    // Separate the misses by more than the window: the model must
+    // stall on the first before issuing the second.
+    serial.step(400, HitLevel::Memory);
+    serial.drain();
+
+    EXPECT_LT(overlapped.cycles(), 1.5 * p.latMemory);
+    EXPECT_GT(serial.cycles(), 2.0 * p.latMemory);
+}
+
+TEST(CpuModel, WindowLimitSerializesDistantMisses)
+{
+    // Misses robSize apart cannot overlap.
+    CpuParams p;
+    p.robSize = 64;
+    CpuModel m(p);
+    m.step(1, HitLevel::Memory);
+    m.step(65, HitLevel::Memory); // oldest falls outside the window
+    m.drain();
+    EXPECT_GT(m.cycles(), 2.0 * p.latMemory * 0.9);
+}
+
+TEST(CpuModel, MshrLimitBoundsOutstanding)
+{
+    CpuParams p;
+    p.mshrs = 2;
+    p.robSize = 1024;
+    CpuModel m(p);
+    // Four adjacent misses with only 2 MSHRs: roughly two waves.
+    for (int i = 0; i < 4; ++i)
+        m.step(1, HitLevel::Memory);
+    m.drain();
+    EXPECT_GT(m.cycles(), 1.9 * p.latMemory);
+}
+
+TEST(CpuModel, DrainWaitsForOutstanding)
+{
+    CpuParams p;
+    CpuModel m(p);
+    m.step(1, HitLevel::Memory);
+    double before = m.cycles();
+    m.drain();
+    EXPECT_GT(m.cycles(), before);
+    EXPECT_GE(m.cycles(), p.latMemory);
+}
+
+TEST(CpuModel, ClearStatsStartsMeasuredRegion)
+{
+    CpuModel m{CpuParams{}};
+    for (int i = 0; i < 100; ++i)
+        m.step(10, HitLevel::Memory);
+    m.clearStats();
+    EXPECT_EQ(m.instructions(), 0u);
+    EXPECT_DOUBLE_EQ(m.cycles(), 0.0);
+    for (int i = 0; i < 100; ++i)
+        m.step(10, HitLevel::L1);
+    m.drain();
+    EXPECT_EQ(m.instructions(), 1000u);
+    EXPECT_GT(m.ipc(), 0.0);
+}
+
+TEST(CpuModel, MoreMissesMeansLowerIpc)
+{
+    auto run = [](int miss_every) {
+        CpuModel m{CpuParams{}};
+        for (int i = 0; i < 2000; ++i) {
+            bool miss = i % miss_every == 0;
+            m.step(5, miss ? HitLevel::Memory : HitLevel::L1);
+        }
+        m.drain();
+        return m.ipc();
+    };
+    EXPECT_GT(run(100), run(10));
+    EXPECT_GT(run(10), run(2));
+}
+
+} // namespace
+} // namespace gippr

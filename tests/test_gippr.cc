@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for GIPPR (IPV-driven tree PseudoLRU).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "core/giplr.hh"
+#include "core/gippr.hh"
+#include "core/plru.hh"
+#include "core/vectors.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+namespace
+{
+
+CacheConfig
+cfg(unsigned sets, unsigned ways)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.blockBytes = 64;
+    c.assoc = ways;
+    c.sizeBytes = static_cast<uint64_t>(sets) * ways * 64;
+    return c;
+}
+
+uint64_t
+addrOf(const CacheConfig &c, uint64_t set, uint64_t tag)
+{
+    return ((tag << c.setShift()) | set) << c.blockShift();
+}
+
+TEST(Gippr, RejectsMismatchedArity)
+{
+    CacheConfig c = cfg(4, 8);
+    EXPECT_THROW(GipprPolicy(c, Ipv::lru(16)), std::runtime_error);
+}
+
+TEST(Gippr, AllZeroVectorMatchesPlruExactly)
+{
+    // GIPPR with PMRU insertion and promotion (the all-zero IPV) must
+    // reproduce classic tree PseudoLRU decision-for-decision: both
+    // promote via a path write that makes the block position 0.
+    CacheConfig c = cfg(8, 16);
+    SetAssocCache plru(c, std::make_unique<PlruPolicy>(c));
+    SetAssocCache gip(c,
+                      std::make_unique<GipprPolicy>(c, Ipv::lru(16)));
+    Rng rng(17);
+    for (int i = 0; i < 40000; ++i) {
+        uint64_t addr = addrOf(c, rng.nextBounded(8),
+                               rng.nextBounded(48));
+        AccessResult a = plru.access(addr, AccessType::Load);
+        AccessResult b = gip.access(addr, AccessType::Load);
+        ASSERT_EQ(a.hit, b.hit) << "access " << i;
+        if (a.evictedBlock) {
+            ASSERT_EQ(*a.evictedBlock, *b.evictedBlock);
+        }
+    }
+    EXPECT_EQ(plru.stats().misses, gip.stats().misses);
+}
+
+TEST(Gippr, VictimIsPlruBlock)
+{
+    CacheConfig c = cfg(4, 16);
+    GipprPolicy *raw;
+    auto p = std::make_unique<GipprPolicy>(c, paper_vectors::wiGippr());
+    raw = p.get();
+    SetAssocCache cache(c, std::move(p));
+    Rng rng(23);
+    // Fill and churn, then check that evictions always hit the
+    // all-ones-position block.
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t set = rng.nextBounded(4);
+        uint64_t tag = rng.nextBounded(64);
+        uint64_t addr = addrOf(c, set, tag);
+        unsigned predicted = raw->tree(set).findPlru();
+        bool full = cache.validCount(set) == 16;
+        bool present = cache.probe(addr);
+        AccessResult r = cache.access(addr, AccessType::Load);
+        if (full && !present && !r.hit) {
+            ASSERT_TRUE(r.evictedBlock.has_value());
+            ASSERT_EQ(r.way, predicted);
+        }
+    }
+}
+
+TEST(Gippr, InsertionPositionHonored)
+{
+    // Insertion at the PLRU position: a zero-reuse stream never
+    // displaces the established working set.
+    CacheConfig c = cfg(2, 16);
+    auto lip_ipv = Ipv::lruInsertion(16);
+    SetAssocCache cache(c, std::make_unique<GipprPolicy>(c, lip_ipv));
+    // Establish 16 resident blocks and touch them MRU-wards.
+    for (uint64_t t = 0; t < 16; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    for (uint64_t t = 0; t < 15; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    // Stream 100 cold blocks through; they churn in one slot.
+    for (uint64_t t = 100; t < 200; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    // At least 15 of the original blocks must survive.
+    unsigned survivors = 0;
+    for (uint64_t t = 0; t < 16; ++t)
+        if (cache.probe(addrOf(c, 0, t)))
+            ++survivors;
+    EXPECT_GE(survivors, 15u);
+}
+
+TEST(Gippr, HitPromotionUsesStackPosition)
+{
+    // Vector that promotes position-15 hits to position 0 but leaves
+    // everything else in place; verify via the tree accessor.
+    CacheConfig c = cfg(2, 16);
+    std::vector<uint8_t> entries(17, 0);
+    for (unsigned i = 0; i < 16; ++i)
+        entries[i] = static_cast<uint8_t>(i); // identity promotions
+    entries[15] = 0;                          // except PLRU -> PMRU
+    entries[16] = 15;                         // insert at PLRU
+    GipprPolicy *raw;
+    auto p = std::make_unique<GipprPolicy>(c, Ipv(entries));
+    raw = p.get();
+    SetAssocCache cache(c, std::move(p));
+    for (uint64_t t = 0; t < 16; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    unsigned victim_way = raw->tree(0).findPlru();
+    auto victim_block = cache.blockAt(0, victim_way);
+    ASSERT_TRUE(victim_block.has_value());
+    // Touch the PLRU block: it must become PMRU (position 0).
+    cache.access(*victim_block << c.blockShift(), AccessType::Load);
+    EXPECT_EQ(raw->tree(0).position(victim_way), 0u);
+}
+
+TEST(Gippr, StateBitsAreTreeBits)
+{
+    CacheConfig c = CacheConfig::paperLlc();
+    GipprPolicy p(c, paper_vectors::wiGippr());
+    // 15 bits per 16-way set: less than one bit per block.
+    EXPECT_EQ(p.stateBitsPerSet(), 15u);
+    EXPECT_EQ(p.globalStateBits(), 0u);
+}
+
+TEST(Gippr, PositionsRemainPermutationUnderPaperVector)
+{
+    CacheConfig c = cfg(4, 16);
+    GipprPolicy *raw;
+    auto p = std::make_unique<GipprPolicy>(c, paper_vectors::wiGippr());
+    raw = p.get();
+    SetAssocCache cache(c, std::move(p));
+    Rng rng(41);
+    for (int i = 0; i < 30000; ++i) {
+        cache.access(addrOf(c, rng.nextBounded(4), rng.nextBounded(40)),
+                     AccessType::Load);
+        if (i % 997 == 0) {
+            for (uint64_t s = 0; s < 4; ++s) {
+                unsigned sum = 0;
+                for (unsigned w = 0; w < 16; ++w)
+                    sum += raw->tree(s).position(w);
+                ASSERT_EQ(sum, 120u);
+            }
+        }
+    }
+}
+
+TEST(Gippr, SetPositionSideEffectsDifferFromTrueLru)
+{
+    // The paper's Section 3.4 point: a GIPPR path write moves *other*
+    // blocks more drastically than the LRU shift.  Demonstrate that
+    // the same IPV produces different eviction sequences on the two
+    // substrates for some stream.
+    CacheConfig c = cfg(2, 16);
+    Ipv v = paper_vectors::giplr();
+    SetAssocCache stack_based(
+        c, std::make_unique<GiplrPolicy>(c, v));
+    SetAssocCache tree_based(
+        c, std::make_unique<GipprPolicy>(c, v));
+    Rng rng(53);
+    bool diverged = false;
+    for (int i = 0; i < 20000 && !diverged; ++i) {
+        uint64_t addr = addrOf(c, rng.nextBounded(2),
+                               rng.nextBounded(24));
+        AccessResult a = stack_based.access(addr, AccessType::Load);
+        AccessResult b = tree_based.access(addr, AccessType::Load);
+        if (a.hit != b.hit ||
+            a.evictedBlock.has_value() != b.evictedBlock.has_value() ||
+            (a.evictedBlock && *a.evictedBlock != *b.evictedBlock)) {
+            diverged = true;
+        }
+    }
+    EXPECT_TRUE(diverged);
+}
+
+} // namespace
+} // namespace gippr

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the three-level hierarchy and LLC trace filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "policies/lru.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+namespace
+{
+
+PolicyFactory
+lruF()
+{
+    return [](const CacheConfig &cfg) {
+        return std::unique_ptr<ReplacementPolicy>(
+            std::make_unique<LruPolicy>(cfg));
+    };
+}
+
+HierarchyConfig
+tinyHier()
+{
+    HierarchyConfig h;
+    h.l1 = {"L1", 4 * 2 * 64, 2, 64};    // 4 sets x 2 ways
+    h.l2 = {"L2", 16 * 4 * 64, 4, 64};   // 16 sets x 4 ways
+    h.llc = {"LLC", 64 * 8 * 64, 8, 64}; // 64 sets x 8 ways
+    return h;
+}
+
+TEST(Hierarchy, FirstAccessMissesEverywhere)
+{
+    Hierarchy h(tinyHier(), lruF(), lruF(), lruF());
+    EXPECT_EQ(h.access(0x1000, false), HitLevel::Memory);
+    EXPECT_EQ(h.l1().stats().misses, 1u);
+    EXPECT_EQ(h.l2().stats().misses, 1u);
+    EXPECT_EQ(h.llc().stats().misses, 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    Hierarchy h(tinyHier(), lruF(), lruF(), lruF());
+    h.access(0x1000, false);
+    EXPECT_EQ(h.access(0x1000, false), HitLevel::L1);
+    EXPECT_EQ(h.l2().stats().accesses, 1u);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2)
+{
+    HierarchyConfig cfg = tinyHier();
+    Hierarchy h(cfg, lruF(), lruF(), lruF());
+    // Three blocks mapping to L1 set 0 (L1 has 4 sets): strides of
+    // 4*64 = 256 bytes.
+    h.access(0x0000, false);
+    h.access(0x0100, false);
+    h.access(0x0200, false); // evicts 0x0000 from L1
+    EXPECT_EQ(h.access(0x0000, false), HitLevel::L2);
+}
+
+TEST(Hierarchy, DirtyL1VictimWritesBackToL2)
+{
+    Hierarchy h(tinyHier(), lruF(), lruF(), lruF());
+    h.access(0x0000, true); // dirty in L1
+    h.access(0x0100, false);
+    h.access(0x0200, false); // evicts dirty 0x0000 -> L2 writeback
+    // L2 saw: three demand misses + one writeback access.
+    EXPECT_EQ(h.l2().stats().accesses, 4u);
+    EXPECT_EQ(h.l2().stats().demandAccesses, 3u);
+}
+
+TEST(Hierarchy, ClearStatsZeroesAllLevels)
+{
+    Hierarchy h(tinyHier(), lruF(), lruF(), lruF());
+    h.access(0x1000, false);
+    h.clearStats();
+    EXPECT_EQ(h.l1().stats().accesses, 0u);
+    EXPECT_EQ(h.l2().stats().accesses, 0u);
+    EXPECT_EQ(h.llc().stats().accesses, 0u);
+}
+
+Trace
+sequentialTrace(size_t blocks, uint32_t gap = 10)
+{
+    Trace t;
+    for (size_t i = 0; i < blocks; ++i) {
+        MemRecord r;
+        r.addr = i * 64;
+        r.pc = 0x400000 + i % 4;
+        r.instGap = gap;
+        t.append(r);
+    }
+    return t;
+}
+
+TEST(HierarchyFilter, ColdStreamPassesThrough)
+{
+    // Every block distinct: every reference reaches the LLC.
+    Trace cpu = sequentialTrace(100);
+    Trace llc = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    EXPECT_EQ(llc.size(), 100u);
+}
+
+TEST(HierarchyFilter, L1HitsAreFiltered)
+{
+    // Same block over and over: only the first reference reaches LLC.
+    Trace cpu;
+    for (int i = 0; i < 50; ++i) {
+        MemRecord r;
+        r.addr = 0x1000;
+        r.pc = 0x400000;
+        r.instGap = 2;
+        cpu.append(r);
+    }
+    Trace llc = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    EXPECT_EQ(llc.size(), 1u);
+}
+
+TEST(HierarchyFilter, InstructionGapsAccumulate)
+{
+    // Filtered records carry the instruction gaps of the references
+    // they absorbed, so instruction totals are preserved up to the
+    // trailing references after the last LLC access.
+    Trace cpu = sequentialTrace(100, 7);
+    Trace llc = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    EXPECT_EQ(llc.instructions(), cpu.instructions());
+}
+
+TEST(HierarchyFilter, SmallLoopGeneratesNoSteadyLlcTraffic)
+{
+    // A loop that fits in the L1 only touches the LLC during warmup.
+    Trace cpu;
+    for (int rep = 0; rep < 20; ++rep) {
+        for (int b = 0; b < 4; ++b) {
+            MemRecord r;
+            r.addr = static_cast<uint64_t>(b) * 64 * 4; // 4 L1 sets
+            r.pc = 0x400000;
+            r.instGap = 1;
+            cpu.append(r);
+        }
+    }
+    Trace llc = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    EXPECT_EQ(llc.size(), 4u);
+}
+
+TEST(HierarchyFilter, WritebacksAppearAsPcZeroWrites)
+{
+    HierarchyConfig cfg = tinyHier();
+    // Dirty a lot of distinct blocks so L2 eventually evicts dirty
+    // lines into the LLC stream.
+    Trace cpu;
+    for (int i = 0; i < 200; ++i) {
+        MemRecord r;
+        r.addr = static_cast<uint64_t>(i) * 64;
+        r.pc = 0x400000;
+        r.isWrite = true;
+        r.instGap = 1;
+        cpu.append(r);
+    }
+    Trace llc = Hierarchy::filterToLlc(cpu, cfg, lruF(), lruF());
+    bool saw_writeback = false;
+    for (const auto &r : llc)
+        if (r.pc == 0 && r.isWrite)
+            saw_writeback = true;
+    EXPECT_TRUE(saw_writeback);
+}
+
+TEST(HierarchyInclusive, InvariantHoldsUnderChurn)
+{
+    // Property: in inclusive mode, every block resident in the L1 or
+    // L2 must also be resident in the LLC, at every point of a
+    // churning workload whose footprint exceeds the LLC.
+    HierarchyConfig cfg = tinyHier();
+    cfg.inclusiveLlc = true;
+    Hierarchy h(cfg, lruF(), lruF(), lruF());
+    Rng rng(314);
+    auto check_inclusion = [&]() {
+        for (auto *upper : {&h.l1(), &h.l2()}) {
+            const CacheConfig &ucfg = upper->config();
+            for (uint64_t s = 0; s < ucfg.sets(); ++s) {
+                for (unsigned w = 0; w < ucfg.assoc; ++w) {
+                    auto blk = upper->blockAt(s, w);
+                    if (blk) {
+                        ASSERT_TRUE(h.llc().probe(
+                            *blk << ucfg.blockShift()))
+                            << ucfg.name << " set " << s;
+                    }
+                }
+            }
+        }
+    };
+    for (int i = 0; i < 5000; ++i) {
+        h.access(rng.nextBounded(2048) * 64, rng.nextBool(0.3));
+        if (i % 500 == 0)
+            check_inclusion();
+    }
+    check_inclusion();
+}
+
+TEST(HierarchyInclusive, BackInvalidationCausesUpperMiss)
+{
+    // Force an LLC eviction of a block that is L1-resident and check
+    // the next access to it misses all the way down.
+    HierarchyConfig cfg = tinyHier();
+    cfg.inclusiveLlc = true;
+    Hierarchy h(cfg, lruF(), lruF(), lruF());
+    // Fill one LLC set (8 ways; LLC has 64 sets).  Victim will be the
+    // first block.
+    uint64_t stride = 64ull * 64; // same LLC set, different tags
+    for (uint64_t t = 0; t < 8; ++t)
+        h.access(t * stride, false);
+    // Block 0 is L1-resident? It may have been evicted from tiny L1;
+    // re-touch to make it resident everywhere, then push LLC to evict
+    // a different known victim... simpler: touch block 0, then insert
+    // 8 new tags so block 0 is eventually the LLC victim, and verify
+    // it then misses in L1 (back-invalidated) rather than hitting.
+    h.access(0, false);
+    EXPECT_EQ(h.access(0, false), HitLevel::L1);
+    for (uint64_t t = 8; t < 17; ++t)
+        h.access(t * stride, false);
+    EXPECT_FALSE(h.llc().probe(0));
+    EXPECT_NE(h.access(0, false), HitLevel::L1);
+}
+
+TEST(HierarchyInclusive, NonInclusiveAllowsUpperOnlyResidency)
+{
+    // Sanity contrast: without inclusion, a block evicted from the
+    // LLC can remain resident above.  Geometry with more L1 sets than
+    // LLC sets so same-LLC-set blocks land in distinct L1 sets.
+    HierarchyConfig cfg;
+    cfg.l1 = {"L1", 32 * 2 * 64, 2, 64}; // 32 sets x 2 ways
+    cfg.l2 = {"L2", 32 * 4 * 64, 4, 64}; // 32 sets x 4 ways
+    cfg.llc = {"LLC", 8 * 4 * 64, 4, 64}; // 8 sets x 4 ways
+    cfg.inclusiveLlc = false;
+    Hierarchy h(cfg, lruF(), lruF(), lruF());
+    h.access(0, false); // block 0: LLC set 0, L1 set 0
+    // Five more blocks in LLC set 0 but other L1 sets: evict block 0
+    // from the 4-way LLC set while it stays in the L1.
+    for (uint64_t b : {8u, 16u, 24u, 40u, 48u})
+        h.access(b * 64, false);
+    EXPECT_FALSE(h.llc().probe(0));
+    EXPECT_TRUE(h.l1().probe(0));
+    EXPECT_EQ(h.access(0, false), HitLevel::L1);
+
+    // The same sequence under inclusion back-invalidates block 0.
+    cfg.inclusiveLlc = true;
+    Hierarchy hi(cfg, lruF(), lruF(), lruF());
+    hi.access(0, false);
+    for (uint64_t b : {8u, 16u, 24u, 40u, 48u})
+        hi.access(b * 64, false);
+    EXPECT_FALSE(hi.llc().probe(0));
+    EXPECT_FALSE(hi.l1().probe(0));
+}
+
+TEST(HierarchyFilter, DeterministicForSameInput)
+{
+    Trace cpu = sequentialTrace(500);
+    Trace a = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    Trace b = Hierarchy::filterToLlc(cpu, tinyHier(), lruF(), lruF());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i] == b[i]) << i;
+}
+
+} // namespace
+} // namespace gippr

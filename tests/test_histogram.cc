@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for util/histogram.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.total(), 0u);
+    for (size_t i = 0; i <= 8; ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(Histogram, AddInRange)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(3);
+    h.add(3);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.add(4);
+    h.add(100);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, AddWithCount)
+{
+    Histogram h(4);
+    h.add(2, 7);
+    EXPECT_EQ(h.bucket(2), 7u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, Cumulative)
+{
+    Histogram h(8);
+    h.add(1, 2);
+    h.add(3, 5);
+    h.add(6, 1);
+    EXPECT_EQ(h.cumulative(0), 0u);
+    EXPECT_EQ(h.cumulative(1), 2u);
+    EXPECT_EQ(h.cumulative(3), 7u);
+    EXPECT_EQ(h.cumulative(100), 8u); // clamps, excludes overflow
+}
+
+TEST(Histogram, CumulativeExcludesOverflow)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(9); // overflow
+    EXPECT_EQ(h.cumulative(3), 1u);
+}
+
+TEST(Histogram, WeightedCumulative)
+{
+    Histogram h(8);
+    h.add(2, 3); // contributes 6
+    h.add(5, 2); // contributes 10
+    EXPECT_EQ(h.weightedCumulative(2), 6u);
+    EXPECT_EQ(h.weightedCumulative(5), 16u);
+    EXPECT_EQ(h.weightedCumulative(1), 0u);
+}
+
+TEST(Histogram, Clear)
+{
+    Histogram h(4);
+    h.add(1, 10);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(Histogram, DecayHalves)
+{
+    Histogram h(4);
+    h.add(1, 8);
+    h.add(2, 5);
+    h.decay();
+    EXPECT_EQ(h.bucket(1), 4u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, DecayToZero)
+{
+    Histogram h(2);
+    h.add(0, 1);
+    h.decay();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, ToStringFormat)
+{
+    Histogram h(2);
+    h.add(0);
+    h.add(5); // overflow
+    EXPECT_EQ(h.toString(), "1 0 1");
+}
+
+} // namespace
+} // namespace gippr

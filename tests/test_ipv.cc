@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the IPV abstraction: construction, parsing, canonical
+ * vectors, degeneracy analysis and shift-edge computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ipv.hh"
+#include "core/vectors.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Ipv, LruVectorAllZeros)
+{
+    Ipv v = Ipv::lru(16);
+    EXPECT_EQ(v.ways(), 16u);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(v.promotion(i), 0u);
+    EXPECT_EQ(v.insertion(), 0u);
+}
+
+TEST(Ipv, LruInsertionVector)
+{
+    Ipv v = Ipv::lruInsertion(16);
+    EXPECT_EQ(v.insertion(), 15u);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(v.promotion(i), 0u);
+}
+
+TEST(Ipv, ParsePaperGiplrVector)
+{
+    Ipv v = paper_vectors::giplr();
+    EXPECT_EQ(v.ways(), 16u);
+    // Section 2.5: incoming blocks inserted into position 13.
+    EXPECT_EQ(v.insertion(), 13u);
+    // A block referenced in the LRU position moves to position 11.
+    EXPECT_EQ(v.promotion(15), 11u);
+    // A block referenced in position 2 moves to position 1.
+    EXPECT_EQ(v.promotion(2), 1u);
+}
+
+TEST(Ipv, ParseAcceptsCommasAndBrackets)
+{
+    Ipv a = Ipv::parse("[0, 0, 1, 2]");
+    EXPECT_EQ(a.ways(), 3u);
+    EXPECT_EQ(a.insertion(), 2u);
+}
+
+TEST(Ipv, ParseRejectsOutOfRangeEntries)
+{
+    // k = 3 ways implies entries < 3.
+    EXPECT_THROW(Ipv::parse("0 1 3 0"), std::runtime_error);
+}
+
+TEST(Ipv, ParseRejectsTooShort)
+{
+    EXPECT_THROW(Ipv::parse("0 0"), std::runtime_error);
+}
+
+TEST(Ipv, ToStringRoundTrip)
+{
+    Ipv v = paper_vectors::wiGippr();
+    Ipv u = Ipv::parse(v.toString());
+    EXPECT_TRUE(v == u);
+}
+
+TEST(Ipv, ValidationCatchesBadVectors)
+{
+    EXPECT_FALSE(Ipv::isValidVector({0, 1}));        // too short
+    EXPECT_FALSE(Ipv::isValidVector({0, 0, 0, 3}));  // value == k
+    EXPECT_TRUE(Ipv::isValidVector({0, 0, 0, 2}));
+}
+
+TEST(Ipv, LruIsNotDegenerate)
+{
+    EXPECT_FALSE(Ipv::lru(16).isDegenerate());
+}
+
+TEST(Ipv, LruInsertionIsNotDegenerate)
+{
+    // LIP inserts at k-1 but promotion from there reaches MRU.
+    EXPECT_FALSE(Ipv::lruInsertion(16).isDegenerate());
+}
+
+TEST(Ipv, PaperVectorsAreNotDegenerate)
+{
+    EXPECT_FALSE(paper_vectors::giplr().isDegenerate());
+    EXPECT_FALSE(paper_vectors::wiGippr().isDegenerate());
+    for (const Ipv &v : paper_vectors::wi2Dgippr())
+        EXPECT_FALSE(v.isDegenerate());
+    for (const Ipv &v : paper_vectors::wi4Dgippr())
+        EXPECT_FALSE(v.isDegenerate());
+}
+
+TEST(Ipv, DegenerateVectorDetected)
+{
+    // 4 ways: insertion at 3; promotions from 1..3 all land at 1, no
+    // promotion targets 0, and since V[0] == 0 no move ever shifts a
+    // block upward into MRU -> position 0 unreachable.
+    Ipv v = Ipv::parse("0 1 1 1 3");
+    EXPECT_TRUE(v.isDegenerate());
+}
+
+TEST(Ipv, AllDemotionsWithUpShiftsIsNotDegenerate)
+{
+    // Every promotion demotes to 3, but the demotion move 0 -> 3
+    // shifts blocks at 1..3 *up*, so a block can ride shifts to MRU:
+    // not degenerate under the paper's induced-graph definition.
+    Ipv v = Ipv::parse("3 3 3 3 3");
+    EXPECT_FALSE(v.isDegenerate());
+}
+
+TEST(Ipv, SelfLoopInsertionWithNoPromotionIsDegenerate)
+{
+    // Insert at 2; blocks bounce between 2 and 3 (via the 3 -> 2
+    // move's down-shift) but nothing ever reaches 1 or 0.
+    Ipv v = Ipv::parse("0 1 2 2 2");
+    EXPECT_TRUE(v.isDegenerate());
+}
+
+TEST(Ipv, ReachabilityViaShiftEdges)
+{
+    // 4 ways: insertion at 3; promotion from 3 to 1 shifts blocks at
+    // positions 1..2 down and never promotes them, but a block at 2
+    // shifted down... Construct: V = [0 1 2 1 3]: insert at 3, promote
+    // 3 -> 1. The shift of the move 3->1 pushes 1,2 down. From 1 the
+    // promotion goes to 1 (stays); position 0 reachable only via
+    // promotion 1 -> ... V[1] = 1, V[2] = 2. So from insertion: 3 ->
+    // 1 -> stuck; 0 unreachable by promotion. But no upward shifts
+    // exist, so degenerate.
+    Ipv stuck = Ipv::parse("0 1 2 1 3");
+    EXPECT_TRUE(stuck.isDegenerate());
+    // Now allow promotion 1 -> 0: path exists.
+    Ipv ok = Ipv::parse("0 0 2 1 3");
+    EXPECT_FALSE(ok.isDegenerate());
+}
+
+TEST(Ipv, ShiftEdgesForLru)
+{
+    // LRU: every move i -> 0 shifts positions 0..i-1 down.
+    Ipv v = Ipv::lru(4);
+    Ipv::ShiftEdges e = v.shiftEdges();
+    EXPECT_TRUE(e.down[0]);
+    EXPECT_TRUE(e.down[1]);
+    EXPECT_TRUE(e.down[2]);
+    // No move has a target above its source, so no upward shifts.
+    EXPECT_FALSE(e.up[1]);
+    EXPECT_FALSE(e.up[2]);
+    EXPECT_FALSE(e.up[3]);
+}
+
+TEST(Ipv, ShiftEdgesForDownwardMove)
+{
+    // V[0] = 3 (demotion): blocks at 1..3 shift up.
+    Ipv v = Ipv::parse("3 1 2 3 0");
+    Ipv::ShiftEdges e = v.shiftEdges();
+    EXPECT_TRUE(e.up[1]);
+    EXPECT_TRUE(e.up[2]);
+    EXPECT_TRUE(e.up[3]);
+}
+
+TEST(Ipv, ReachableFromInsertionLru)
+{
+    Ipv v = Ipv::lru(8);
+    std::vector<bool> r = v.reachableFromInsertion();
+    // Insertion at 0; every position reachable by being shifted down.
+    for (unsigned p = 0; p < 8; ++p)
+        EXPECT_TRUE(r[p]) << p;
+}
+
+TEST(Ipv, LocalVectorSetsAreWellFormed)
+{
+    EXPECT_EQ(local_vectors::giplr().ways(), 16u);
+    EXPECT_EQ(local_vectors::gippr().ways(), 16u);
+    EXPECT_EQ(local_vectors::dgippr2().size(), 2u);
+    EXPECT_EQ(local_vectors::dgippr4().size(), 4u);
+    EXPECT_EQ(local_vectors::dgippr8().size(), 8u);
+    for (const Ipv &v : local_vectors::dgippr8()) {
+        EXPECT_EQ(v.ways(), 16u);
+        EXPECT_FALSE(v.isDegenerate());
+    }
+}
+
+TEST(Ipv, EqualityComparesEntries)
+{
+    EXPECT_TRUE(Ipv::lru(4) == Ipv::parse("0 0 0 0 0"));
+    EXPECT_FALSE(Ipv::lru(4) == Ipv::lruInsertion(4));
+}
+
+} // namespace
+} // namespace gippr

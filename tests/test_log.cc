@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the logging/error facilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/log.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+    try {
+        fatal("specific message");
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+    setLogLevel(before);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant broken"), "invariant broken");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(before);
+}
+
+TEST(Log, InformWarnDebugDoNotThrow)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_NO_THROW(inform("hello"));
+    EXPECT_NO_THROW(warn("careful"));
+    EXPECT_NO_THROW(debug("details"));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace gippr

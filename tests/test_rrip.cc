@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for SRRIP / BRRIP / DRRIP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "policies/rrip.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+namespace
+{
+
+CacheConfig
+cfg(unsigned sets, unsigned ways)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.blockBytes = 64;
+    c.assoc = ways;
+    c.sizeBytes = static_cast<uint64_t>(sets) * ways * 64;
+    return c;
+}
+
+uint64_t
+addrOf(const CacheConfig &c, uint64_t set, uint64_t tag)
+{
+    return ((tag << c.setShift()) | set) << c.blockShift();
+}
+
+TEST(Srrip, InsertsWithLongPrediction)
+{
+    CacheConfig c = cfg(64, 4);
+    auto policy = makeSrrip(c);
+    RripPolicy *raw = policy.get();
+    SetAssocCache cache(c, std::move(policy));
+    cache.access(addrOf(c, 0, 1), AccessType::Load);
+    // SRRIP inserts at max-1 = 2 for 2-bit RRPVs.
+    EXPECT_EQ(raw->rrpv(0, 0), 2u);
+}
+
+TEST(Srrip, HitPromotesToZero)
+{
+    CacheConfig c = cfg(64, 4);
+    auto policy = makeSrrip(c);
+    RripPolicy *raw = policy.get();
+    SetAssocCache cache(c, std::move(policy));
+    cache.access(addrOf(c, 0, 1), AccessType::Load);
+    cache.access(addrOf(c, 0, 1), AccessType::Load);
+    EXPECT_EQ(raw->rrpv(0, 0), 0u);
+}
+
+TEST(Srrip, VictimIsDistantBlock)
+{
+    CacheConfig c = cfg(2, 4);
+    auto policy = makeSrrip(c);
+    RripPolicy *raw = policy.get();
+    SetAssocCache cache(c, std::move(policy));
+    for (uint64_t t = 0; t < 4; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    // Touch tag 0 so its RRPV is 0; all others are 2.
+    cache.access(addrOf(c, 0, 0), AccessType::Load);
+    // Next miss: aging raises everyone until a 3 appears; tags 1-3
+    // reach 3 first.  Victim must not be way 0.
+    AccessResult r = cache.access(addrOf(c, 0, 9), AccessType::Load);
+    ASSERT_TRUE(r.evictedBlock.has_value());
+    EXPECT_NE(r.way, 0u);
+    // Aging left way 0 at RRPV 1.
+    EXPECT_EQ(raw->rrpv(0, 0), 1u);
+}
+
+TEST(Srrip, AgingTerminates)
+{
+    // All blocks at RRPV 0: victim search must still find one after
+    // three aging rounds.
+    CacheConfig c = cfg(2, 4);
+    auto policy = makeSrrip(c);
+    SetAssocCache cache(c, std::move(policy));
+    for (uint64_t t = 0; t < 4; ++t) {
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+        cache.access(addrOf(c, 0, t), AccessType::Load); // promote to 0
+    }
+    AccessResult r = cache.access(addrOf(c, 0, 9), AccessType::Load);
+    EXPECT_TRUE(r.evictedBlock.has_value());
+}
+
+TEST(Srrip, ScanResistance)
+{
+    // An established, re-referenced working set survives a one-pass
+    // scan under SRRIP but not under plain recency insertion.
+    CacheConfig c = cfg(4, 8);
+    auto policy = makeSrrip(c);
+    SetAssocCache cache(c, std::move(policy));
+    // Establish 4 hot blocks per set, re-referenced (RRPV 0).
+    for (int rep = 0; rep < 3; ++rep)
+        for (uint64_t t = 0; t < 4; ++t)
+            for (uint64_t s = 0; s < 4; ++s)
+                cache.access(addrOf(c, s, t), AccessType::Load);
+    // One-pass scan of 8 cold blocks per set (short enough that the
+    // aging sweeps cannot lift the re-referenced blocks to distant).
+    for (uint64_t t = 100; t < 132; ++t)
+        cache.access(addrOf(c, t % 4, t), AccessType::Load);
+    // Hot set must still be fully resident.
+    unsigned resident = 0;
+    for (uint64_t t = 0; t < 4; ++t)
+        for (uint64_t s = 0; s < 4; ++s)
+            if (cache.probe(addrOf(c, s, t)))
+                ++resident;
+    EXPECT_EQ(resident, 16u);
+}
+
+TEST(Brrip, MostInsertionsAreDistant)
+{
+    CacheConfig c = cfg(64, 4);
+    auto policy = makeBrrip(c, 2, 7);
+    RripPolicy *raw = policy.get();
+    SetAssocCache cache(c, std::move(policy));
+    unsigned distant = 0, total = 0;
+    for (uint64_t t = 0; t < 256; ++t) {
+        uint64_t set = t % 64;
+        cache.access(addrOf(c, set, 1000 + t), AccessType::Load);
+        // Find the way just filled (first fills go in way order).
+        if (t < 64) {
+            if (raw->rrpv(set, 0) == 3u)
+                ++distant;
+            ++total;
+        }
+    }
+    EXPECT_GT(distant, total * 8 / 10);
+    EXPECT_LT(distant, total); // the 1/32 long insertions exist
+}
+
+TEST(Drrip, ConvergesToBrripOnThrash)
+{
+    // Cyclic working set larger than the cache: SRRIP leader sets
+    // thrash (all blocks inserted at 2 age together), BRRIP leaders
+    // keep part of the set; DRRIP followers must behave like BRRIP
+    // and produce hits.
+    CacheConfig c = cfg(64, 4); // 256 blocks
+    auto drrip_cache = SetAssocCache(c, makeDrrip(c, 2, 4, 7));
+    auto srrip_cache = SetAssocCache(c, makeSrrip(c));
+    for (int rep = 0; rep < 60; ++rep) {
+        for (uint64_t b = 0; b < 320; ++b) { // 1.25x capacity
+            drrip_cache.access(b * 64, AccessType::Load);
+            srrip_cache.access(b * 64, AccessType::Load);
+        }
+    }
+    EXPECT_GT(drrip_cache.stats().hits,
+              srrip_cache.stats().hits * 2);
+}
+
+TEST(Drrip, GlobalStateIsOnePsel)
+{
+    CacheConfig c = CacheConfig::paperLlc();
+    auto drrip = makeDrrip(c);
+    EXPECT_EQ(drrip->globalStateBits(), 11u);
+}
+
+TEST(Rrip, StateBitsPerSetMatchPaper)
+{
+    CacheConfig c = CacheConfig::paperLlc();
+    // 2 bits per block * 16 ways = 32 bits per set (twice DGIPPR's 15).
+    EXPECT_EQ(makeDrrip(c)->stateBitsPerSet(), 32u);
+    EXPECT_EQ(makeSrrip(c)->globalStateBits(), 0u);
+}
+
+TEST(Rrip, NamesDistinguishModes)
+{
+    CacheConfig c = cfg(64, 4);
+    EXPECT_EQ(makeSrrip(c)->name(), "SRRIP");
+    EXPECT_EQ(makeBrrip(c)->name(), "BRRIP");
+    EXPECT_EQ(makeDrrip(c)->name(), "DRRIP");
+}
+
+TEST(Rrip, InvalidateMakesWayVictimNext)
+{
+    CacheConfig c = cfg(2, 4);
+    auto policy = makeSrrip(c);
+    SetAssocCache cache(c, std::move(policy));
+    for (uint64_t t = 0; t < 4; ++t)
+        cache.access(addrOf(c, 0, t), AccessType::Load);
+    cache.invalidate(addrOf(c, 0, 2));
+    AccessResult r = cache.access(addrOf(c, 0, 9), AccessType::Load);
+    EXPECT_FALSE(r.evictedBlock.has_value()); // filled invalid way 2
+    EXPECT_EQ(r.way, 2u);
+}
+
+TEST(Rrip, ThreeBitRrpvWorks)
+{
+    CacheConfig c = cfg(64, 8);
+    RripPolicy p(c, RripPolicy::Mode::Static, 3);
+    AccessInfo info;
+    info.set = 0;
+    p.onInsert(0, info);
+    EXPECT_EQ(p.rrpv(0, 0), 6u); // max-1 = 2^3 - 2
+}
+
+} // namespace
+} // namespace gippr

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for util/sat_counter.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(SatCounter, InitialValue)
+{
+    SatCounter c(2, 1);
+    EXPECT_EQ(c.value(), 1u);
+    EXPECT_EQ(c.maxValue(), 3u);
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturatedHigh());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(3, 5);
+    for (int i = 0; i < 20; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SatCounter, IncrementDecrementSymmetric)
+{
+    SatCounter c(4, 8);
+    c.increment();
+    c.decrement();
+    EXPECT_EQ(c.value(), 8u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(2);
+    c.set(3);
+    EXPECT_EQ(c.value(), 3u);
+    c.set(0);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, WidthOne)
+{
+    SatCounter c(1);
+    EXPECT_EQ(c.maxValue(), 1u);
+    c.increment();
+    c.increment();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, MaxMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits);
+    EXPECT_EQ(c.maxValue(), (uint32_t{1} << bits) - 1);
+    for (uint32_t i = 0; i <= c.maxValue() + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.maxValue());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 11u, 16u));
+
+TEST(DuelCounter, StartsPreferringB)
+{
+    // Initialized at the midpoint: "counter at least 0" prefers B,
+    // matching the paper's convention.
+    DuelCounter d(11);
+    EXPECT_TRUE(d.preferB());
+}
+
+TEST(DuelCounter, MissesFromAKeepPreferenceOnB)
+{
+    DuelCounter d(8);
+    for (int i = 0; i < 100; ++i)
+        d.missA();
+    EXPECT_TRUE(d.preferB());
+}
+
+TEST(DuelCounter, MissesFromBSwitchToA)
+{
+    DuelCounter d(8);
+    d.missB();
+    EXPECT_FALSE(d.preferB());
+}
+
+TEST(DuelCounter, BalancedTrafficStaysNearMidpoint)
+{
+    DuelCounter d(11);
+    for (int i = 0; i < 1000; ++i) {
+        d.missA();
+        d.missB();
+    }
+    uint32_t mid = 1u << 10;
+    EXPECT_NEAR(static_cast<double>(d.raw()), static_cast<double>(mid),
+                2.0);
+}
+
+TEST(DuelCounter, SaturationBoundsSwing)
+{
+    DuelCounter d(4);
+    for (int i = 0; i < 100; ++i)
+        d.missA();
+    EXPECT_EQ(d.raw(), 15u);
+    // A single burst of B misses can still flip the decision after
+    // enough events; verify it takes roughly the counter range.
+    int flips = 0;
+    while (d.preferB() && flips < 100) {
+        d.missB();
+        ++flips;
+    }
+    EXPECT_GT(flips, 4);
+    EXPECT_LT(flips, 20);
+}
+
+} // namespace
+} // namespace gippr

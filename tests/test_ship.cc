@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the SHiP-PC extension baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "policies/ship.hh"
+
+namespace gippr
+{
+namespace
+{
+
+CacheConfig
+cfg(unsigned sets, unsigned ways)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.blockBytes = 64;
+    c.assoc = ways;
+    c.sizeBytes = static_cast<uint64_t>(sets) * ways * 64;
+    return c;
+}
+
+uint64_t
+addrOf(const CacheConfig &c, uint64_t set, uint64_t tag)
+{
+    return ((tag << c.setShift()) | set) << c.blockShift();
+}
+
+constexpr uint64_t kStreamPc = 0x400100;
+constexpr uint64_t kHotPc = 0x400200;
+
+TEST(Ship, LearnsDeadPcAndInsertsDistant)
+{
+    CacheConfig c = cfg(16, 4);
+    SetAssocCache cache(c, std::make_unique<ShipPolicy>(c));
+    // Phase 1: stream thousands of never-reused blocks from one PC so
+    // the SHCT learns the signature is dead.
+    for (uint64_t t = 0; t < 4000; ++t)
+        cache.access(addrOf(c, t % 16, 100 + t), AccessType::Load,
+                     kStreamPc);
+    // Phase 2: establish a hot set from another PC.
+    for (int rep = 0; rep < 5; ++rep)
+        for (uint64_t s = 0; s < 16; ++s)
+            for (uint64_t t = 0; t < 3; ++t)
+                cache.access(addrOf(c, s, t), AccessType::Load,
+                             kHotPc);
+    cache.clearStats();
+    // Phase 3: interleave hot reuse with dead-PC pollution; the hot
+    // blocks must survive because pollution inserts distant.
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t s = static_cast<uint64_t>(i) % 16;
+        cache.access(addrOf(c, s, static_cast<uint64_t>(i) % 3),
+                     AccessType::Load, kHotPc);
+        cache.access(addrOf(c, s, 5000 + static_cast<uint64_t>(i)),
+                     AccessType::Load, kStreamPc);
+    }
+    // Hot accesses: ~3000, almost all hits.
+    EXPECT_GT(cache.stats().hits, 2700u);
+}
+
+TEST(Ship, ReusedPcInsertsLong)
+{
+    // Without any training, SHCT counters start weakly reused (1):
+    // insertions are "long" (max-1), same as SRRIP.
+    CacheConfig c = cfg(16, 4);
+    ShipPolicy p(c);
+    AccessInfo info;
+    info.set = 0;
+    info.pc = kHotPc;
+    p.onInsert(0, info);
+    // Insertion RRPV is not directly exported; the dead-PC behaviour
+    // is covered by LearnsDeadPcAndInsertsDistant.  Check the
+    // per-line metadata accounting here.
+    EXPECT_EQ(p.stateBitsPerSet(),
+              4u * (2u + 14u + 1u)); // rrpv + sig + outcome per line
+}
+
+TEST(Ship, GlobalStateIsShct)
+{
+    CacheConfig c = cfg(16, 4);
+    ShipPolicy p(c, 14, 2);
+    EXPECT_EQ(p.globalStateBits(), (size_t{1} << 14) * 2);
+}
+
+TEST(Ship, SignatureStableForSamePc)
+{
+    // Same PC, different blocks: eviction training must hit the same
+    // SHCT entry, which we observe via behaviour convergence (dead PC
+    // streams stop polluting).  Smoke-check: long random run keeps
+    // invariants (no crash, sane stats).
+    CacheConfig c = cfg(32, 8);
+    SetAssocCache cache(c, std::make_unique<ShipPolicy>(c));
+    for (uint64_t t = 0; t < 20000; ++t)
+        cache.access(addrOf(c, t % 32, t), AccessType::Load,
+                     0x400000 + (t % 7) * 4);
+    EXPECT_EQ(cache.stats().accesses, 20000u);
+    EXPECT_GT(cache.stats().misses, 0u);
+}
+
+TEST(Ship, WritebacksUseZeroPcSignature)
+{
+    CacheConfig c = cfg(16, 4);
+    SetAssocCache cache(c, std::make_unique<ShipPolicy>(c));
+    EXPECT_NO_THROW(
+        cache.access(addrOf(c, 0, 1), AccessType::Writeback, 0));
+}
+
+} // namespace
+} // namespace gippr

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for util/stats.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(Stats, MeanSingle)
+{
+    EXPECT_DOUBLE_EQ(mean({7.5}), 7.5);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_NEAR(geomean({1.05, 1.05, 1.05}), 1.05, 1e-12);
+}
+
+TEST(Stats, GeomeanBelowArithmeticMean)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+    EXPECT_LT(geomean(v), mean(v));
+}
+
+TEST(Stats, StddevBasic)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+}
+
+TEST(Stats, StddevConstantZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    std::vector<double> v{3.0, -1.0, 9.0, 2.0};
+    EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 9.0);
+}
+
+TEST(Stats, WeightedMeanBasic)
+{
+    // SimPoint-style combine: weights 3:1.
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 5.0}, {3.0, 1.0}), 2.0);
+}
+
+TEST(Stats, WeightedMeanUniformEqualsMean)
+{
+    std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(weightedMean(v, {1.0, 1.0, 1.0}), mean(v));
+}
+
+TEST(Stats, WeightedMeanIgnoresZeroWeight)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 100.0}, {1.0, 0.0}), 1.0);
+}
+
+TEST(Stats, MedianOdd)
+{
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, MedianEvenInterpolates)
+{
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Stats, PercentileInterpolation)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(RunningStats, MatchesBatch)
+{
+    std::vector<double> v{1.0, 2.5, 3.5, 8.0, -1.0};
+    RunningStats rs;
+    for (double x : v)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats rs;
+    rs.add(4.2);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.2);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+} // namespace
+} // namespace gippr

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the synthetic benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/suite.hh"
+
+namespace gippr
+{
+namespace
+{
+
+SuiteParams
+tinyParams()
+{
+    SuiteParams p;
+    p.llcBlocks = 512;
+    p.accessesPerSimpoint = 4000;
+    p.baseSeed = 99;
+    return p;
+}
+
+TEST(Suite, HasExpectedBreadth)
+{
+    SyntheticSuite suite(tinyParams());
+    EXPECT_GE(suite.specs().size(), 24u);
+}
+
+TEST(Suite, NamesAreUnique)
+{
+    SyntheticSuite suite(tinyParams());
+    std::set<std::string> names;
+    for (const auto &n : suite.names())
+        EXPECT_TRUE(names.insert(n).second) << n;
+}
+
+TEST(Suite, SpecLookupByName)
+{
+    SyntheticSuite suite(tinyParams());
+    const WorkloadSpec &s = suite.spec("loop_thrash");
+    EXPECT_EQ(s.name, "loop_thrash");
+    EXPECT_THROW(suite.spec("no_such_workload"), std::runtime_error);
+}
+
+TEST(Suite, MaterializeProducesRequestedAccesses)
+{
+    SyntheticSuite suite(tinyParams());
+    Workload w = SyntheticSuite::materialize(suite.spec("stream_pure"));
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w.simpoints()[0].trace->size(), 4000u);
+}
+
+TEST(Suite, MaterializeIsDeterministic)
+{
+    SyntheticSuite suite(tinyParams());
+    Workload a = SyntheticSuite::materialize(suite.spec("zipf_hot"));
+    Workload b = SyntheticSuite::materialize(suite.spec("zipf_hot"));
+    ASSERT_EQ(a.simpoints()[0].trace->size(),
+              b.simpoints()[0].trace->size());
+    for (size_t i = 0; i < a.simpoints()[0].trace->size(); ++i)
+        ASSERT_TRUE((*a.simpoints()[0].trace)[i] ==
+                    (*b.simpoints()[0].trace)[i]);
+}
+
+TEST(Suite, MultiSimpointWorkloadsHaveWeights)
+{
+    SyntheticSuite suite(tinyParams());
+    const WorkloadSpec &s = suite.spec("multiphase_mix");
+    EXPECT_EQ(s.simpoints.size(), 3u);
+    double total = 0.0;
+    for (const auto &sp : s.simpoints)
+        total += sp.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Suite, WorkloadsUseDisjointRegions)
+{
+    SyntheticSuite suite(tinyParams());
+    Workload a = SyntheticSuite::materialize(suite.spec("loop_fit"));
+    Workload b = SyntheticSuite::materialize(suite.spec("loop_thrash"));
+    std::set<uint64_t> blocks_a;
+    for (const auto &r : *a.simpoints()[0].trace)
+        blocks_a.insert(r.addr / 64);
+    for (const auto &r : *b.simpoints()[0].trace)
+        EXPECT_EQ(blocks_a.count(r.addr / 64), 0u);
+}
+
+TEST(Suite, ThrashWorkloadExceedsLlcCapacity)
+{
+    SuiteParams p = tinyParams();
+    SyntheticSuite suite(p);
+    Workload w = SyntheticSuite::materialize(suite.spec("loop_thrash"));
+    EXPECT_GT(w.simpoints()[0].trace->footprintBlocks(),
+              static_cast<size_t>(p.llcBlocks));
+}
+
+TEST(Suite, FitWorkloadStaysUnderCapacity)
+{
+    SuiteParams p = tinyParams();
+    SyntheticSuite suite(p);
+    Workload w = SyntheticSuite::materialize(suite.spec("loop_fit"));
+    EXPECT_LT(w.simpoints()[0].trace->footprintBlocks(),
+              static_cast<size_t>(p.llcBlocks));
+}
+
+TEST(Suite, SeedChangesTraces)
+{
+    SuiteParams p1 = tinyParams();
+    SuiteParams p2 = tinyParams();
+    p2.baseSeed = p1.baseSeed + 1;
+    SyntheticSuite s1(p1), s2(p2);
+    Workload a = SyntheticSuite::materialize(s1.spec("zipf_hot"));
+    Workload b = SyntheticSuite::materialize(s2.spec("zipf_hot"));
+    size_t same = 0, n = a.simpoints()[0].trace->size();
+    for (size_t i = 0; i < n; ++i)
+        if ((*a.simpoints()[0].trace)[i] == (*b.simpoints()[0].trace)[i])
+            ++same;
+    EXPECT_LT(same, n / 2);
+}
+
+TEST(Suite, CoversKeyArchetypes)
+{
+    SyntheticSuite suite(tinyParams());
+    auto names = suite.names();
+    auto has = [&](const std::string &n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("stream_pure"));
+    EXPECT_TRUE(has("loop_thrash"));
+    EXPECT_TRUE(has("chase_large"));
+    EXPECT_TRUE(has("zipf_hot"));
+    EXPECT_TRUE(has("hotcold_stream"));
+    EXPECT_TRUE(has("sd_bimodal"));
+    EXPECT_TRUE(has("phase_loopstream"));
+}
+
+} // namespace
+} // namespace gippr

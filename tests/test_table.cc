@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for util/table.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Table, DimensionsTrackRows)
+{
+    Table t({"a", "b"});
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.newRow().add("x").add("y");
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CellAccess)
+{
+    Table t({"a", "b", "c"});
+    t.newRow().add("r0c0").add(1.5, 1).add(uint64_t{42});
+    EXPECT_EQ(t.cell(0, 0), "r0c0");
+    EXPECT_EQ(t.cell(0, 1), "1.5");
+    EXPECT_EQ(t.cell(0, 2), "42");
+}
+
+TEST(Table, NumericPrecision)
+{
+    Table t({"v"});
+    t.newRow().add(3.14159, 3);
+    EXPECT_EQ(t.cell(0, 0), "3.142");
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.newRow().add("longest_name_here").add("1");
+    t.newRow().add("x").add("22");
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header, separator, two rows.
+    int lines = 0;
+    for (char c : out)
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 4);
+    EXPECT_NE(out.find("longest_name_here"), std::string::npos);
+}
+
+TEST(Table, CsvBasic)
+{
+    Table t({"a", "b"});
+    t.newRow().add("x").add("y");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t({"a"});
+    t.newRow().add("has,comma");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a\n\"has,comma\"\n");
+}
+
+TEST(Table, CsvEscapesQuotes)
+{
+    Table t({"a"});
+    t.newRow().add("say \"hi\",ok");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a\n\"say \"\"hi\"\",ok\"\n");
+}
+
+TEST(Table, IntAndDoubleOverloads)
+{
+    Table t({"a", "b", "c"});
+    t.newRow().add(-5).add(uint64_t{7}).add(0.125, 3);
+    EXPECT_EQ(t.cell(0, 0), "-5");
+    EXPECT_EQ(t.cell(0, 1), "7");
+    EXPECT_EQ(t.cell(0, 2), "0.125");
+}
+
+} // namespace
+} // namespace gippr

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the trace module (trace, IO, simpoints).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/simpoint.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace gippr
+{
+namespace
+{
+
+MemRecord
+rec(uint64_t addr, uint32_t gap = 1, bool write = false,
+    uint64_t pc = 0x400000)
+{
+    MemRecord r;
+    r.addr = addr;
+    r.instGap = gap;
+    r.isWrite = write;
+    r.pc = pc;
+    return r;
+}
+
+TEST(Trace, AppendTracksTotals)
+{
+    Trace t;
+    t.append(rec(0x100, 5));
+    t.append(rec(0x200, 3, true));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.instructions(), 8u);
+    EXPECT_EQ(t.writes(), 1u);
+}
+
+TEST(Trace, ConstructFromVector)
+{
+    std::vector<MemRecord> recs{rec(0x100, 2), rec(0x140, 4, true)};
+    Trace t(recs);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.instructions(), 6u);
+    EXPECT_EQ(t.writes(), 1u);
+}
+
+TEST(Trace, FootprintCountsDistinctBlocks)
+{
+    Trace t;
+    t.append(rec(0));
+    t.append(rec(63));  // same 64B block
+    t.append(rec(64));  // next block
+    t.append(rec(128)); // third block
+    t.append(rec(64));  // repeat
+    EXPECT_EQ(t.footprintBlocks(64), 3u);
+}
+
+TEST(Trace, FootprintRespectsBlockSize)
+{
+    Trace t;
+    t.append(rec(0));
+    t.append(rec(64));
+    EXPECT_EQ(t.footprintBlocks(128), 1u);
+    EXPECT_EQ(t.footprintBlocks(64), 2u);
+}
+
+TEST(Trace, AccessesPerKiloInst)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.append(rec(static_cast<uint64_t>(i) * 64, 100));
+    EXPECT_DOUBLE_EQ(t.accessesPerKiloInst(), 10.0);
+}
+
+TEST(Trace, EmptyTraceSafeAccessors)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.instructions(), 0u);
+    EXPECT_DOUBLE_EQ(t.accessesPerKiloInst(), 0.0);
+    EXPECT_EQ(t.footprintBlocks(), 0u);
+}
+
+TEST(Trace, IterationOrderPreserved)
+{
+    Trace t;
+    for (uint64_t i = 0; i < 5; ++i)
+        t.append(rec(i * 64));
+    uint64_t expect = 0;
+    for (const auto &r : t) {
+        EXPECT_EQ(r.addr, expect * 64);
+        ++expect;
+    }
+}
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return ::testing::TempDir() + "gippr_trace_test.bin";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(TraceIoTest, RoundTrip)
+{
+    Trace t;
+    t.append(rec(0x1000, 3, false, 0x400100));
+    t.append(rec(0x2040, 7, true, 0x400104));
+    t.append(rec(0xdeadbeef00, 1, false, 0));
+    writeTrace(t, tempPath());
+    Trace u = readTrace(tempPath());
+    ASSERT_EQ(u.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(t[i] == u[i]) << i;
+    EXPECT_EQ(u.instructions(), t.instructions());
+    EXPECT_EQ(u.writes(), t.writes());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrip)
+{
+    Trace t;
+    writeTrace(t, tempPath());
+    Trace u = readTrace(tempPath());
+    EXPECT_TRUE(u.empty());
+}
+
+TEST_F(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(readTrace("/nonexistent/path/xyz.bin"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoTest, GarbageFileThrows)
+{
+    std::FILE *f = std::fopen(tempPath().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_THROW(readTrace(tempPath()), std::runtime_error);
+}
+
+TEST(Workload, AddAndCombine)
+{
+    Workload w("bench");
+    auto t1 = std::make_shared<Trace>();
+    auto t2 = std::make_shared<Trace>();
+    w.addSimpoint(t1, 3.0);
+    w.addSimpoint(t2, 1.0);
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w.totalWeight(), 4.0);
+    // Weighted mean of per-simpoint metrics.
+    EXPECT_DOUBLE_EQ(w.combine({1.0, 5.0}), 2.0);
+}
+
+TEST(Workload, NamePreserved)
+{
+    Workload w("429.mcf-like");
+    EXPECT_EQ(w.name(), "429.mcf-like");
+}
+
+TEST(Workload, SingleSimpointCombineIsIdentity)
+{
+    Workload w("x");
+    w.addSimpoint(std::make_shared<Trace>(), 0.37);
+    EXPECT_DOUBLE_EQ(w.combine({42.0}), 42.0);
+}
+
+} // namespace
+} // namespace gippr

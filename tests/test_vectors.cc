@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Regression tests pinning the shipped vector sets: the published
+ * paper vectors and the locally evolved defaults must stay
+ * structurally sound and keep their qualitative behaviour, so a
+ * future re-evolution that regresses them is caught here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/cache.hh"
+#include "core/gippr.hh"
+#include "core/plru.hh"
+#include "core/vectors.hh"
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Vectors, PaperVectorsMatchPublishedText)
+{
+    // Section 2.5 and 5.3 verbatim.
+    EXPECT_EQ(paper_vectors::giplr().toString(),
+              "[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]");
+    EXPECT_EQ(paper_vectors::wiGippr().toString(),
+              "[ 0 0 2 8 4 1 4 1 8 0 14 8 12 13 14 9 5 ]");
+    EXPECT_EQ(paper_vectors::wn1Perlbench().toString(),
+              "[ 12 8 14 1 4 4 2 1 8 12 6 4 0 0 10 12 11 ]");
+}
+
+TEST(Vectors, PaperTwoVectorSetDuelsInsertionExtremes)
+{
+    // Section 5.3.2: the WI-2 set "clearly duels between PLRU and
+    // PMRU insertion".
+    auto set = paper_vectors::wi2Dgippr();
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set[0].insertion(), 15u); // PLRU insertion
+    EXPECT_EQ(set[1].insertion(), 0u);  // PMRU insertion
+}
+
+TEST(Vectors, DuelSetsAreNestedPrefixes)
+{
+    auto two = local_vectors::dgippr2();
+    auto four = local_vectors::dgippr4();
+    auto eight = local_vectors::dgippr8();
+    ASSERT_EQ(two.size(), 2u);
+    ASSERT_EQ(four.size(), 4u);
+    ASSERT_EQ(eight.size(), 8u);
+    for (size_t i = 0; i < 2; ++i)
+        EXPECT_TRUE(two[i] == four[i]) << i;
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(four[i] == eight[i]) << i;
+}
+
+TEST(Vectors, DuelSetMembersAreDistinct)
+{
+    auto eight = local_vectors::dgippr8();
+    std::set<std::string> rendered;
+    for (const Ipv &v : eight)
+        rendered.insert(v.toString());
+    EXPECT_EQ(rendered.size(), eight.size());
+}
+
+TEST(Vectors, ShippedVectorsAreNotDegenerate)
+{
+    EXPECT_FALSE(local_vectors::giplr().isDegenerate());
+    EXPECT_FALSE(local_vectors::gippr().isDegenerate());
+    for (const Ipv &v : local_vectors::dgippr8())
+        EXPECT_FALSE(v.isDegenerate()) << v.toString();
+}
+
+TEST(Vectors, DuelSetCoversInsertionDiversity)
+{
+    // A useful duel set must offer at least two different insertion
+    // points (otherwise set-dueling has nothing to choose between).
+    auto four = local_vectors::dgippr4();
+    std::set<unsigned> insertions;
+    for (const Ipv &v : four)
+        insertions.insert(v.insertion());
+    EXPECT_GE(insertions.size(), 2u);
+}
+
+TEST(Vectors, EvolvedGipprBeatsPlruOnThrashLoop)
+{
+    // Behaviour regression: the shipped evolved vector must keep its
+    // thrash resistance (the reason it was selected).
+    CacheConfig c;
+    c.blockBytes = 64;
+    c.assoc = 16;
+    c.sizeBytes = 64 * 16 * 64; // 1024 blocks
+    SetAssocCache evolved(
+        c, std::make_unique<GipprPolicy>(c, local_vectors::gippr()));
+    SetAssocCache plru(c, std::make_unique<PlruPolicy>(c));
+    for (int rep = 0; rep < 30; ++rep) {
+        for (uint64_t b = 0; b < 1280; ++b) { // 1.25x capacity
+            evolved.access(b * 64, AccessType::Load);
+            plru.access(b * 64, AccessType::Load);
+        }
+    }
+    EXPECT_GT(evolved.stats().hits, plru.stats().hits + 5000);
+}
+
+TEST(Vectors, AllSixteenWayVectorsParseAtArity16)
+{
+    for (const Ipv &v : paper_vectors::wi4Dgippr())
+        EXPECT_EQ(v.ways(), 16u);
+    for (const Ipv &v : paper_vectors::wi2Dgippr())
+        EXPECT_EQ(v.ways(), 16u);
+}
+
+} // namespace
+} // namespace gippr
