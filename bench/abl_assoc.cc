@@ -35,8 +35,9 @@ duelDefFor(unsigned ways)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "abl_assoc");
     Scale scale = resolveScale();
     banner("abl_assoc: associativity sweep at fixed 1MB capacity",
            "Section 7, future-work item 6");
@@ -46,7 +47,7 @@ main()
     Table table({"assoc", "PLRU/LRU", "DRRIP/LRU", "2-DGIPPR/LRU",
                  "DGIPPR bits/set", "LRU bits/set"});
     for (unsigned ways : {4u, 8u, 16u, 32u}) {
-        ExperimentConfig cfg = experimentConfig(scale);
+        ExperimentConfig cfg = session.experimentConfig(scale);
         cfg.system.hier.llc.assoc = ways;
         cfg.system.hier.llc.validate();
 
@@ -76,9 +77,11 @@ main()
         std::printf("assoc %u done\n", ways);
     }
     emitTable(table, "abl_assoc");
+    session.addTable("abl_assoc", "normalized MPKI / bits", table);
 
     note("expected shape: DGIPPR's storage advantage grows with "
          "associativity (k-1 bits vs k*log2(k)); PLRU tracks LRU at "
          "every arity; adaptive insertion keeps its edge");
+    session.emit();
     return 0;
 }

@@ -34,14 +34,15 @@ duelDef(const std::string &name, unsigned leaders, unsigned bits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "abl_dueling");
     Scale scale = resolveScale();
     banner("abl_dueling: leader-set count and PSEL width ablation",
            "Section 3.5-3.6 (set-dueling configuration)");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
 
     // Part 1: leader sets per policy at 11-bit PSEL.
     {
@@ -56,6 +57,7 @@ main()
                     "PSEL) --\n");
         Table table = r.toNormalizedTable(lru, false, std::nullopt);
         emitTable(table, "abl_dueling_leaders");
+        session.addResult("abl_dueling_leaders", r);
         std::printf("\ngeomean normalized MPKI:\n");
         for (size_t c = 1; c < r.columns.size(); ++c)
             std::printf("  %-14s %.4f\n", r.columns[c].c_str(),
@@ -75,6 +77,7 @@ main()
                     "--\n");
         Table table = r.toNormalizedTable(lru, false, std::nullopt);
         emitTable(table, "abl_dueling_psel");
+        session.addResult("abl_dueling_psel", r);
         std::printf("\ngeomean normalized MPKI:\n");
         for (size_t c = 1; c < r.columns.size(); ++c)
             std::printf("  %-10s %.4f\n", r.columns[c].c_str(),
@@ -83,5 +86,6 @@ main()
 
     note("expected shape: broad plateau around the paper's choices "
          "(tens of leaders, ~11-bit counters); extremes degrade");
+    session.emit();
     return 0;
 }

@@ -19,14 +19,17 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "abl_hillclimb");
     Scale scale = resolveScale();
     banner("abl_hillclimb: local refinement of evolved vectors",
            "Section 2.6 (vector refinement)");
 
     SyntheticSuite suite(suiteParams(scale));
     SystemParams sys = systemParams();
+    session.recordScale(scale);
+    session.setConfig("system", toJson(sys));
 
     std::vector<std::string> training = {
         "stream_pure", "loop_thrash", "loop_fit",   "chase_medium",
@@ -37,7 +40,9 @@ main()
     std::vector<FitnessTrace> traces;
     for (auto &w : workloads)
         traces.insert(traces.end(), w.traces.begin(), w.traces.end());
-    FitnessEvaluator fitness(sys.hier.llc, std::move(traces));
+    FitnessEvaluator fitness(sys.hier.llc, std::move(traces), {},
+                             &session.timings());
+    fitness.attachTelemetry(session.registry(), "fitness");
 
     const Ipv base = paper_vectors::giplr();
     std::vector<uint8_t> zeroed_entries = base.entries();
@@ -65,9 +70,12 @@ main()
     table.newRow().add("first-12 zeroed").add(f_zeroed, 4);
     table.newRow().add("hill-climbed").add(hc.bestFitness, 4);
     emitTable(table, "abl_hillclimb");
+    session.addTable("abl_hillclimb", "estimated speedup over LRU",
+                     table);
 
     note("paper shape: the evolved vector is not locally optimal — "
          "small local edits (zeroing the prefix, hill climbing) give "
          "small further improvements");
+    session.emit();
     return 0;
 }

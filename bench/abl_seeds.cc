@@ -19,8 +19,9 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "abl_seeds");
     Scale scale = resolveScale();
     banner("abl_seeds: seed sensitivity of the headline comparison",
            "methodology robustness (not a paper figure)");
@@ -40,7 +41,7 @@ main()
         // the bench directory's runtime.
         sp.accessesPerSimpoint = scale.accessesPerSimpoint / 2;
         SyntheticSuite suite(sp);
-        ExperimentConfig cfg = experimentConfig(scale);
+        ExperimentConfig cfg = session.experimentConfig(scale);
         ExperimentResult r = runMissExperiment(suite, policies, cfg);
         size_t lru = r.columnIndex("LRU");
         double drrip =
@@ -54,6 +55,7 @@ main()
                     static_cast<unsigned long>(seed));
     }
     emitTable(table, "abl_seeds");
+    session.addTable("abl_seeds", "geomean normalized MPKI", table);
 
     std::printf("\nacross seeds: DRRIP %.4f +- %.4f, 4-DGIPPR %.4f "
                 "+- %.4f\n",
@@ -62,5 +64,6 @@ main()
     note("expected shape: the policy ordering and the rough gap to "
          "LRU are stable across workload seeds — the reported shapes "
          "are signal, not noise");
+    session.emit();
     return 0;
 }

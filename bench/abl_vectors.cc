@@ -16,14 +16,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "abl_vectors");
     Scale scale = resolveScale();
     banner("abl_vectors: dueling-vector count ablation",
            "Section 3.5 (diminishing returns beyond four vectors)");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
 
     std::vector<PolicyDef> policies = {
         policyByName("LRU"),
@@ -32,11 +33,13 @@ main()
         dgipprDef("4-vector", local_vectors::dgippr4()),
         dgipprDef("8-vector", local_vectors::dgippr8()),
     };
+    session.recordPolicies(policies);
 
     ExperimentResult r = runMissExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
     Table table = r.toNormalizedTable(lru, false, std::nullopt);
     emitTable(table, "abl_vectors");
+    session.addResult("abl_vectors", r);
 
     std::printf("\ngeomean normalized MPKI and marginal gain:\n");
     double prev = 1.0;
@@ -55,5 +58,6 @@ main()
     note("paper shape: 2 vectors beat 1, 4 beat 2; the step from 4 "
          "to 8 is small while doubling the leader-set commitment — "
          "the paper stops at four");
+    session.emit();
     return 0;
 }

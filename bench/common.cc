@@ -7,12 +7,58 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "ga/fitness.hh"
+#include "util/log.hh"
 
 namespace gippr::bench
 {
+
+namespace
+{
+
+/** Parse --json <path> / --json=<path> out of argv; "" when absent. */
+std::string
+parseJsonFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 >= argc)
+                fatal("--json requires a path argument");
+            return argv[i + 1];
+        }
+        if (std::strncmp(arg, "--json=", 7) == 0)
+            return arg + 7;
+    }
+    return "";
+}
+
+/** True when @p s parses fully as a floating-point number. */
+bool
+isNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+/** True when every cell of column @p col parses as a number. */
+bool
+numericColumn(const Table &table, size_t col)
+{
+    for (size_t r = 0; r < table.rows(); ++r) {
+        if (!isNumeric(table.cell(r, col)))
+            return false;
+    }
+    return table.rows() > 0;
+}
+
+} // namespace
 
 Scale
 resolveScale()
@@ -90,6 +136,147 @@ fitnessWorkloads(const SyntheticSuite &suite,
         out.push_back(std::move(wt));
     }
     return out;
+}
+
+Session::Session(int argc, char **argv, const std::string &name,
+                 const std::string &kind)
+    : jsonPath_(parseJsonFlag(argc, argv)), report_(kind, name)
+{
+}
+
+ExperimentConfig
+Session::experimentConfig(const Scale &scale)
+{
+    ExperimentConfig cfg = bench::experimentConfig(scale);
+    cfg.registry = &registry_;
+    cfg.timings = &timings_;
+    if (!configRecorded_) {
+        recordScale(scale);
+        setConfig("system", toJson(cfg.system));
+        SuiteParams sp = suiteParams(scale);
+        setConfig("base_seed",
+                  telemetry::JsonValue(static_cast<uint64_t>(sp.baseSeed)));
+        configRecorded_ = true;
+    }
+    return cfg;
+}
+
+void
+Session::recordScale(const Scale &scale)
+{
+    setConfig("scale", toJson(scale));
+    setConfig("threads",
+              telemetry::JsonValue(static_cast<uint64_t>(scale.threads)));
+}
+
+void
+Session::recordPolicies(const std::vector<PolicyDef> &policies)
+{
+    telemetry::JsonValue names = telemetry::JsonValue::array();
+    for (const PolicyDef &p : policies)
+        names.push(telemetry::JsonValue(p.name));
+    setConfig("policies", std::move(names));
+}
+
+void
+Session::setConfig(const std::string &key, telemetry::JsonValue value)
+{
+    report_.setConfig(key, std::move(value));
+}
+
+void
+Session::addResult(const std::string &title, const ExperimentResult &r)
+{
+    report_.addTable(r.toResultTable(title));
+}
+
+void
+Session::addTable(const std::string &title, const std::string &metric,
+                  const Table &table)
+{
+    telemetry::ResultTable rt;
+    rt.title = title;
+    rt.metric = metric;
+    // Leading non-numeric columns name the rows; numeric columns are
+    // the values.  (Purely numeric tables keep column 0 as the name.)
+    size_t name_cols = 1;
+    while (name_cols < table.columns() &&
+           !numericColumn(table, name_cols)) {
+        ++name_cols;
+    }
+    for (size_t c = name_cols; c < table.columns(); ++c)
+        rt.columns.push_back(table.header(c));
+    for (size_t r = 0; r < table.rows(); ++r) {
+        telemetry::ResultRow row;
+        for (size_t c = 0; c < name_cols; ++c) {
+            if (c > 0)
+                row.name += "/";
+            row.name += table.cell(r, c);
+        }
+        for (size_t c = name_cols; c < table.columns(); ++c)
+            row.values.push_back(std::strtod(table.cell(r, c).c_str(),
+                                             nullptr));
+        rt.rows.push_back(std::move(row));
+    }
+    report_.addTable(std::move(rt));
+}
+
+void
+Session::emit()
+{
+    if (jsonPath_.empty())
+        return;
+    report_.setPhases(timings_);
+    report_.setMetrics(registry_);
+    report_.writeFile(jsonPath_);
+    std::printf("\nwrote JSON artifact: %s\n", jsonPath_.c_str());
+}
+
+telemetry::JsonValue
+toJson(const CacheConfig &cfg)
+{
+    telemetry::JsonValue v = telemetry::JsonValue::object();
+    v.set("name", telemetry::JsonValue(cfg.name));
+    v.set("size_bytes", telemetry::JsonValue(cfg.sizeBytes));
+    v.set("assoc", telemetry::JsonValue(static_cast<uint64_t>(cfg.assoc)));
+    v.set("block_bytes",
+          telemetry::JsonValue(static_cast<uint64_t>(cfg.blockBytes)));
+    return v;
+}
+
+telemetry::JsonValue
+toJson(const SystemParams &sys)
+{
+    telemetry::JsonValue v = telemetry::JsonValue::object();
+    v.set("l1", toJson(sys.hier.l1));
+    v.set("l2", toJson(sys.hier.l2));
+    v.set("llc", toJson(sys.hier.llc));
+    v.set("warmup_fraction", telemetry::JsonValue(sys.warmupFraction));
+    return v;
+}
+
+telemetry::JsonValue
+toJson(const Scale &scale)
+{
+    telemetry::JsonValue v = telemetry::JsonValue::object();
+    v.set("mode", telemetry::JsonValue(scale.quick ? "quick" : "full"));
+    v.set("accesses_per_simpoint",
+          telemetry::JsonValue(scale.accessesPerSimpoint));
+    v.set("random_samples",
+          telemetry::JsonValue(static_cast<uint64_t>(scale.randomSamples)));
+    telemetry::JsonValue ga = telemetry::JsonValue::object();
+    ga.set("initial_population",
+           telemetry::JsonValue(
+               static_cast<uint64_t>(scale.ga.initialPopulation)));
+    ga.set("population",
+           telemetry::JsonValue(static_cast<uint64_t>(scale.ga.population)));
+    ga.set("generations",
+           telemetry::JsonValue(
+               static_cast<uint64_t>(scale.ga.generations)));
+    ga.set("mutation_rate", telemetry::JsonValue(scale.ga.mutationRate));
+    ga.set("seed", telemetry::JsonValue(scale.ga.seed));
+    v.set("ga", std::move(ga));
+    return v;
 }
 
 void

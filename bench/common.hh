@@ -19,6 +19,7 @@
 
 #include "ga/crossval.hh"
 #include "sim/experiment.hh"
+#include "telemetry/report.hh"
 #include "workloads/suite.hh"
 
 namespace gippr::bench
@@ -59,6 +60,85 @@ std::vector<WorkloadTraces>
 fitnessWorkloads(const SyntheticSuite &suite,
                  const std::vector<std::string> &names,
                  const SystemParams &sys);
+
+/**
+ * Per-binary telemetry session shared by every bench target.
+ *
+ * Construct it first thing in main(); it parses the common flags
+ * (currently `--json <path>` / `--json=<path>`) and owns the phase
+ * timings, metric registry and RunReport for the run.  Benches record
+ * results as they go and call emit() last — without --json, emit() is
+ * a no-op and the bench behaves exactly as before.
+ *
+ *   int main(int argc, char **argv) {
+ *       Session session(argc, argv, "fig10_mpki_gippr");
+ *       Scale scale = resolveScale();
+ *       ExperimentConfig cfg = session.experimentConfig(scale);
+ *       ...
+ *       session.addResult("fig10", r);
+ *       session.emit();
+ *   }
+ */
+class Session
+{
+  public:
+    /** @p kind is the RunReport kind ("bench" unless overridden). */
+    Session(int argc, char **argv, const std::string &name,
+            const std::string &kind = "bench");
+
+    /** True when --json was given (emit() will write the artifact). */
+    bool jsonRequested() const { return !jsonPath_.empty(); }
+
+    telemetry::PhaseTimings &timings() { return timings_; }
+    telemetry::MetricRegistry &registry() { return registry_; }
+    telemetry::RunReport &report() { return report_; }
+
+    /**
+     * experimentConfig(scale) with this session's telemetry taps
+     * wired in; also records the standard config keys (scale, cache
+     * geometry, threads, base seed) on first call.
+     */
+    ExperimentConfig experimentConfig(const Scale &scale);
+
+    /** Record the scale knobs without building an ExperimentConfig. */
+    void recordScale(const Scale &scale);
+
+    /** Record the policy list under config key "policies". */
+    void recordPolicies(const std::vector<PolicyDef> &policies);
+
+    /** Set one free-form config key. */
+    void setConfig(const std::string &key, telemetry::JsonValue value);
+
+    /** Append an experiment result as a result table. */
+    void addResult(const std::string &title, const ExperimentResult &r);
+
+    /**
+     * Append a rendered bench table.  The leading run of non-numeric
+     * columns forms each row's name (joined with "/"); the remaining
+     * columns become the numeric value columns.
+     */
+    void addTable(const std::string &title, const std::string &metric,
+                  const Table &table);
+
+    /** Write the JSON artifact if --json was given. */
+    void emit();
+
+  private:
+    std::string jsonPath_;
+    telemetry::PhaseTimings timings_;
+    telemetry::MetricRegistry registry_;
+    telemetry::RunReport report_;
+    bool configRecorded_ = false;
+};
+
+/** JSON view of a cache geometry (name/size/assoc/block). */
+telemetry::JsonValue toJson(const CacheConfig &cfg);
+
+/** JSON view of a system (l1/l2/llc + warmup fraction). */
+telemetry::JsonValue toJson(const SystemParams &sys);
+
+/** JSON view of the bench scale knobs. */
+telemetry::JsonValue toJson(const Scale &scale);
 
 /** Print a section header for bench output. */
 void banner(const std::string &title, const std::string &paper_ref);

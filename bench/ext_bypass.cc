@@ -19,14 +19,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "ext_bypass");
     Scale scale = resolveScale();
     banner("ext_bypass: set-dueled bypass on top of GIPPR",
            "Section 7, future-work item 1");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
 
     std::vector<PolicyDef> policies = {
         policyByName("LRU"),
@@ -34,10 +35,12 @@ main()
         bypassGipprDef("B-GIPPR", local_vectors::gippr()),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
     ExperimentResult r = runMissExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
     Table table = r.toNormalizedTable(lru, false, std::nullopt);
     emitTable(table, "ext_bypass");
+    session.addResult("ext_bypass", r);
 
     std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
     for (size_t c = 0; c < r.columns.size(); ++c)
@@ -70,5 +73,6 @@ main()
          "left to save and its leader sets cost a little — consistent "
          "with the paper leaving bypass as future work rather than a "
          "headline result");
+    session.emit();
     return 0;
 }

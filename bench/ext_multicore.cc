@@ -19,8 +19,9 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "ext_multicore");
     Scale scale = resolveScale();
     banner("ext_multicore: 4-core shared-LLC mixes",
            "Section 7, future-work item 4");
@@ -32,6 +33,8 @@ main()
 
     MulticoreParams params;
     params.hier = systemParams().hier;
+    session.recordScale(scale);
+    session.setConfig("system", toJson(systemParams()));
 
     struct Mix
     {
@@ -57,6 +60,7 @@ main()
         policyByName("PDP"),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
 
     Table table({"mix", "policy", "weighted speedup", "throughput",
                  "LLC miss rate"});
@@ -88,9 +92,12 @@ main()
         std::printf("mix %s done\n", mix.name);
     }
     emitTable(table, "ext_multicore");
+    session.addTable("ext_multicore", "weighted speedup / throughput",
+                     table);
 
     note("expected shape: adaptive policies (DRRIP, 4-DGIPPR) win "
          "most on thrash- and stream-polluted mixes, tie LRU on "
          "reuse-heavy mixes; DGIPPR remains the cheapest by storage");
+    session.emit();
     return 0;
 }

@@ -20,8 +20,9 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "ext_rrip_ipv");
     Scale scale = resolveScale();
     banner("ext_rrip_ipv: evolving re-reference vectors for RRIP",
            "Section 7, future-work item 5");
@@ -40,9 +41,12 @@ main()
     std::vector<FitnessTrace> traces;
     for (auto &w : workloads)
         traces.insert(traces.end(), w.traces.begin(), w.traces.end());
-    FitnessEvaluator fitness(sys.hier.llc, std::move(traces));
+    FitnessEvaluator fitness(sys.hier.llc, std::move(traces), {},
+                             &session.timings());
+    fitness.attachTelemetry(session.registry(), "fitness");
 
     GaParams params = scale.ga;
+    params.timings = &session.timings();
     params.initialPopulation = 64;
     params.population = 32;
     params.generations = 8;
@@ -57,7 +61,7 @@ main()
                                  IpvFamily::RripIpv));
 
     // Full-suite miss comparison.
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
     std::vector<PolicyDef> policies = {
         policyByName("LRU"),
         policyByName("SRRIP"),
@@ -65,10 +69,14 @@ main()
         policyByName("DRRIP"),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
     ExperimentResult r = runMissExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
     Table table = r.toNormalizedTable(lru, false, std::nullopt);
     emitTable(table, "ext_rrip_ipv");
+    session.addResult("ext_rrip_ipv", r);
+    session.setConfig("evolved_rrip_ipv",
+                      telemetry::JsonValue(ga.best.toString()));
 
     std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
     for (size_t c = 0; c < r.columns.size(); ++c)
@@ -77,5 +85,6 @@ main()
     note("expected shape: the evolved re-reference vector at least "
          "matches hand-designed SRRIP, confirming the IPV idea "
          "transfers to RRIP-style coarse recency");
+    session.emit();
     return 0;
 }

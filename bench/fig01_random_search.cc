@@ -21,14 +21,17 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig01_random_search");
     Scale scale = resolveScale();
     banner("fig01_random_search: random IPV design-space exploration",
            "Figure 1 / Section 4.1");
 
     SyntheticSuite suite(suiteParams(scale));
     SystemParams sys = systemParams();
+    session.recordScale(scale);
+    session.setConfig("system", toJson(sys));
 
     // A cross-section mirroring SPEC's composition: mostly
     // recency-friendly workloads with a minority of thrashers (most
@@ -52,7 +55,9 @@ main()
     std::vector<FitnessTrace> traces;
     for (auto &w : workloads)
         traces.insert(traces.end(), w.traces.begin(), w.traces.end());
-    FitnessEvaluator fitness(sys.hier.llc, std::move(traces));
+    FitnessEvaluator fitness(sys.hier.llc, std::move(traces), {},
+                             &session.timings());
+    fitness.attachTelemetry(session.registry(), "fitness");
 
     std::printf("sampling %zu random IPVs over a 16-way LLC "
                 "(paper: 15,000)...\n",
@@ -69,6 +74,7 @@ main()
         table.newRow().add(pct).add(samples[idx].fitness, 4);
     }
     emitTable(table, "fig01");
+    session.addTable("fig01", "speedup over LRU", table);
 
     size_t losing = 0;
     for (const auto &s : samples)
@@ -90,5 +96,6 @@ main()
          "leaves the potential undiscovered, while the GA-evolved "
          "vector clears the entire sample, which is exactly the "
          "paper's motivation for genetic search");
+    session.emit();
     return 0;
 }

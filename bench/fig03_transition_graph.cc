@@ -22,7 +22,7 @@ namespace
 {
 
 void
-printGraph(const std::string &title, const Ipv &v)
+printGraph(Session &session, const std::string &title, const Ipv &v)
 {
     std::printf("\n--- %s ---\n", title.c_str());
     std::printf("vector: %s\n", v.toString().c_str());
@@ -37,6 +37,8 @@ printGraph(const std::string &title, const Ipv &v)
             .add(shifts.up[i] ? std::string("yes") : std::string("-"));
     }
     emitTable(edges, title);
+    session.addTable(title, "position", edges);
+    session.setConfig(title, telemetry::JsonValue(v.toString()));
     std::printf("insertion -> position %u; eviction from position %u\n",
                 v.insertion(), v.ways() - 1);
     std::printf("degenerate (MRU unreachable from insertion): %s\n",
@@ -59,17 +61,21 @@ printGraph(const std::string &title, const Ipv &v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig03_transition_graph");
     banner("fig03_transition_graph: IPV transition graphs",
            "Figures 2 and 3 / Sections 2.3-2.5");
 
-    printGraph("Figure 2: classic LRU vector", Ipv::lru(16));
-    printGraph("Figure 3: evolved GIPLR vector", paper_vectors::giplr());
-    printGraph("Section 5.3: WI-GIPPR vector", paper_vectors::wiGippr());
+    printGraph(session, "Figure 2: classic LRU vector", Ipv::lru(16));
+    printGraph(session, "Figure 3: evolved GIPLR vector",
+               paper_vectors::giplr());
+    printGraph(session, "Section 5.3: WI-GIPPR vector",
+               paper_vectors::wiGippr());
 
     note("paper shape: LRU's graph funnels everything to MRU; the "
          "evolved vector inserts at 13, promotes gradually, and "
          "contains counterintuitive demotions");
+    session.emit();
     return 0;
 }

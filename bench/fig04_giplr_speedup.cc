@@ -16,14 +16,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig04_giplr_speedup");
     Scale scale = resolveScale();
     banner("fig04_giplr_speedup: GIPLR vs LRU / PLRU / Random",
            "Figure 4 / Section 2.6");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
 
     std::vector<PolicyDef> policies = {
         policyByName("LRU"),
@@ -31,6 +32,7 @@ main()
         policyByName("Random"),
         giplrDef("GIPLR", local_vectors::giplr()),
     };
+    session.recordPolicies(policies);
 
     ExperimentResult r = runPerfExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
@@ -39,6 +41,7 @@ main()
     Table table =
         r.toNormalizedTable(lru, true, giplr);
     emitTable(table, "fig04");
+    session.addResult("fig04", r);
 
     std::printf("\ngeomean speedups over LRU:\n");
     for (size_t c = 0; c < r.columns.size(); ++c) {
@@ -49,5 +52,6 @@ main()
          "Random ~parity (better on some workloads, worse on others)");
     note("GIPLR vector used: " +
          local_vectors::giplr().toString());
+    session.emit();
     return 0;
 }

@@ -18,14 +18,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig10_mpki_gippr");
     Scale scale = resolveScale();
     banner("fig10_mpki_gippr: GIPPR/DGIPPR misses vs LRU and MIN",
            "Figure 10 / Section 5.1");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
     cfg.includeMin = true;
 
     std::vector<PolicyDef> policies = {
@@ -34,12 +35,14 @@ main()
         dgipprDef("2-DGIPPR", local_vectors::dgippr2()),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
 
     ExperimentResult r = runMissExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
     size_t drrip_like = r.columnIndex("4-DGIPPR");
     Table table = r.toNormalizedTable(lru, false, drrip_like);
     emitTable(table, "fig10");
+    session.addResult("fig10", r);
 
     std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
     for (size_t c = 0; c < r.columns.size(); ++c) {
@@ -49,5 +52,6 @@ main()
     note("paper shape: all GIPPR variants below LRU; the 4-vector "
          "configuration lowest among them; MIN far below all "
          "(67.5% of LRU in the paper), showing the remaining headroom");
+    session.emit();
     return 0;
 }

@@ -16,14 +16,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig11_mpki_compare");
     Scale scale = resolveScale();
     banner("fig11_mpki_compare: DRRIP / PDP / 4-DGIPPR misses vs MIN",
            "Figure 11 / Section 5.1");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
     cfg.includeMin = true;
 
     std::vector<PolicyDef> policies = {
@@ -32,12 +33,14 @@ main()
         policyByName("PDP"),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
 
     ExperimentResult r = runMissExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
     size_t drrip = r.columnIndex("DRRIP");
     Table table = r.toNormalizedTable(lru, false, drrip);
     emitTable(table, "fig11");
+    session.addResult("fig11", r);
 
     std::printf("\ngeomean normalized MPKI (LRU = 1.0):\n");
     for (size_t c = 0; c < r.columns.size(); ++c) {
@@ -58,5 +61,6 @@ main()
     note("paper shape: the three high-performance policies cluster "
          "well below LRU; DGIPPR achieves the cluster at a fraction "
          "of the state; MIN shows large remaining headroom");
+    session.emit();
     return 0;
 }

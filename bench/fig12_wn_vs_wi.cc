@@ -97,14 +97,17 @@ speedupOn(const CacheConfig &llc, const WorkloadTraces &w,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig12_wn_vs_wi");
     Scale scale = resolveScale();
     banner("fig12_wn_vs_wi: workload-neutral vs workload-inclusive",
            "Figure 12 / Sections 4.4 and 5.2.1");
 
     SyntheticSuite suite(suiteParams(scale));
     SystemParams sys = systemParams();
+    session.recordScale(scale);
+    session.setConfig("system", toJson(sys));
 
     // A diverse sub-suite keeps the leave-one-out GA affordable.
     std::vector<std::string> names = {
@@ -120,8 +123,10 @@ main()
 
     // WI: one GA over everything.
     std::printf("evolving WI vectors...\n");
-    FitnessEvaluator wi_fitness(llc, flattenExcept(workloads, ""));
+    FitnessEvaluator wi_fitness(llc, flattenExcept(workloads, ""),
+                                {}, &session.timings());
     GaParams params = scale.ga;
+    params.timings = &session.timings();
     params.seed = 0xF16012;
     // Seed the search with the archetypes (as examples/evolve_ipv
     // does) so duel-set selection has diverse material even when the
@@ -137,7 +142,8 @@ main()
     for (const auto &w : workloads) {
         std::printf("evolving WN1 fold %u/%zu (hold out %s)...\n",
                     ++fold, workloads.size(), w.name.c_str());
-        FitnessEvaluator fitness(llc, flattenExcept(workloads, w.name));
+        FitnessEvaluator fitness(llc, flattenExcept(workloads, w.name),
+                                 {}, &session.timings());
         GaParams fold_params = params;
         fold_params.seed = params.seed + 1000 * fold;
         wn_sets[w.name] = evolveSets(fitness, fold_params);
@@ -160,6 +166,7 @@ main()
     for (auto &col : columns)
         table.add(geomean(col), 4);
     emitTable(table, "fig12");
+    session.addTable("fig12", "estimated speedup over LRU", table);
 
     std::printf("\nWI vectors evolved (4-vector set):\n");
     for (const Ipv &v : wi_sets[2])
@@ -168,5 +175,6 @@ main()
          "more vectors help under both methodologies; occasionally a "
          "WN1 fold beats WI (the GA is not optimal), which the paper "
          "also observed");
+    session.emit();
     return 0;
 }

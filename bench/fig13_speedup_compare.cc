@@ -19,14 +19,15 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "fig13_speedup_compare");
     Scale scale = resolveScale();
     banner("fig13_speedup_compare: DRRIP / PDP / 4-DGIPPR speedup",
            "Figure 13 / Section 5.2.2");
 
     SyntheticSuite suite(suiteParams(scale));
-    ExperimentConfig cfg = experimentConfig(scale);
+    ExperimentConfig cfg = session.experimentConfig(scale);
 
     std::vector<PolicyDef> policies = {
         policyByName("LRU"),
@@ -34,6 +35,7 @@ main()
         policyByName("PDP"),
         dgipprDef("4-DGIPPR", local_vectors::dgippr4()),
     };
+    session.recordPolicies(policies);
 
     ExperimentResult r = runPerfExperiment(suite, policies, cfg);
     size_t lru = r.columnIndex("LRU");
@@ -41,6 +43,7 @@ main()
 
     Table table = r.toNormalizedTable(lru, true, drrip);
     emitTable(table, "fig13");
+    session.addResult("fig13", r);
 
     std::printf("\ngeomean speedup over LRU (all workloads):\n");
     for (size_t c = 0; c < r.columns.size(); ++c) {
@@ -78,5 +81,6 @@ main()
          "gains over LRU, double-digit on the memory-intensive "
          "subset; DGIPPR matches DRRIP with half the state and is "
          "the most consistent");
+    session.emit();
     return 0;
 }

@@ -10,7 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "common.hh"
@@ -137,4 +139,86 @@ BM_CacheAccessPdp(benchmark::State &state)
 }
 BENCHMARK(BM_CacheAccessPdp);
 
+/**
+ * Console reporter that also captures per-benchmark timings so the
+ * run can be serialized through the shared RunReport path (google-
+ * benchmark's own JSON writer is mutually exclusive with console
+ * output and uses a different schema).
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double realNs;
+        double cpuNs;
+        double iterations;
+    };
+
+    std::vector<Row> rows;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred) {
+                continue;
+            }
+            rows.push_back({run.benchmark_name(),
+                            run.GetAdjustedRealTime(),
+                            run.GetAdjustedCPUTime(),
+                            static_cast<double>(run.iterations)});
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gippr::bench;
+
+    Session session(argc, argv, "micro_policy_ops");
+
+    // google-benchmark rejects flags it does not know, so strip the
+    // session's --json before handing argv over.
+    std::vector<char *> bench_argv;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            ++i; // skip the path argument too
+            continue;
+        }
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            continue;
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data())) {
+        return 1;
+    }
+
+    CapturingReporter reporter;
+    {
+        telemetry::ScopedTimer timer(&session.timings(), "benchmarks");
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
+    benchmark::Shutdown();
+
+    session.setConfig("llc", toJson(CacheConfig::benchLlc()));
+    telemetry::ResultTable rt;
+    rt.title = "micro_policy_ops";
+    rt.metric = "ns";
+    rt.columns = {"real_time_ns", "cpu_time_ns", "iterations"};
+    for (const CapturingReporter::Row &row : reporter.rows)
+        rt.rows.push_back(
+            {row.name, {row.realNs, row.cpuNs, row.iterations}});
+    session.report().addTable(std::move(rt));
+    session.emit();
+    return 0;
+}

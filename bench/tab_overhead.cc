@@ -22,12 +22,14 @@ using namespace gippr;
 using namespace gippr::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session(argc, argv, "tab_overhead");
     banner("tab_overhead: replacement-state storage comparison",
            "Sections 3.6 and 5.1 (storage discussion)");
 
     CacheConfig llc = CacheConfig::paperLlc();
+    session.setConfig("llc", toJson(llc));
     const double sets = static_cast<double>(llc.sets());
     const double blocks = sets * llc.assoc;
 
@@ -60,10 +62,13 @@ main()
             .add(static_cast<uint64_t>(p->globalStateBits()));
     }
     emitTable(table, "tab_overhead");
+    session.recordPolicies(policies);
+    session.addTable("tab_overhead", "bits", table);
 
     note("paper shape: GIPPR/DGIPPR cost exactly PLRU (15 bits/set, "
          "under one bit per block, ~7KB) versus 32KB for LRU/DIP, "
          "16KB for DRRIP, 32KB+microcontroller for PDP; DGIPPR's "
          "dueling counters add only 11-33 bits to the whole chip");
+    session.emit();
     return 0;
 }

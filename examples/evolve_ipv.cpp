@@ -13,6 +13,7 @@
  *     --accesses N           CPU references per simpoint (default 200000)
  *     --threads N            fitness evaluation threads (default 8)
  *     --seed N               GA seed (default 42)
+ *     --json PATH            write a gippr-run-report JSON artifact
  *
  * Prints the convergence curve, the best vector, and (for N > 1) the
  * complementary duel set chosen from the final population.
@@ -27,6 +28,8 @@
 #include "ga/genetic.hh"
 #include "policies/lru.hh"
 #include "sim/system.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/report.hh"
 #include "util/log.hh"
 #include "workloads/suite.hh"
 
@@ -72,6 +75,13 @@ main(int argc, char **argv)
         static_cast<unsigned>(argValue(argc, argv, "--threads", 8));
     params.seed = argValue(argc, argv, "--seed", 42);
     const size_t n_vectors = argValue(argc, argv, "--vectors", 4);
+    const std::string json_path = argString(argc, argv, "--json", "");
+
+    telemetry::PhaseTimings timings;
+    telemetry::MetricRegistry registry;
+    telemetry::StreamProgressSink progress;
+    params.progress = &progress;
+    params.timings = &timings;
 
     // Seed generation zero with the known archetypes (classic PLRU,
     // LIP, and the paper's published vectors) so the search starts
@@ -96,8 +106,10 @@ main(int argc, char **argv)
     std::vector<Workload> workloads;
     for (const auto &spec : suite.specs())
         workloads.push_back(SyntheticSuite::materialize(spec));
-    FitnessEvaluator fitness(
-        sys.hier.llc, buildFitnessTraces(workloads, sys.hier));
+    FitnessEvaluator fitness(sys.hier.llc,
+                             buildFitnessTraces(workloads, sys.hier),
+                             {}, &timings);
+    fitness.attachTelemetry(registry, "fitness");
 
     std::printf("evolving %s vectors: pop %zu, %u generations, "
                 "%u threads, seed %lu\n",
@@ -113,6 +125,7 @@ main(int argc, char **argv)
     std::printf("\nbest vector: %s  (fitness %.4f)\n",
                 result.best.toString().c_str(), result.bestFitness);
 
+    std::vector<Ipv> duel;
     if (n_vectors > 1) {
         std::vector<Ipv> pool;
         size_t take =
@@ -123,8 +136,7 @@ main(int argc, char **argv)
         // even if evolution crowded them out of the population.
         for (const Ipv &v : params.seedIpvs)
             pool.push_back(v);
-        std::vector<Ipv> duel =
-            selectDuelSet(fitness, family, pool, n_vectors);
+        duel = selectDuelSet(fitness, family, pool, n_vectors);
         std::printf("\ncomplementary %zu-vector duel set for "
                     "DGIPPR:\n",
                     n_vectors);
@@ -133,6 +145,58 @@ main(int argc, char **argv)
         std::printf("\npaste these into src/core/vectors.cc "
                     "(local_vectors) to refresh the shipped "
                     "defaults.\n");
+    }
+
+    if (!json_path.empty()) {
+        telemetry::RunReport report("ga", "evolve_ipv");
+        report.setConfig("family", telemetry::JsonValue(family_name));
+        report.setConfig("population",
+                         telemetry::JsonValue(
+                             static_cast<uint64_t>(params.population)));
+        report.setConfig(
+            "initial_population",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.initialPopulation)));
+        report.setConfig(
+            "generations",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.generations)));
+        report.setConfig(
+            "threads",
+            telemetry::JsonValue(static_cast<uint64_t>(params.threads)));
+        report.setConfig("seed", telemetry::JsonValue(params.seed));
+        telemetry::JsonValue llc = telemetry::JsonValue::object();
+        llc.set("size_bytes", telemetry::JsonValue(sys.hier.llc.sizeBytes));
+        llc.set("assoc",
+                telemetry::JsonValue(
+                    static_cast<uint64_t>(sys.hier.llc.assoc)));
+        llc.set("block_bytes",
+                telemetry::JsonValue(
+                    static_cast<uint64_t>(sys.hier.llc.blockBytes)));
+        report.setConfig("llc", std::move(llc));
+        report.setConfig("best_vector",
+                         telemetry::JsonValue(result.best.toString()));
+        telemetry::JsonValue duel_json = telemetry::JsonValue::array();
+        for (const Ipv &v : duel)
+            duel_json.push(telemetry::JsonValue(v.toString()));
+        report.setConfig("duel_set", std::move(duel_json));
+
+        telemetry::ResultTable convergence;
+        convergence.title = "convergence";
+        convergence.metric = "estimated speedup over LRU";
+        convergence.columns = {"best_fitness", "eval_seconds"};
+        for (size_t g = 0; g < result.history.size(); ++g) {
+            double secs = g < result.generationSeconds.size()
+                              ? result.generationSeconds[g]
+                              : 0.0;
+            convergence.rows.push_back({"gen " + std::to_string(g),
+                                        {result.history[g], secs}});
+        }
+        report.addTable(std::move(convergence));
+        report.setPhases(timings);
+        report.setMetrics(registry);
+        report.writeFile(json_path);
+        std::printf("wrote JSON artifact: %s\n", json_path.c_str());
     }
     return 0;
 }

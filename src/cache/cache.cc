@@ -82,6 +82,8 @@ SetAssocCache::access(uint64_t byte_addr, AccessType type, uint64_t pc)
     if (way != config_.assoc) {
         // Hit.
         ++stats_.hits;
+        if (live_.hits)
+            live_.hits->increment();
         result.hit = true;
         result.way = way;
         if (type != AccessType::Load)
@@ -92,12 +94,17 @@ SetAssocCache::access(uint64_t byte_addr, AccessType type, uint64_t pc)
 
     // Miss.
     ++stats_.misses;
-    if (demand)
+    if (demand) {
         ++stats_.demandMisses;
+        if (live_.demandMisses)
+            live_.demandMisses->increment();
+    }
     policy_->onMiss(info);
 
     if (demand && policy_->shouldBypass(info)) {
         ++stats_.bypasses;
+        if (live_.bypasses)
+            live_.bypasses->increment();
         result.bypassed = true;
         result.way = config_.assoc; // sentinel: not resident
         return result;
@@ -111,10 +118,15 @@ SetAssocCache::access(uint64_t byte_addr, AccessType type, uint64_t pc)
         Line &victim_line = line(set, way);
         assert(victim_line.valid);
         ++stats_.evictions;
+        if (live_.evictions)
+            live_.evictions->increment();
         result.evictedBlock = (victim_line.tag << config_.setShift()) | set;
         result.evictedDirty = victim_line.dirty;
-        if (victim_line.dirty)
+        if (victim_line.dirty) {
             ++stats_.writebacks;
+            if (live_.writebacks)
+                live_.writebacks->increment();
+        }
     }
 
     Line &l = line(set, way);
@@ -164,6 +176,18 @@ void
 SetAssocCache::clearStats()
 {
     stats_ = CacheStats{};
+}
+
+void
+SetAssocCache::attachTelemetry(telemetry::MetricRegistry &registry,
+                               const std::string &prefix)
+{
+    live_.hits = &registry.counter(prefix + ".hits");
+    live_.demandMisses = &registry.counter(prefix + ".demand_misses");
+    live_.bypasses = &registry.counter(prefix + ".bypasses");
+    live_.evictions = &registry.counter(prefix + ".evictions");
+    live_.writebacks = &registry.counter(prefix + ".writebacks");
+    policy_->attachTelemetry(registry, prefix);
 }
 
 unsigned

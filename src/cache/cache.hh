@@ -13,6 +13,7 @@
 
 #include "cache/config.hh"
 #include "cache/replacement.hh"
+#include "telemetry/metrics.hh"
 
 namespace gippr
 {
@@ -102,6 +103,18 @@ class SetAssocCache
     /** Zero the statistics (e.g. after cache warmup). */
     void clearStats();
 
+    /**
+     * Mirror this cache's hit/miss/bypass/eviction/writeback events
+     * into live registry counters named "<prefix>.hits" etc., and let
+     * the policy export its own instruments (set-dueling counters)
+     * under the same prefix.  The registry must outlive the cache;
+     * counters are atomics, so many caches may share one registry
+     * (they aggregate) or use distinct prefixes.  Unattached caches
+     * pay only a predictable null-pointer branch per event.
+     */
+    void attachTelemetry(telemetry::MetricRegistry &registry,
+                         const std::string &prefix);
+
     const CacheConfig &config() const { return config_; }
     const CacheStats &stats() const { return stats_; }
     ReplacementPolicy &policy() { return *policy_; }
@@ -130,10 +143,22 @@ class SetAssocCache
     /** First invalid way in @p set, or assoc if the set is full. */
     unsigned findInvalidWay(uint64_t set) const;
 
+    /** Registry counters mirrored on the access path (see
+     *  attachTelemetry); all null until attached. */
+    struct LiveCounters
+    {
+        telemetry::Counter *hits = nullptr;
+        telemetry::Counter *demandMisses = nullptr;
+        telemetry::Counter *bypasses = nullptr;
+        telemetry::Counter *evictions = nullptr;
+        telemetry::Counter *writebacks = nullptr;
+    };
+
     CacheConfig config_;
     std::unique_ptr<ReplacementPolicy> policy_;
     std::vector<Line> lines_; // sets * assoc, row-major by set
     CacheStats stats_;
+    LiveCounters live_;
     uint64_t sequence_ = 0;
 };
 

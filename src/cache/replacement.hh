@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.hh"
+
 namespace gippr
 {
 
@@ -120,6 +122,20 @@ class ReplacementPolicy
      * three 11-bit dueling counters.
      */
     virtual size_t globalStateBits() const { return 0; }
+
+    /**
+     * Register this policy's live instruments under @p prefix (e.g.
+     * set-dueling counters).  Policies cache the returned instrument
+     * references; the registry must outlive the policy.  Default:
+     * nothing to export.
+     */
+    virtual void
+    attachTelemetry(telemetry::MetricRegistry &registry,
+                    const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
 };
 
 } // namespace gippr

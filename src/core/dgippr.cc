@@ -50,8 +50,13 @@ DgipprPolicy::onMiss(const AccessInfo &info)
     if (info.type == AccessType::Writeback)
         return;
     int owner = leaders_.owner(info.set);
-    if (owner != LeaderSets::kFollower)
+    if (owner != LeaderSets::kFollower) {
         selector_.recordMiss(static_cast<unsigned>(owner));
+        if (!duelMisses_.empty())
+            duelMisses_[static_cast<size_t>(owner)]->increment();
+        if (duelWinner_)
+            duelWinner_->set(selector_.winner());
+    }
 }
 
 void
@@ -80,6 +85,18 @@ std::string
 DgipprPolicy::name() const
 {
     return std::to_string(ipvs_.size()) + "-DGIPPR";
+}
+
+void
+DgipprPolicy::attachTelemetry(telemetry::MetricRegistry &registry,
+                              const std::string &prefix)
+{
+    duelMisses_.clear();
+    for (size_t i = 0; i < ipvs_.size(); ++i)
+        duelMisses_.push_back(&registry.counter(
+            prefix + ".duel.leader_misses." + std::to_string(i)));
+    duelWinner_ = &registry.gauge(prefix + ".duel.winner");
+    duelWinner_->set(selector_.winner());
 }
 
 } // namespace gippr

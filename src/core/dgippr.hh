@@ -47,6 +47,14 @@ class DgipprPolicy : public ReplacementPolicy
 
     std::string name() const override;
 
+    /**
+     * Exports the set-dueling state: one leader-miss counter per
+     * vector ("<prefix>.duel.leader_misses.<i>") plus the follower
+     * vector as a gauge ("<prefix>.duel.winner").
+     */
+    void attachTelemetry(telemetry::MetricRegistry &registry,
+                         const std::string &prefix) override;
+
     size_t
     stateBitsPerSet() const override
     {
@@ -72,6 +80,9 @@ class DgipprPolicy : public ReplacementPolicy
     std::vector<PlruTree> trees_;
     LeaderSets leaders_;
     TournamentSelector selector_;
+    /** Per-vector leader-miss counters (empty until attached). */
+    std::vector<telemetry::Counter *> duelMisses_;
+    telemetry::Gauge *duelWinner_ = nullptr;
 };
 
 } // namespace gippr

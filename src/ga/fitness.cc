@@ -14,6 +14,7 @@
 #include "core/rrip_ipv.hh"
 #include "policies/lru.hh"
 #include "util/log.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace gippr
@@ -21,17 +22,19 @@ namespace gippr
 
 FitnessEvaluator::FitnessEvaluator(const CacheConfig &llc,
                                    std::vector<FitnessTrace> traces,
-                                   CpiModel model)
+                                   CpiModel model,
+                                   telemetry::PhaseTimings *timings)
     : llc_(llc), traces_(std::move(traces)), model_(model)
 {
     if (traces_.empty())
         fatal("fitness evaluator needs at least one training trace");
-    lruMisses_.reserve(traces_.size());
-    for (size_t i = 0; i < traces_.size(); ++i) {
+    telemetry::ScopedTimer timer(timings, "fitness_baseline");
+    lruMisses_.resize(traces_.size());
+    parallelFor(traces_.size(), resolveThreads(0), [&](size_t i) {
         SetAssocCache cache(llc_, std::make_unique<LruPolicy>(llc_));
         replayTrace(cache, *traces_[i].llcTrace, warmupOf(i));
-        lruMisses_.push_back(cache.stats().demandMisses);
-    }
+        lruMisses_[i] = cache.stats().demandMisses;
+    });
 }
 
 size_t
@@ -71,6 +74,8 @@ FitnessEvaluator::missesOn(size_t idx, const Ipv &ipv,
     }
     SetAssocCache cache(llc_, std::move(policy));
     replayTrace(cache, *traces_[idx].llcTrace, warmupOf(idx));
+    if (replays_)
+        replays_->increment();
     return cache.stats().demandMisses;
 }
 
@@ -100,7 +105,17 @@ FitnessEvaluator::perTraceSpeedups(const Ipv &ipv,
 double
 FitnessEvaluator::evaluate(const Ipv &ipv, IpvFamily family) const
 {
+    if (evaluations_)
+        evaluations_->increment();
     return mean(perTraceSpeedups(ipv, family));
+}
+
+void
+FitnessEvaluator::attachTelemetry(telemetry::MetricRegistry &registry,
+                                  const std::string &prefix)
+{
+    evaluations_ = &registry.counter(prefix + ".evaluations");
+    replays_ = &registry.counter(prefix + ".replays");
 }
 
 unsigned

@@ -23,6 +23,8 @@
 #include "cache/config.hh"
 #include "cache/hierarchy.hh"
 #include "core/ipv.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/timer.hh"
 #include "trace/simpoint.hh"
 #include "trace/trace.hh"
 
@@ -68,13 +70,16 @@ class FitnessEvaluator
 {
   public:
     /**
-     * @param llc     geometry of the LLC under study
-     * @param traces  training traces; LRU baselines are precomputed
-     * @param model   linear CPI model
+     * @param llc      geometry of the LLC under study
+     * @param traces   training traces; LRU baselines are precomputed
+     *                 here, in parallel over the traces
+     * @param model    linear CPI model
+     * @param timings  optional sink for the "fitness_baseline" phase
      */
     FitnessEvaluator(const CacheConfig &llc,
                      std::vector<FitnessTrace> traces,
-                     CpiModel model = {});
+                     CpiModel model = {},
+                     telemetry::PhaseTimings *timings = nullptr);
 
     /**
      * Mean estimated speedup of @p ipv over LRU across the training
@@ -101,6 +106,14 @@ class FitnessEvaluator
     /** Estimated CPI given misses and an instruction count. */
     double estimateCpi(uint64_t misses, uint64_t instructions) const;
 
+    /**
+     * Count every evaluate() call in "<prefix>.evaluations" and every
+     * candidate trace replay in "<prefix>.replays" (thread-safe; GA
+     * workers call evaluate concurrently).
+     */
+    void attachTelemetry(telemetry::MetricRegistry &registry,
+                         const std::string &prefix);
+
   private:
     size_t warmupOf(size_t idx) const;
 
@@ -108,6 +121,8 @@ class FitnessEvaluator
     std::vector<FitnessTrace> traces_;
     CpiModel model_;
     std::vector<uint64_t> lruMisses_;
+    telemetry::Counter *evaluations_ = nullptr;
+    telemetry::Counter *replays_ = nullptr;
 };
 
 /**

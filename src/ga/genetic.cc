@@ -6,12 +6,11 @@
 #include "ga/genetic.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
 
 #include "ga/random_search.hh"
 #include "util/log.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace gippr
@@ -20,30 +19,24 @@ namespace gippr
 namespace
 {
 
-/** Evaluate a population in parallel. */
-void
+/**
+ * Evaluate a population in parallel — the same worker-pool scheme the
+ * experiment harness uses (util/parallel.hh), with the thread count
+ * from GaParams.  Returns the wall-clock seconds spent evaluating.
+ */
+double
 evaluateAll(const FitnessEvaluator &fitness, IpvFamily family,
-            std::vector<SampledIpv> &pop, unsigned threads)
+            std::vector<SampledIpv> &pop, const GaParams &params)
 {
-    std::atomic<size_t> cursor{0};
-    auto worker = [&]() {
-        for (;;) {
-            size_t i = cursor.fetch_add(1);
-            if (i >= pop.size())
-                return;
-            pop[i].fitness = fitness.evaluate(pop[i].ipv, family);
-        }
-    };
-    if (threads <= 1) {
-        worker();
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    telemetry::ScopedTimer timer(params.timings, "ga_eval");
+    parallelFor(pop.size(), resolveThreads(params.threads),
+                [&](size_t i) {
+                    pop[i].fitness =
+                        fitness.evaluate(pop[i].ipv, family);
+                });
+    double seconds = timer.elapsed();
+    timer.stop();
+    return seconds;
 }
 
 void
@@ -111,11 +104,18 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
         pop.push_back({seed_ipv, 0.0});
     while (pop.size() < params.initialPopulation)
         pop.push_back({randomIpv(ways, rng), 0.0});
-    evaluateAll(fitness, family, pop, params.threads);
+    double gen0_seconds = evaluateAll(fitness, family, pop, params);
     sortByFitnessDesc(pop);
 
     GaResult result;
     result.history.push_back(pop.front().fitness);
+    result.generationSeconds.push_back(gen0_seconds);
+    if (params.progress) {
+        params.progress->onProgress({"evolve", 0,
+                                     params.generations + 1,
+                                     pop.front().fitness,
+                                     gen0_seconds});
+    }
 
     for (unsigned g = 0; g < params.generations; ++g) {
         std::vector<SampledIpv> next;
@@ -132,10 +132,17 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
                                params.mutationRate, ways, rng);
             next.push_back({std::move(child), 0.0});
         }
-        evaluateAll(fitness, family, next, params.threads);
+        double gen_seconds = evaluateAll(fitness, family, next, params);
         sortByFitnessDesc(next);
         pop = std::move(next);
         result.history.push_back(pop.front().fitness);
+        result.generationSeconds.push_back(gen_seconds);
+        if (params.progress) {
+            params.progress->onProgress({"evolve", g + 1,
+                                         params.generations + 1,
+                                         pop.front().fitness,
+                                         gen_seconds});
+        }
     }
 
     result.best = pop.front().ipv;

@@ -19,6 +19,8 @@
 #include "core/ipv.hh"
 #include "ga/fitness.hh"
 #include "ga/random_search.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/timer.hh"
 
 namespace gippr
 {
@@ -44,6 +46,14 @@ struct GaParams
     uint64_t seed = 12345;
     /** Optional seed individuals injected into generation zero. */
     std::vector<Ipv> seedIpvs;
+    /**
+     * Optional telemetry (both may be null).  The sink receives one
+     * event per generation (current/total, best fitness, eval
+     * seconds); timings accumulates an "ga_eval" phase covering the
+     * parallel fitness evaluations.
+     */
+    telemetry::ProgressSink *progress = nullptr;
+    telemetry::PhaseTimings *timings = nullptr;
 };
 
 /** Outcome of a GA run. */
@@ -53,6 +63,8 @@ struct GaResult
     double bestFitness = 0.0;
     /** Best fitness after each generation (convergence curve). */
     std::vector<double> history;
+    /** Wall-clock seconds evaluating each generation (incl. gen 0). */
+    std::vector<double> generationSeconds;
     /** The final population, best first (for dueling-set selection). */
     std::vector<SampledIpv> finalPopulation;
 };

@@ -6,13 +6,12 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
 
 #include "cache/replay.hh"
 #include "policies/belady.hh"
 #include "util/log.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace gippr
@@ -21,50 +20,16 @@ namespace gippr
 namespace
 {
 
-unsigned
-resolveThreads(unsigned requested)
-{
-    if (requested > 0)
-        return requested;
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 4;
-}
-
-/** Run @p body(i) for i in [0, n) on a pool of threads. */
-void
-parallelFor(size_t n, unsigned threads, const std::function<void(size_t)> &body)
-{
-    if (threads <= 1 || n <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            body(i);
-        return;
-    }
-    std::atomic<size_t> cursor{0};
-    auto worker = [&]() {
-        for (;;) {
-            size_t i = cursor.fetch_add(1);
-            if (i >= n)
-                return;
-            body(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    unsigned count = static_cast<unsigned>(
-        std::min<size_t>(threads, n));
-    pool.reserve(count);
-    for (unsigned t = 0; t < count; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-}
-
 /** Miss metrics for one workload under a policy list. */
 WorkloadRow
 missRowFor(const WorkloadSpec &spec,
            const std::vector<PolicyDef> &policies,
            const ExperimentConfig &config)
 {
+    telemetry::ScopedTimer materialize_timer(config.timings,
+                                             "materialize");
     const Workload workload = SyntheticSuite::materialize(spec);
+    materialize_timer.stop();
     const HierarchyConfig &hier = config.system.hier;
 
     WorkloadRow row;
@@ -78,8 +43,11 @@ missRowFor(const WorkloadSpec &spec,
         // Demand-only stream: the trace-driven miss simulator (like
         // the paper's) compares policies and MIN on an identical
         // reference string; see demandOnlyTrace().
+        telemetry::ScopedTimer filter_timer(config.timings,
+                                            "llc_filter");
         Trace llc_trace = demandOnlyTrace(Hierarchy::filterToLlc(
             *sp.trace, hier, lruFactory(), lruFactory()));
+        filter_timer.stop();
         size_t warmup = static_cast<size_t>(
             static_cast<double>(llc_trace.size()) *
             config.system.warmupFraction);
@@ -90,8 +58,12 @@ missRowFor(const WorkloadSpec &spec,
         if (inst == 0)
             inst = 1;
 
+        telemetry::ScopedTimer replay_timer(config.timings, "replay");
         for (size_t p = 0; p < policies.size(); ++p) {
             SetAssocCache cache(hier.llc, policies[p].make(hier.llc));
+            if (config.registry)
+                cache.attachTelemetry(*config.registry,
+                                      "llc." + policies[p].name);
             replayTrace(cache, llc_trace, warmup);
             per_simpoint[p].push_back(
                 1000.0 *
@@ -119,10 +91,14 @@ perfRowFor(const WorkloadSpec &spec,
            const std::vector<PolicyDef> &policies,
            const ExperimentConfig &config)
 {
+    telemetry::ScopedTimer materialize_timer(config.timings,
+                                             "materialize");
     const Workload workload = SyntheticSuite::materialize(spec);
+    materialize_timer.stop();
     WorkloadRow row;
     row.workload = spec.name;
     row.values.reserve(policies.size());
+    telemetry::ScopedTimer simulate_timer(config.timings, "simulate");
     for (const PolicyDef &p : policies) {
         SimResult r = simulateWorkload(workload, p.make, config.system);
         row.values.push_back(r.ipc);
@@ -142,6 +118,9 @@ runOverSuite(const SyntheticSuite &suite,
     result.metric = metric;
     result.rows.resize(suite.specs().size());
 
+    telemetry::ScopedTimer run_timer(
+        config.timings,
+        metric == "MPKI" ? "miss_experiment" : "perf_experiment");
     parallelFor(suite.specs().size(), resolveThreads(config.threads),
                 [&](size_t i) {
                     result.rows[i] = row_fn(suite.specs()[i]);
@@ -248,6 +227,19 @@ ExperimentResult::toNormalizedTable(size_t base, bool speedup,
     table.newRow().add("geomean");
     for (size_t c = 0; c < columns.size(); ++c)
         table.add(geomeanNormalized(c, base, speedup), precision);
+    return table;
+}
+
+telemetry::ResultTable
+ExperimentResult::toResultTable(const std::string &title) const
+{
+    telemetry::ResultTable table;
+    table.title = title;
+    table.metric = metric;
+    table.columns = columns;
+    table.rows.reserve(rows.size());
+    for (const WorkloadRow &row : rows)
+        table.rows.push_back({row.workload, row.values});
     return table;
 }
 

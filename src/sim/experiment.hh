@@ -25,6 +25,9 @@
 
 #include "sim/policy_zoo.hh"
 #include "sim/system.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/report.hh"
+#include "telemetry/timer.hh"
 #include "util/table.hh"
 #include "workloads/suite.hh"
 
@@ -39,6 +42,16 @@ struct ExperimentConfig
     unsigned threads = 0;
     /** Append a Belady MIN column (miss experiments only). */
     bool includeMin = false;
+    /**
+     * Optional telemetry taps (both may be null).  With a registry
+     * attached, every simulated LLC mirrors its hit/miss/bypass
+     * counters into "llc.<policy>.*"; with timings, the harness
+     * records per-phase wall-clock ("materialize", "llc_filter",
+     * "replay", and the whole run).  Both are thread-safe and shared
+     * across the worker pool.
+     */
+    telemetry::MetricRegistry *registry = nullptr;
+    telemetry::PhaseTimings *timings = nullptr;
 };
 
 /** Raw per-workload metric values, one per column. */
@@ -93,6 +106,9 @@ struct ExperimentResult
 
     /** Render raw metric values (no normalization). */
     Table toRawTable(int precision = 4) const;
+
+    /** Raw values as a telemetry table (for RunReport artifacts). */
+    telemetry::ResultTable toResultTable(const std::string &title) const;
 };
 
 /**

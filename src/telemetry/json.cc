@@ -1,0 +1,497 @@
+/**
+ * @file
+ * JSON writer/parser implementation.
+ */
+
+#include "telemetry/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace gippr::telemetry
+{
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        fatal("JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("JsonValue: not a string");
+    return string_;
+}
+
+size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    fatal("JsonValue: size() on a scalar");
+}
+
+const JsonValue &
+JsonValue::at(size_t idx) const
+{
+    if (kind_ != Kind::Array)
+        fatal("JsonValue: indexing a non-array");
+    if (idx >= array_.size())
+        fatal("JsonValue: array index out of range");
+    return array_[idx];
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        fatal("JsonValue: push on a non-array");
+    array_.push_back(std::move(v));
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("JsonValue: has() on a non-object");
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("JsonValue: member access on a non-object");
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return kv.second;
+    fatal("JsonValue: no such member: " + key);
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        fatal("JsonValue: set on a non-object");
+    for (auto &kv : object_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+std::vector<std::string>
+JsonValue::keys() const
+{
+    if (kind_ != Kind::Object)
+        fatal("JsonValue: keys() on a non-object");
+    std::vector<std::string> out;
+    out.reserve(object_.size());
+    for (const auto &kv : object_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Shortest decimal form that round-trips; integers stay integral. */
+std::string
+formatNumber(double d)
+{
+    if (!std::isfinite(d))
+        return "null"; // JSON has no Inf/NaN; degrade explicitly
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Prefer the shorter %.15g form when it round-trips.
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", d);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    return back == d ? shorter : buf;
+}
+
+} // namespace
+
+void
+JsonValue::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<size_t>(indent) *
+                                     (static_cast<size_t>(depth) + 1),
+                                 ' ')
+                   : "";
+    const std::string closepad =
+        indent > 0
+            ? std::string(static_cast<size_t>(indent) *
+                              static_cast<size_t>(depth),
+                          ' ')
+            : "";
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Number:
+        os << formatNumber(number_);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(string_) << '"';
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (size_t i = 0; i < array_.size(); ++i) {
+            os << pad;
+            array_[i].writeIndented(os, indent, depth + 1);
+            if (i + 1 < array_.size())
+                os << ',';
+            os << nl;
+        }
+        os << closepad << ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (size_t i = 0; i < object_.size(); ++i) {
+            os << pad << '"' << jsonEscape(object_[i].first) << '"'
+               << colon;
+            object_[i].second.writeIndented(os, indent, depth + 1);
+            if (i + 1 < object_.size())
+                os << ',';
+            os << nl;
+        }
+        os << closepad << '}';
+        break;
+    }
+}
+
+void
+JsonValue::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over an in-memory string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("JSON parse error at offset " + std::to_string(pos_) +
+              ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("bad literal");
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are not needed for telemetry artifacts).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        try {
+            return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace gippr::telemetry

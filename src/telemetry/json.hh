@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON document model, writer and parser.
+ *
+ * Hand-rolled (no third-party dependency) support code for the
+ * telemetry run reports: enough of RFC 8259 to serialize registry
+ * snapshots and experiment tables, and to parse them back in tests
+ * (round-trip and golden-schema checks).  Object keys preserve
+ * insertion order so emitted artifacts are stable and diffable.
+ */
+
+#ifndef GIPPR_TELEMETRY_JSON_HH_
+#define GIPPR_TELEMETRY_JSON_HH_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gippr::telemetry
+{
+
+/** One JSON value (null, bool, number, string, array or object). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::Number), number_(d) {}
+    JsonValue(int i) : kind_(Kind::Number), number_(i) {}
+    JsonValue(int64_t i)
+        : kind_(Kind::Number), number_(static_cast<double>(i))
+    {
+    }
+    JsonValue(uint64_t u)
+        : kind_(Kind::Number), number_(static_cast<double>(u))
+    {
+    }
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+
+    /** An empty array/object to be filled with push/set. */
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Typed accessors; fatal() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array element access; fatal() unless an array. */
+    size_t size() const;
+    const JsonValue &at(size_t idx) const;
+    void push(JsonValue v);
+
+    /** Object member access; fatal() unless an object. */
+    bool has(const std::string &key) const;
+    const JsonValue &at(const std::string &key) const;
+    /** Insert or overwrite @p key (insertion order preserved). */
+    void set(const std::string &key, JsonValue v);
+    /** Object keys in insertion order. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 2) const;
+    void write(std::ostream &os, int indent = 2) const;
+
+    /** Parse a complete JSON document; fatal() on malformed input. */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/** Escape @p s per JSON string rules (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace gippr::telemetry
+
+#endif // GIPPR_TELEMETRY_JSON_HH_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Progress sink implementations.
+ */
+
+#include "telemetry/progress.hh"
+
+namespace gippr::telemetry
+{
+
+void
+StreamProgressSink::onProgress(const ProgressEvent &event)
+{
+    if (!out_)
+        return;
+    if (event.total > 0) {
+        std::fprintf(out_,
+                     "[%s] iter %llu/%llu  best %.4f  (%.2fs)\n",
+                     event.task.c_str(),
+                     static_cast<unsigned long long>(event.current),
+                     static_cast<unsigned long long>(event.total),
+                     event.score, event.iterationSeconds);
+    } else {
+        std::fprintf(out_, "[%s] iter %llu  best %.4f  (%.2fs)\n",
+                     event.task.c_str(),
+                     static_cast<unsigned long long>(event.current),
+                     event.score, event.iterationSeconds);
+    }
+    std::fflush(out_);
+}
+
+} // namespace gippr::telemetry

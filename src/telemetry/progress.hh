@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Progress reporting for long-running searches.
+ *
+ * A ProgressSink receives periodic events from iterative drivers (GA
+ * generations, sweep steps) so multi-minute runs are observable
+ * without the driver knowing where the output goes.  Sinks must
+ * tolerate events from the driver thread only (drivers emit between
+ * parallel sections, not inside them).
+ */
+
+#ifndef GIPPR_TELEMETRY_PROGRESS_HH_
+#define GIPPR_TELEMETRY_PROGRESS_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gippr::telemetry
+{
+
+/** One progress heartbeat from an iterative driver. */
+struct ProgressEvent
+{
+    /** What is running, e.g. "evolve_ipv" or "fig12 fold". */
+    std::string task;
+    /** Completed iterations (e.g. generations). */
+    uint64_t current = 0;
+    /** Total iterations, 0 when unknown. */
+    uint64_t total = 0;
+    /** Best objective so far (GA fitness, speedup, ...). */
+    double score = 0.0;
+    /** Seconds the just-finished iteration took. */
+    double iterationSeconds = 0.0;
+};
+
+/** Receives progress events. */
+class ProgressSink
+{
+  public:
+    virtual ~ProgressSink() = default;
+    virtual void onProgress(const ProgressEvent &event) = 0;
+};
+
+/** Discards everything (default wiring). */
+class NullProgressSink : public ProgressSink
+{
+  public:
+    void onProgress(const ProgressEvent &) override {}
+};
+
+/**
+ * Prints one line per event to a stdio stream (default stderr):
+ *   [evolve_ipv] gen 3/12  best 1.0421  (2.31s)
+ */
+class StreamProgressSink : public ProgressSink
+{
+  public:
+    explicit StreamProgressSink(std::FILE *out = stderr) : out_(out) {}
+
+    void onProgress(const ProgressEvent &event) override;
+
+  private:
+    std::FILE *out_;
+};
+
+} // namespace gippr::telemetry
+
+#endif // GIPPR_TELEMETRY_PROGRESS_HH_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Run-report implementation.
+ */
+
+#include "telemetry/report.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "util/log.hh"
+
+namespace gippr::telemetry
+{
+
+JsonValue
+ResultTable::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("title", JsonValue(title));
+    out.set("metric", JsonValue(metric));
+    JsonValue cols = JsonValue::array();
+    for (const auto &c : columns)
+        cols.push(JsonValue(c));
+    out.set("columns", std::move(cols));
+    JsonValue rws = JsonValue::array();
+    for (const ResultRow &r : rows) {
+        JsonValue row = JsonValue::object();
+        row.set("workload", JsonValue(r.name));
+        JsonValue vals = JsonValue::array();
+        for (double v : r.values)
+            vals.push(JsonValue(v));
+        row.set("values", std::move(vals));
+        rws.push(std::move(row));
+    }
+    out.set("rows", std::move(rws));
+    return out;
+}
+
+RunReport::RunReport(std::string kind, std::string name)
+    : kind_(std::move(kind)), name_(std::move(name)),
+      config_(JsonValue::object()), phases_(JsonValue::array()),
+      metrics_(JsonValue::object())
+{
+}
+
+void
+RunReport::setConfig(const std::string &key, JsonValue value)
+{
+    config_.set(key, std::move(value));
+}
+
+void
+RunReport::addTable(ResultTable table)
+{
+    tables_.push_back(std::move(table));
+}
+
+void
+RunReport::setPhases(const PhaseTimings &timings)
+{
+    phases_ = timings.toJson();
+}
+
+void
+RunReport::setMetrics(const MetricRegistry &registry)
+{
+    metrics_ = registry.snapshot();
+}
+
+void
+RunReport::setTimestamp(std::string iso8601)
+{
+    timestamp_ = std::move(iso8601);
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+JsonValue
+RunReport::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue(kSchemaName));
+    doc.set("version", JsonValue(kSchemaVersion));
+    doc.set("kind", JsonValue(kind_));
+    doc.set("name", JsonValue(name_));
+    doc.set("timestamp",
+            JsonValue(timestamp_.empty() ? utcTimestamp() : timestamp_));
+    doc.set("config", config_);
+    JsonValue results = JsonValue::array();
+    for (const ResultTable &t : tables_)
+        results.push(t.toJson());
+    doc.set("results", std::move(results));
+    doc.set("phases", phases_);
+    doc.set("metrics", metrics_);
+    return doc;
+}
+
+void
+RunReport::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open run report for writing: " + path);
+    toJson().write(out, 2);
+    out << "\n";
+    if (!out)
+        fatal("failed writing run report: " + path);
+}
+
+} // namespace gippr::telemetry

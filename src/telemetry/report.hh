@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport is the single JSON artifact an experiment, GA run or
+ * bench leaves behind: what ran (kind/name), with which configuration
+ * (cache geometry, policies, seeds, threads), what it measured
+ * (per-workload result tables), how long each phase took, and the
+ * final metric-registry contents.  The schema is versioned and locked
+ * by tests/test_telemetry.cc's golden-schema check; bump
+ * kSchemaVersion on any breaking change.
+ *
+ * Top-level layout (schema "gippr-run-report", version 1):
+ *
+ *   {
+ *     "schema": "gippr-run-report",
+ *     "version": 1,
+ *     "kind": "experiment" | "ga" | "bench",
+ *     "name": "<binary or run name>",
+ *     "timestamp": "<ISO 8601 UTC>",
+ *     "config": { ... free-form, producer-defined ... },
+ *     "results": [
+ *       { "title": ..., "metric": ..., "columns": [...],
+ *         "rows": [ { "workload": ..., "values": [...] } ] }
+ *     ],
+ *     "phases": [ { "name": ..., "seconds": ..., "count": ... } ],
+ *     "metrics": { "<metric name>": <number or histogram object> }
+ *   }
+ */
+
+#ifndef GIPPR_TELEMETRY_REPORT_HH_
+#define GIPPR_TELEMETRY_REPORT_HH_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/timer.hh"
+
+namespace gippr::telemetry
+{
+
+/** One row of a result table (a workload, a benchmark case, ...). */
+struct ResultRow
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** A rectangular block of results, one value column per policy. */
+struct ResultTable
+{
+    /** Which figure/series this is, e.g. "fig10" or "convergence". */
+    std::string title;
+    /** What the values are ("MPKI", "IPC", "ns", "speedup", ...). */
+    std::string metric;
+    std::vector<std::string> columns;
+    std::vector<ResultRow> rows;
+
+    JsonValue toJson() const;
+};
+
+/** Builder + writer for one run's JSON artifact. */
+class RunReport
+{
+  public:
+    static constexpr const char *kSchemaName = "gippr-run-report";
+    static constexpr int kSchemaVersion = 1;
+
+    /**
+     * @param kind  "experiment", "ga" or "bench"
+     * @param name  run identity (usually the binary name)
+     */
+    RunReport(std::string kind, std::string name);
+
+    /** Set one key of the free-form config section. */
+    void setConfig(const std::string &key, JsonValue value);
+
+    /** Append a result table. */
+    void addTable(ResultTable table);
+
+    /** Capture phase timings (call once, after the phases ran). */
+    void setPhases(const PhaseTimings &timings);
+
+    /** Capture a metric-registry snapshot. */
+    void setMetrics(const MetricRegistry &registry);
+
+    /**
+     * Fix the timestamp (ISO 8601); when unset, writing stamps the
+     * current UTC time.  Tests pin it for deterministic artifacts.
+     */
+    void setTimestamp(std::string iso8601);
+
+    /** Assemble the document. */
+    JsonValue toJson() const;
+
+    /** Serialize to @p path (pretty-printed); fatal() on I/O error. */
+    void writeFile(const std::string &path) const;
+
+    const std::string &kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string kind_;
+    std::string name_;
+    std::string timestamp_;
+    JsonValue config_;
+    std::vector<ResultTable> tables_;
+    JsonValue phases_;
+    JsonValue metrics_;
+};
+
+/** Current UTC time as "YYYY-MM-DDTHH:MM:SSZ". */
+std::string utcTimestamp();
+
+} // namespace gippr::telemetry
+
+#endif // GIPPR_TELEMETRY_REPORT_HH_

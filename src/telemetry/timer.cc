@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Phase timing implementation.
+ */
+
+#include "telemetry/timer.hh"
+
+namespace gippr::telemetry
+{
+
+void
+PhaseTimings::record(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &p : phases_) {
+        if (p.name == name) {
+            p.seconds += seconds;
+            ++p.count;
+            return;
+        }
+    }
+    phases_.push_back({name, seconds, 1});
+}
+
+double
+PhaseTimings::seconds(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &p : phases_)
+        if (p.name == name)
+            return p.seconds;
+    return 0.0;
+}
+
+std::vector<PhaseStat>
+PhaseTimings::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phases_;
+}
+
+JsonValue
+PhaseTimings::toJson() const
+{
+    JsonValue arr = JsonValue::array();
+    for (const PhaseStat &p : phases()) {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue(p.name));
+        entry.set("seconds", JsonValue(p.seconds));
+        entry.set("count", JsonValue(p.count));
+        arr.push(std::move(entry));
+    }
+    return arr;
+}
+
+ScopedTimer::ScopedTimer(PhaseTimings *sink, std::string name)
+    : sink_(sink), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+double
+ScopedTimer::elapsed() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+ScopedTimer::stop()
+{
+    if (sink_)
+        sink_->record(name_, elapsed());
+    sink_ = nullptr;
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    stop();
+}
+
+} // namespace gippr::telemetry

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wall-clock phase timing.
+ *
+ * PhaseTimings accumulates named durations (thread-safe); ScopedTimer
+ * is the RAII front end used around simulation phases (trace
+ * generation, warmup, replay, GA generations).  A phase recorded more
+ * than once accumulates total seconds and a call count, so per-item
+ * timers inside parallel loops aggregate naturally.
+ */
+
+#ifndef GIPPR_TELEMETRY_TIMER_HH_
+#define GIPPR_TELEMETRY_TIMER_HH_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+namespace gippr::telemetry
+{
+
+/** Accumulated wall-clock time for one named phase. */
+struct PhaseStat
+{
+    std::string name;
+    double seconds = 0.0;
+    uint64_t count = 0;
+};
+
+/** Thread-safe map of phase name -> accumulated duration. */
+class PhaseTimings
+{
+  public:
+    /** Add @p seconds to @p name (one occurrence). */
+    void record(const std::string &name, double seconds);
+
+    /** Accumulated seconds for @p name (0 if never recorded). */
+    double seconds(const std::string &name) const;
+
+    /** All phases, in first-recorded order. */
+    std::vector<PhaseStat> phases() const;
+
+    /** [{"name":..., "seconds":..., "count":...}, ...]. */
+    JsonValue toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<PhaseStat> phases_; // small N; linear scan
+};
+
+/**
+ * Times its own lifetime into a PhaseTimings.  A null sink makes the
+ * timer inert, so call sites can be instrumented unconditionally.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(PhaseTimings *sink, std::string name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Seconds elapsed since construction. */
+    double elapsed() const;
+
+    /** Record now and detach (destructor becomes a no-op). */
+    void stop();
+
+  private:
+    PhaseTimings *sink_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace gippr::telemetry
+
+#endif // GIPPR_TELEMETRY_TIMER_HH_

@@ -42,12 +42,35 @@ writeScalar(std::FILE *f, T v)
 
 template <typename T>
 T
-readScalar(std::FILE *f)
+readScalar(std::FILE *f, const std::string &path,
+           const std::string &what)
 {
     T v;
     if (std::fread(&v, sizeof(T), 1, f) != 1)
-        fatal("trace read failed: truncated file");
+        fatal("trace file truncated reading " + what + ": " + path);
     return v;
+}
+
+/** On-disk bytes of one MemRecord (fields are written unpadded). */
+constexpr uint64_t kRecordBytes =
+    sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint64_t) +
+    sizeof(uint8_t);
+
+/** Header bytes: magic + version + record count. */
+constexpr uint64_t kHeaderBytes =
+    4 + sizeof(uint32_t) + sizeof(uint64_t);
+
+/** Size of @p f in bytes (position is restored). */
+uint64_t
+fileSize(std::FILE *f, const std::string &path)
+{
+    long pos = std::ftell(f);
+    if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0)
+        fatal("cannot determine size of trace file: " + path);
+    long end = std::ftell(f);
+    if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0)
+        fatal("cannot determine size of trace file: " + path);
+    return static_cast<uint64_t>(end);
 }
 
 } // namespace
@@ -81,18 +104,46 @@ readTrace(const std::string &path)
         std::memcmp(magic, kMagic, 4) != 0) {
         fatal("not a GPTR trace file: " + path);
     }
-    uint32_t version = readScalar<uint32_t>(f.get());
+    uint32_t version = readScalar<uint32_t>(f.get(), path, "version");
     if (version != kVersion)
         fatal("unsupported trace version in " + path);
-    uint64_t count = readScalar<uint64_t>(f.get());
+    uint64_t count =
+        readScalar<uint64_t>(f.get(), path, "record count");
+
+    // Validate the promised record count against the actual file size
+    // before reserving or reading anything: a corrupt header must not
+    // drive a multi-gigabyte allocation or a silently partial trace.
+    if (count > (UINT64_MAX - kHeaderBytes) / kRecordBytes)
+        fatal("trace file header corrupt: record count " +
+              std::to_string(count) + " overflows the file size: " +
+              path);
+    uint64_t expected = kHeaderBytes + count * kRecordBytes;
+    uint64_t actual = fileSize(f.get(), path);
+    if (actual < expected)
+        fatal("trace file truncated: header promises " +
+              std::to_string(count) + " records (" +
+              std::to_string(expected) + " bytes) but " + path +
+              " is only " + std::to_string(actual) + " bytes");
+    if (actual > expected)
+        fatal("trace file corrupt: " + std::to_string(actual - expected) +
+              " trailing bytes after " + std::to_string(count) +
+              " records: " + path);
+
     Trace trace;
     trace.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
         MemRecord r;
-        r.instGap = readScalar<uint32_t>(f.get());
-        r.addr = readScalar<uint64_t>(f.get());
-        r.pc = readScalar<uint64_t>(f.get());
-        r.isWrite = readScalar<uint8_t>(f.get()) != 0;
+        uint8_t is_write = 0;
+        // Size was validated above, so a short read here is an I/O
+        // error, not routine truncation; keep the check branch-only.
+        if (std::fread(&r.instGap, sizeof(r.instGap), 1, f.get()) != 1 ||
+            std::fread(&r.addr, sizeof(r.addr), 1, f.get()) != 1 ||
+            std::fread(&r.pc, sizeof(r.pc), 1, f.get()) != 1 ||
+            std::fread(&is_write, sizeof(is_write), 1, f.get()) != 1) {
+            fatal("trace read failed at record " + std::to_string(i) +
+                  " of " + std::to_string(count) + ": " + path);
+        }
+        r.isWrite = is_write != 0;
         trace.append(r);
     }
     return trace;

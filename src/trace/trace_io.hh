@@ -26,7 +26,14 @@ namespace gippr
 /** Serialize @p trace to @p path; throws std::runtime_error on error. */
 void writeTrace(const Trace &trace, const std::string &path);
 
-/** Load a trace from @p path; throws std::runtime_error on error. */
+/**
+ * Load a trace from @p path; throws std::runtime_error on error.
+ *
+ * The header's record count is validated against the actual file size
+ * before anything is read: truncated files, counts that overflow the
+ * file, and trailing garbage are all rejected with messages naming
+ * the path — a short read never yields a silently partial trace.
+ */
 Trace readTrace(const std::string &path);
 
 } // namespace gippr

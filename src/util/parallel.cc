@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Worker-thread loop implementation.
+ */
+
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gippr
+{
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 4;
+}
+
+void
+parallelFor(size_t n, unsigned threads,
+            const std::function<void(size_t)> &body)
+{
+    if (threads <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = cursor.fetch_add(1);
+            if (i >= n)
+                return;
+            body(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    unsigned count = static_cast<unsigned>(std::min<size_t>(threads, n));
+    pool.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace gippr

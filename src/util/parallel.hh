@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared worker-thread loop.
+ *
+ * The one parallelism scheme the repo uses everywhere (experiment
+ * harness, GA population evaluation): a pool of threads pulling
+ * indices off a shared atomic cursor.  Work items must be independent;
+ * the body may be called concurrently from all workers.
+ */
+
+#ifndef GIPPR_UTIL_PARALLEL_HH_
+#define GIPPR_UTIL_PARALLEL_HH_
+
+#include <cstddef>
+#include <functional>
+
+namespace gippr
+{
+
+/**
+ * Threads to actually use for @p requested (0 means "hardware
+ * concurrency", with a fallback of 4 when that is unknown).
+ */
+unsigned resolveThreads(unsigned requested);
+
+/**
+ * Run @p body(i) for every i in [0, n), distributing indices over at
+ * most @p threads workers (capped at n).  threads <= 1 runs inline.
+ * Exceptions thrown by @p body terminate the process (the workers
+ * have no channel to rethrow); bodies are expected not to throw.
+ */
+void parallelFor(size_t n, unsigned threads,
+                 const std::function<void(size_t)> &body);
+
+} // namespace gippr
+
+#endif // GIPPR_UTIL_PARALLEL_HH_

@@ -68,6 +68,13 @@ Table::cell(size_t row, size_t col) const
     return rows_[row][col];
 }
 
+const std::string &
+Table::header(size_t col) const
+{
+    assert(col < headers_.size());
+    return headers_[col];
+}
+
 void
 Table::print(std::ostream &os) const
 {

@@ -43,6 +43,9 @@ class Table
     /** Cell accessor (row-major, header excluded). */
     const std::string &cell(size_t row, size_t col) const;
 
+    /** Header of column @p col. */
+    const std::string &header(size_t col) const;
+
     /** Render aligned text to @p os. */
     void print(std::ostream &os) const;
 
