@@ -5,8 +5,7 @@
 
 #include "cache/cache.hh"
 
-#include <cassert>
-
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -25,16 +24,16 @@ SetAssocCache::SetAssocCache(const CacheConfig &config,
 SetAssocCache::Line &
 SetAssocCache::line(uint64_t set, unsigned way)
 {
-    assert(set < config_.sets());
-    assert(way < config_.assoc);
+    GIPPR_CHECK(set < config_.sets());
+    GIPPR_CHECK(way < config_.assoc);
     return lines_[set * config_.assoc + way];
 }
 
 const SetAssocCache::Line &
 SetAssocCache::line(uint64_t set, unsigned way) const
 {
-    assert(set < config_.sets());
-    assert(way < config_.assoc);
+    GIPPR_CHECK(set < config_.sets());
+    GIPPR_CHECK(way < config_.assoc);
     return lines_[set * config_.assoc + way];
 }
 
@@ -116,7 +115,7 @@ SetAssocCache::access(uint64_t byte_addr, AccessType type, uint64_t pc)
         if (way >= config_.assoc)
             panic(config_.name + ": policy returned way out of range");
         Line &victim_line = line(set, way);
-        assert(victim_line.valid);
+        GIPPR_CHECK(victim_line.valid);
         ++stats_.evictions;
         if (live_.evictions)
             live_.evictions->increment();

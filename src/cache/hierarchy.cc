@@ -5,7 +5,7 @@
 
 #include "cache/hierarchy.hh"
 
-#include <cassert>
+#include "util/check.hh"
 
 namespace gippr
 {
@@ -38,6 +38,7 @@ Hierarchy::access(uint64_t byte_addr, bool is_write, uint64_t pc)
     const AccessType type =
         is_write ? AccessType::Store : AccessType::Load;
 
+    GIPPR_CHECK(type != AccessType::Writeback);
     AccessResult r1 = l1_->access(byte_addr, type, pc);
     if (r1.hit)
         return HitLevel::L1;
@@ -64,6 +65,10 @@ Hierarchy::access(uint64_t byte_addr, bool is_write, uint64_t pc)
     if (r2.hit)
         return HitLevel::L2;
 
+    // Under inclusion a line absent from the LLC must also be absent
+    // above it, so an LLC demand miss can never follow an upper hit.
+    GIPPR_DCHECK(!inclusive_ || llc_->probe(byte_addr) ||
+                 (!l1_->probe(byte_addr) && !l2_->probe(byte_addr)));
     AccessResult r3 = llc_->access(byte_addr, type, pc);
     // LLC dirty victims go to memory.  Under inclusion, an LLC
     // eviction also back-invalidates the line from the levels above

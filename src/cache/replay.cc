@@ -5,12 +5,15 @@
 
 #include "cache/replay.hh"
 
+#include "util/check.hh"
+
 namespace gippr
 {
 
 void
 replayTrace(SetAssocCache &cache, const Trace &trace, size_t warmup)
 {
+    GIPPR_CHECK(warmup <= trace.size());
     if (warmup == 0)
         cache.clearStats();
     for (size_t i = 0; i < trace.size(); ++i) {

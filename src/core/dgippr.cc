@@ -5,6 +5,7 @@
 
 #include "core/dgippr.hh"
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -33,15 +34,21 @@ const Ipv &
 DgipprPolicy::ipvFor(uint64_t set) const
 {
     int owner = leaders_.owner(set);
-    if (owner != LeaderSets::kFollower)
+    if (owner != LeaderSets::kFollower) {
+        GIPPR_CHECK(static_cast<size_t>(owner) < ipvs_.size());
         return ipvs_[static_cast<size_t>(owner)];
+    }
+    GIPPR_CHECK(selector_.winner() < ipvs_.size());
     return ipvs_[selector_.winner()];
 }
 
 unsigned
 DgipprPolicy::victim(const AccessInfo &info)
 {
-    return trees_[info.set].findPlru();
+    const PlruTree &tree = trees_[info.set];
+    const unsigned way = tree.findPlru();
+    GIPPR_DCHECK(tree.position(way) == tree.ways() - 1);
+    return way;
 }
 
 void

@@ -70,6 +70,9 @@ class DgipprPolicy : public ReplacementPolicy
     /** Vector currently used by follower sets (test aid). */
     unsigned currentWinner() const { return selector_.winner(); }
 
+    /** Per-set tree accessor (test / verification aid). */
+    const PlruTree &tree(uint64_t set) const { return trees_[set]; }
+
     const std::vector<Ipv> &ipvs() const { return ipvs_; }
 
   private:

@@ -5,6 +5,7 @@
 
 #include "core/giplr.hh"
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -23,7 +24,9 @@ GiplrPolicy::victim(const AccessInfo &info)
 {
     // The victim is always the block in the LRU position; the IPV only
     // changes how blocks travel through the stack.
-    return stacks_[info.set].lruWay();
+    const unsigned way = stacks_[info.set].lruWay();
+    GIPPR_DCHECK(stacks_[info.set].position(way) == ways_ - 1);
+    return way;
 }
 
 void

@@ -5,6 +5,7 @@
 
 #include "core/gippr.hh"
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -21,7 +22,12 @@ GipprPolicy::GipprPolicy(const CacheConfig &config, Ipv ipv)
 unsigned
 GipprPolicy::victim(const AccessInfo &info)
 {
-    return trees_[info.set].findPlru();
+    const PlruTree &tree = trees_[info.set];
+    const unsigned way = tree.findPlru();
+    // The PLRU walk must land on the block in recency position k-1
+    // (paper, Section 2.2: the tree always encodes a permutation).
+    GIPPR_DCHECK(tree.position(way) == tree.ways() - 1);
+    return way;
 }
 
 void

@@ -5,10 +5,10 @@
 
 #include "core/ipv.hh"
 
-#include <cassert>
 #include <deque>
 #include <sstream>
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -26,6 +26,8 @@ Ipv::isValidVector(const std::vector<uint8_t> &entries)
 {
     if (entries.size() < 3) // k >= 2 implies at least 3 entries
         return false;
+    if (entries.size() > 257) // k <= 256, matching PlruTree's bound
+        return false;
     const size_t k = entries.size() - 1;
     for (uint8_t v : entries)
         if (v >= k)
@@ -36,14 +38,14 @@ Ipv::isValidVector(const std::vector<uint8_t> &entries)
 Ipv
 Ipv::lru(unsigned ways)
 {
-    assert(ways >= 2);
+    GIPPR_CHECK(ways >= 2);
     return Ipv(std::vector<uint8_t>(ways + 1, 0));
 }
 
 Ipv
 Ipv::lruInsertion(unsigned ways)
 {
-    assert(ways >= 2);
+    GIPPR_CHECK(ways >= 2);
     std::vector<uint8_t> v(ways + 1, 0);
     v[ways] = static_cast<uint8_t>(ways - 1);
     return Ipv(std::move(v));
@@ -68,6 +70,10 @@ Ipv::parse(const std::string &text)
             fatal("IPV entry out of range: " + std::to_string(v));
         entries.push_back(static_cast<uint8_t>(v));
     }
+    // The loop stops on eof or on a token that isn't a number; only
+    // the former is a complete parse.
+    if (!is.eof())
+        fatal("IPV contains a non-numeric token: " + text);
     if (!isValidVector(entries))
         fatal("malformed IPV string: " + text);
     return Ipv(std::move(entries));
@@ -76,14 +82,14 @@ Ipv::parse(const std::string &text)
 unsigned
 Ipv::ways() const
 {
-    assert(!entries_.empty());
+    GIPPR_CHECK(!entries_.empty());
     return static_cast<unsigned>(entries_.size() - 1);
 }
 
 unsigned
 Ipv::promotion(unsigned i) const
 {
-    assert(i < ways());
+    GIPPR_CHECK(i < ways());
     return entries_[i];
 }
 

@@ -5,9 +5,8 @@
 
 #include "core/plru_tree.hh"
 
-#include <cassert>
-
 #include "util/bitops.hh"
+#include "util/check.hh"
 
 namespace gippr
 {
@@ -15,8 +14,8 @@ namespace gippr
 PlruTree::PlruTree(unsigned ways)
     : ways_(ways), levels_(floorLog2(ways)), bits_(ways - 1, 0)
 {
-    assert(ways >= 2 && ways <= 256);
-    assert(isPow2(ways));
+    GIPPR_CHECK(ways >= 2 && ways <= 256);
+    GIPPR_CHECK(isPow2(ways));
 }
 
 unsigned
@@ -31,7 +30,7 @@ PlruTree::findPlru() const
 void
 PlruTree::promoteMru(unsigned way)
 {
-    assert(way < ways_);
+    GIPPR_CHECK(way < ways_);
     unsigned q = leafNode(way);
     while (q != 0) {
         unsigned par = parent(q);
@@ -44,7 +43,7 @@ PlruTree::promoteMru(unsigned way)
 unsigned
 PlruTree::position(unsigned way) const
 {
-    assert(way < ways_);
+    GIPPR_CHECK(way < ways_);
     unsigned x = 0;
     unsigned i = 0;
     unsigned q = leafNode(way);
@@ -66,8 +65,8 @@ PlruTree::position(unsigned way) const
 void
 PlruTree::setPosition(unsigned way, unsigned x)
 {
-    assert(way < ways_);
-    assert(x < ways_);
+    GIPPR_CHECK(way < ways_);
+    GIPPR_CHECK(x < ways_);
     unsigned i = 0;
     unsigned q = leafNode(way);
     while (q != 0) {
@@ -83,7 +82,7 @@ PlruTree::setPosition(unsigned way, unsigned x)
 unsigned
 PlruTree::wayAtPosition(unsigned x) const
 {
-    assert(x < ways_);
+    GIPPR_CHECK(x < ways_);
     unsigned p = 0;
     for (unsigned i = levels_; i-- > 0;) {
         // Going right contributes the parent's bit at index i; going
@@ -99,14 +98,14 @@ PlruTree::wayAtPosition(unsigned x) const
 bool
 PlruTree::bit(unsigned node) const
 {
-    assert(node < bits_.size());
+    GIPPR_CHECK(node < bits_.size());
     return bits_[node] != 0;
 }
 
 void
 PlruTree::setBit(unsigned node, bool value)
 {
-    assert(node < bits_.size());
+    GIPPR_CHECK(node < bits_.size());
     bits_[node] = value ? 1 : 0;
 }
 

@@ -5,8 +5,7 @@
 
 #include "core/rrip_ipv.hh"
 
-#include <cassert>
-
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -19,7 +18,7 @@ RripIpvPolicy::RripIpvPolicy(const CacheConfig &config, Ipv ipv,
       rrpv_(config.sets() * config.assoc,
             static_cast<uint8_t>((1U << rrpv_bits) - 1))
 {
-    assert(rrpv_bits >= 1 && rrpv_bits <= 8);
+    GIPPR_CHECK(rrpv_bits >= 1 && rrpv_bits <= 8);
     if (ipv_.ways() != levels_)
         fatal("RripIpv: vector arity must equal the RRPV level count");
 }

@@ -5,14 +5,13 @@
 
 #include "ga/fitness.hh"
 
-#include <cassert>
-
 #include "cache/cache.hh"
 #include "cache/replay.hh"
 #include "core/giplr.hh"
 #include "core/gippr.hh"
 #include "core/rrip_ipv.hh"
 #include "policies/lru.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
@@ -59,7 +58,7 @@ uint64_t
 FitnessEvaluator::missesOn(size_t idx, const Ipv &ipv,
                            IpvFamily family) const
 {
-    assert(idx < traces_.size());
+    GIPPR_CHECK(idx < traces_.size());
     std::unique_ptr<ReplacementPolicy> policy;
     switch (family) {
       case IpvFamily::Giplr:
@@ -82,7 +81,7 @@ FitnessEvaluator::missesOn(size_t idx, const Ipv &ipv,
 uint64_t
 FitnessEvaluator::lruMisses(size_t idx) const
 {
-    assert(idx < lruMisses_.size());
+    GIPPR_CHECK(idx < lruMisses_.size());
     return lruMisses_[idx];
 }
 

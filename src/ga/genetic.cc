@@ -6,9 +6,9 @@
 #include "ga/genetic.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "ga/random_search.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
@@ -67,7 +67,7 @@ crossover(const Ipv &a, const Ipv &b, Rng &rng)
 {
     const auto &ea = a.entries();
     const auto &eb = b.entries();
-    assert(ea.size() == eb.size());
+    GIPPR_CHECK(ea.size() == eb.size());
     size_t cut = 1 + rng.nextBounded(ea.size() - 1);
     std::vector<uint8_t> child(ea.begin(),
                                ea.begin() + static_cast<long>(cut));

@@ -4,8 +4,7 @@
  */
 
 #include "policies/pdp.hh"
-
-#include <cassert>
+#include "util/check.hh"
 
 namespace gippr
 {
@@ -16,8 +15,8 @@ PdpPolicy::PdpPolicy(const CacheConfig &config, PdpParams params)
       reused_(config.sets() * config.assoc, 0),
       setState_(config.sets()), rdHist_(params.maxDistance)
 {
-    assert(params_.counterBits >= 2 && params_.counterBits <= 8);
-    assert(params_.initialDp >= 1);
+    GIPPR_CHECK(params_.counterBits >= 2 && params_.counterBits <= 8);
+    GIPPR_CHECK(params_.initialDp >= 1);
     decrementPeriod_ =
         std::max(1U, dp_ / ((1U << params_.counterBits) - 1));
 }

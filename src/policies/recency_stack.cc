@@ -5,14 +5,15 @@
 
 #include "policies/recency_stack.hh"
 
-#include <cassert>
+#include "util/check.hh"
+#include "util/log.hh"
 
 namespace gippr
 {
 
 RecencyStack::RecencyStack(unsigned ways)
 {
-    assert(ways >= 1 && ways <= 255);
+    GIPPR_CHECK(ways >= 1 && ways <= 255);
     pos_.resize(ways);
     for (unsigned w = 0; w < ways; ++w)
         pos_[w] = static_cast<uint8_t>(w);
@@ -21,26 +22,25 @@ RecencyStack::RecencyStack(unsigned ways)
 unsigned
 RecencyStack::position(unsigned way) const
 {
-    assert(way < ways());
+    GIPPR_CHECK(way < ways());
     return pos_[way];
 }
 
 unsigned
 RecencyStack::wayAt(unsigned position) const
 {
-    assert(position < ways());
+    GIPPR_CHECK(position < ways());
     for (unsigned w = 0; w < ways(); ++w)
         if (pos_[w] == position)
             return w;
-    assert(false && "recency stack positions not a permutation");
-    return 0;
+    panic("recency stack positions not a permutation");
 }
 
 void
 RecencyStack::moveTo(unsigned way, unsigned new_pos)
 {
-    assert(way < ways());
-    assert(new_pos < ways());
+    GIPPR_CHECK(way < ways());
+    GIPPR_CHECK(new_pos < ways());
     const unsigned old_pos = pos_[way];
     if (new_pos == old_pos)
         return;

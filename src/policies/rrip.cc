@@ -4,8 +4,8 @@
  */
 
 #include "policies/rrip.hh"
+#include "util/check.hh"
 
-#include <cassert>
 #include <memory>
 
 namespace gippr
@@ -22,7 +22,7 @@ RripPolicy::RripPolicy(const CacheConfig &config, Mode mode,
                clampLeaders(config.sets(), 2, leaders)),
       selector_(2), rng_(seed)
 {
-    assert(rrpv_bits >= 1 && rrpv_bits <= 8);
+    GIPPR_CHECK(rrpv_bits >= 1 && rrpv_bits <= 8);
 }
 
 uint8_t &

@@ -5,9 +5,8 @@
 
 #include "policies/set_dueling.hh"
 
-#include <cassert>
-
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -18,7 +17,7 @@ LeaderSets::LeaderSets(uint64_t sets, unsigned policies,
     : sets_(sets), policies_(policies),
       leadersPerPolicy_(leaders_per_policy)
 {
-    assert(policies_ >= 1);
+    GIPPR_CHECK(policies_ >= 1);
     if (leadersPerPolicy_ == 0)
         fatal("set dueling requires at least one leader per policy");
     if (sets_ % leadersPerPolicy_ != 0)
@@ -39,14 +38,14 @@ LeaderSets::LeaderSets(uint64_t sets, unsigned policies,
 int
 LeaderSets::owner(uint64_t set) const
 {
-    assert(set < sets_);
+    GIPPR_CHECK(set < sets_);
     return owner_[set];
 }
 
 unsigned
 clampLeaders(uint64_t sets, unsigned policies, unsigned requested)
 {
-    assert(policies >= 1);
+    GIPPR_CHECK(policies >= 1);
     // Leave at least three quarters of the cache as followers so the
     // duel's winner actually governs most sets even on tiny test
     // geometries.
@@ -81,7 +80,7 @@ TournamentSelector::TournamentSelector(unsigned policies,
 void
 TournamentSelector::recordMiss(unsigned p)
 {
-    assert(p < policies_);
+    GIPPR_CHECK(p < policies_);
     for (unsigned l = 0; l < levels_.size(); ++l) {
         DuelCounter &ctr = levels_[l][p >> (l + 1)];
         if (((p >> l) & 1) == 0)

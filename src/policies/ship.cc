@@ -4,8 +4,7 @@
  */
 
 #include "policies/ship.hh"
-
-#include <cassert>
+#include "util/check.hh"
 
 namespace gippr
 {
@@ -15,7 +14,7 @@ ShipPolicy::ShipPolicy(const CacheConfig &config, unsigned shct_bits,
     : ways_(config.assoc), shctBits_(shct_bits), rrpvBits_(rrpv_bits),
       rrpvMax_((1U << rrpv_bits) - 1)
 {
-    assert(shct_bits >= 4 && shct_bits <= 16);
+    GIPPR_CHECK(shct_bits >= 4 && shct_bits <= 16);
     meta_.assign(config.sets() * config.assoc,
                  LineMeta{static_cast<uint8_t>(rrpvMax_), 0, false});
     shct_.assign(size_t{1} << shctBits_, SatCounter(2, 1));

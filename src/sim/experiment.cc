@@ -6,10 +6,10 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "cache/replay.hh"
 #include "policies/belady.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
@@ -154,8 +154,8 @@ ExperimentResult::columnIndex(const std::string &name) const
 std::vector<double>
 ExperimentResult::normalized(size_t col, size_t base, bool speedup) const
 {
-    assert(col < columns.size());
-    assert(base < columns.size());
+    GIPPR_CHECK(col < columns.size());
+    GIPPR_CHECK(base < columns.size());
     std::vector<double> out;
     out.reserve(rows.size());
     for (const auto &row : rows) {

@@ -5,9 +5,8 @@
 
 #include "sim/multicore.hh"
 
-#include <cassert>
-
 #include "policies/lru.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -45,10 +44,10 @@ MulticoreResult::throughput() const
 double
 MulticoreResult::weightedSpeedup(const std::vector<double> &baseline) const
 {
-    assert(baseline.size() == cores.size());
+    GIPPR_CHECK(baseline.size() == cores.size());
     double s = 0.0;
     for (size_t i = 0; i < cores.size(); ++i) {
-        assert(baseline[i] > 0.0);
+        GIPPR_CHECK(baseline[i] > 0.0);
         s += cores[i].ipc / baseline[i];
     }
     return s / static_cast<double>(cores.size());

@@ -11,11 +11,11 @@
 
 #include "trace/analysis.hh"
 
-#include <cassert>
 #include <memory>
 #include <unordered_map>
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/rng.hh"
 
 namespace gippr
@@ -128,7 +128,7 @@ struct StackDistanceProfiler::Impl
         Node *left, *mid, *right;
         split(root, t, left, mid);
         split(mid, t + 1, mid, right);
-        assert(mid && !mid->left && !mid->right);
+        GIPPR_CHECK(mid && !mid->left && !mid->right);
         delete mid;
         root = merge(left, right);
     }

@@ -5,8 +5,7 @@
 
 #include "trace/simpoint.hh"
 
-#include <cassert>
-
+#include "util/check.hh"
 #include "util/stats.hh"
 
 namespace gippr
@@ -15,8 +14,8 @@ namespace gippr
 void
 Workload::addSimpoint(std::shared_ptr<const Trace> trace, double weight)
 {
-    assert(trace);
-    assert(weight > 0.0);
+    GIPPR_CHECK(trace);
+    GIPPR_CHECK(weight > 0.0);
     simpoints_.push_back({std::move(trace), weight});
 }
 
@@ -32,7 +31,7 @@ Workload::totalWeight() const
 double
 Workload::combine(const std::vector<double> &per_simpoint) const
 {
-    assert(per_simpoint.size() == simpoints_.size());
+    GIPPR_CHECK(per_simpoint.size() == simpoints_.size());
     std::vector<double> weights;
     weights.reserve(simpoints_.size());
     for (const auto &sp : simpoints_)

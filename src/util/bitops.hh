@@ -6,7 +6,6 @@
 #ifndef GIPPR_UTIL_BITOPS_HH_
 #define GIPPR_UTIL_BITOPS_HH_
 
-#include <cassert>
 #include <cstdint>
 
 namespace gippr
@@ -62,6 +61,38 @@ lowMask(unsigned n)
 {
     return (n >= 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
 }
+
+/** Number of set bits in @p x. */
+constexpr unsigned
+popcount64(uint64_t x)
+{
+    unsigned n = 0;
+    while (x != 0) {
+        x &= x - 1;
+        ++n;
+    }
+    return n;
+}
+
+// Compile-time self-tests: every helper is constexpr, so its whole
+// truth table (at the interesting boundary points) is checkable here
+// at zero runtime cost.
+static_assert(isPow2(1) && isPow2(2) && isPow2(256));
+static_assert(!isPow2(0) && !isPow2(3) && !isPow2(255));
+static_assert(floorLog2(1) == 0 && floorLog2(2) == 1);
+static_assert(floorLog2(15) == 3 && floorLog2(16) == 4);
+static_assert(floorLog2(~uint64_t{0}) == 63);
+static_assert(ceilLog2(1) == 0 && ceilLog2(2) == 1);
+static_assert(ceilLog2(9) == 4 && ceilLog2(16) == 4 && ceilLog2(17) == 5);
+static_assert(getBit(0b1010, 1) == 1 && getBit(0b1010, 2) == 0);
+static_assert(getBit(uint64_t{1} << 63, 63) == 1);
+static_assert(setBit(0b1010, 0, 1) == 0b1011);
+static_assert(setBit(0b1010, 1, 0) == 0b1000);
+static_assert(setBit(0, 63, 1) == uint64_t{1} << 63);
+static_assert(lowMask(0) == 0 && lowMask(1) == 1);
+static_assert(lowMask(4) == 0xf && lowMask(64) == ~uint64_t{0});
+static_assert(popcount64(0) == 0 && popcount64(0b1011) == 3);
+static_assert(popcount64(~uint64_t{0}) == 64);
 
 } // namespace gippr
 

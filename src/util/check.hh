@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Runtime invariant checking macros.
+ *
+ * GIPPR_CHECK(expr) guards cheap, O(1) preconditions and state
+ * invariants on the simulator's hot paths; GIPPR_DCHECK(expr) guards
+ * expensive whole-structure validation (permutation scans, cross-model
+ * comparisons) that would distort measured performance.  Both print
+ * the failing expression with its source location and abort via
+ * panic(), marking a simulator bug — never a user input error (those
+ * go through fatal()).
+ *
+ * Both macros compile to nothing in release builds (NDEBUG) so the
+ * bench numbers stay honest; debug builds enable them, and release
+ * builds can force them back on with the GIPPR_ENABLE_CHECKS CMake
+ * option (used by the sanitizer CI jobs so ASan/UBSan/TSan runs also
+ * validate state transitions continuously).  When disabled the
+ * condition is not evaluated, so check expressions must be free of
+ * side effects.
+ */
+
+#ifndef GIPPR_UTIL_CHECK_HH_
+#define GIPPR_UTIL_CHECK_HH_
+
+#include <sstream>
+#include <string>
+
+#include "util/log.hh"
+
+#if !defined(NDEBUG) || defined(GIPPR_FORCE_CHECKS)
+#define GIPPR_CHECKS_ENABLED 1
+#else
+#define GIPPR_CHECKS_ENABLED 0
+#endif
+
+namespace gippr::detail
+{
+
+/** Assemble the failure message and abort through panic(). */
+[[noreturn]] inline void
+checkFailed(const char *file, int line, const char *kind, const char *expr)
+{
+    std::ostringstream os;
+    os << kind << " failed at " << file << ":" << line << ": " << expr;
+    panic(os.str());
+}
+
+} // namespace gippr::detail
+
+#if GIPPR_CHECKS_ENABLED
+
+/** Cheap invariant: active in debug and forced-check builds. */
+#define GIPPR_CHECK(expr)                                                   \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::gippr::detail::checkFailed(__FILE__, __LINE__,                \
+                                         "GIPPR_CHECK", #expr);             \
+    } while (0)
+
+/** Expensive validation: same gate, reserved for O(k)+ scans. */
+#define GIPPR_DCHECK(expr)                                                  \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::gippr::detail::checkFailed(__FILE__, __LINE__,                \
+                                         "GIPPR_DCHECK", #expr);            \
+    } while (0)
+
+#else
+
+/*
+ * Disabled form: sizeof keeps the expression parsed (so variables used
+ * only in checks don't trip -Wunused and bit-rot silently) without
+ * evaluating it.
+ */
+#define GIPPR_CHECK(expr)                                                   \
+    static_cast<void>(sizeof((expr) ? 1 : 0))
+#define GIPPR_DCHECK(expr)                                                  \
+    static_cast<void>(sizeof((expr) ? 1 : 0))
+
+#endif // GIPPR_CHECKS_ENABLED
+
+#endif // GIPPR_UTIL_CHECK_HH_

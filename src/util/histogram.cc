@@ -3,9 +3,9 @@
  * Bounded integer histogram implementation.
  */
 
+#include "util/check.hh"
 #include "util/histogram.hh"
 
-#include <cassert>
 #include <sstream>
 
 namespace gippr
@@ -14,7 +14,7 @@ namespace gippr
 Histogram::Histogram(size_t buckets)
     : counts_(buckets + 1, 0)
 {
-    assert(buckets >= 1);
+    GIPPR_CHECK(buckets >= 1);
 }
 
 void
@@ -29,7 +29,7 @@ Histogram::add(uint64_t value, uint64_t count)
 uint64_t
 Histogram::bucket(size_t i) const
 {
-    assert(i < counts_.size());
+    GIPPR_CHECK(i < counts_.size());
     return counts_[i];
 }
 

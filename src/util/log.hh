@@ -10,12 +10,13 @@
 #ifndef GIPPR_UTIL_LOG_HH_
 #define GIPPR_UTIL_LOG_HH_
 
+#include <cstdint>
 #include <string>
 
 namespace gippr
 {
 
-enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+enum class LogLevel : uint8_t { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
 
 /** Set the global verbosity threshold (default Info). */
 void setLogLevel(LogLevel level);

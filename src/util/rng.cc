@@ -3,9 +3,9 @@
  * xoshiro256** engine and Zipf sampler implementations.
  */
 
+#include "util/check.hh"
 #include "util/rng.hh"
 
-#include <cassert>
 #include <cmath>
 
 namespace gippr
@@ -45,7 +45,7 @@ Rng::seed(uint64_t seed_value)
         word = splitMix64(sm);
     // xoshiro256** must not be seeded with all-zero state; SplitMix64
     // cannot produce four zero outputs in a row, so assert only.
-    assert(s_[0] || s_[1] || s_[2] || s_[3]);
+    GIPPR_CHECK(s_[0] || s_[1] || s_[2] || s_[3]);
 }
 
 uint64_t
@@ -65,7 +65,7 @@ Rng::next()
 uint64_t
 Rng::nextBounded(uint64_t bound)
 {
-    assert(bound > 0);
+    GIPPR_CHECK(bound > 0);
     // Debiased modulo via rejection on the low range.
     const uint64_t threshold = (0 - bound) % bound;
     for (;;) {
@@ -78,7 +78,7 @@ Rng::nextBounded(uint64_t bound)
 int64_t
 Rng::nextRange(int64_t lo, int64_t hi)
 {
-    assert(lo <= hi);
+    GIPPR_CHECK(lo <= hi);
     return lo + static_cast<int64_t>(
         nextBounded(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -98,7 +98,7 @@ Rng::nextBool(double p)
 uint64_t
 Rng::nextGeometric(double p)
 {
-    assert(p > 0.0 && p <= 1.0);
+    GIPPR_CHECK(p > 0.0 && p <= 1.0);
     if (p >= 1.0)
         return 0;
     double u = nextDouble();
@@ -121,8 +121,8 @@ Rng::split()
 ZipfSampler::ZipfSampler(uint64_t n, double theta)
     : n_(n), theta_(theta)
 {
-    assert(n_ > 0);
-    assert(theta_ >= 0.0);
+    GIPPR_CHECK(n_ > 0);
+    GIPPR_CHECK(theta_ >= 0.0);
     // Rejection-inversion constants (Hörmann & Derflinger 1996).
     hImaxPlus1_ = h(static_cast<double>(n_) + 0.5);
     hX0_ = h(0.5) - (theta_ == 1.0

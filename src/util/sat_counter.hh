@@ -12,8 +12,9 @@
 #ifndef GIPPR_UTIL_SAT_COUNTER_HH_
 #define GIPPR_UTIL_SAT_COUNTER_HH_
 
-#include <cassert>
 #include <cstdint>
+
+#include "util/check.hh"
 
 namespace gippr
 {
@@ -25,8 +26,8 @@ class SatCounter
     explicit SatCounter(unsigned bits = 2, uint32_t initial = 0)
         : max_((uint32_t{1} << bits) - 1), value_(initial)
     {
-        assert(bits >= 1 && bits <= 31);
-        assert(initial <= max_);
+        GIPPR_CHECK(bits >= 1 && bits <= 31);
+        GIPPR_CHECK(initial <= max_);
     }
 
     uint32_t value() const { return value_; }
@@ -51,7 +52,7 @@ class SatCounter
     void
     set(uint32_t v)
     {
-        assert(v <= max_);
+        GIPPR_CHECK(v <= max_);
         value_ = v;
     }
 
@@ -74,7 +75,7 @@ class DuelCounter
     explicit DuelCounter(unsigned bits = 11)
         : counter_(bits, uint32_t{1} << (bits - 1))
     {
-        assert(bits >= 2);
+        GIPPR_CHECK(bits >= 2);
     }
 
     /** A leader-set miss for policy A. */

@@ -3,10 +3,10 @@
  * Summary statistics implementation.
  */
 
+#include "util/check.hh"
 #include "util/stats.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace gippr
@@ -15,7 +15,7 @@ namespace gippr
 double
 mean(const std::vector<double> &v)
 {
-    assert(!v.empty());
+    GIPPR_CHECK(!v.empty());
     double s = 0.0;
     for (double x : v)
         s += x;
@@ -25,10 +25,10 @@ mean(const std::vector<double> &v)
 double
 geomean(const std::vector<double> &v)
 {
-    assert(!v.empty());
+    GIPPR_CHECK(!v.empty());
     double s = 0.0;
     for (double x : v) {
-        assert(x > 0.0);
+        GIPPR_CHECK(x > 0.0);
         s += std::log(x);
     }
     return std::exp(s / static_cast<double>(v.size()));
@@ -37,7 +37,7 @@ geomean(const std::vector<double> &v)
 double
 stddev(const std::vector<double> &v)
 {
-    assert(!v.empty());
+    GIPPR_CHECK(!v.empty());
     double m = mean(v);
     double s = 0.0;
     for (double x : v)
@@ -48,29 +48,29 @@ stddev(const std::vector<double> &v)
 double
 minOf(const std::vector<double> &v)
 {
-    assert(!v.empty());
+    GIPPR_CHECK(!v.empty());
     return *std::min_element(v.begin(), v.end());
 }
 
 double
 maxOf(const std::vector<double> &v)
 {
-    assert(!v.empty());
+    GIPPR_CHECK(!v.empty());
     return *std::max_element(v.begin(), v.end());
 }
 
 double
 weightedMean(const std::vector<double> &v, const std::vector<double> &w)
 {
-    assert(v.size() == w.size());
-    assert(!v.empty());
+    GIPPR_CHECK(v.size() == w.size());
+    GIPPR_CHECK(!v.empty());
     double num = 0.0, den = 0.0;
     for (size_t i = 0; i < v.size(); ++i) {
-        assert(w[i] >= 0.0);
+        GIPPR_CHECK(w[i] >= 0.0);
         num += v[i] * w[i];
         den += w[i];
     }
-    assert(den > 0.0);
+    GIPPR_CHECK(den > 0.0);
     return num / den;
 }
 
@@ -83,8 +83,8 @@ median(std::vector<double> v)
 double
 percentile(std::vector<double> v, double pct)
 {
-    assert(!v.empty());
-    assert(pct >= 0.0 && pct <= 100.0);
+    GIPPR_CHECK(!v.empty());
+    GIPPR_CHECK(pct >= 0.0 && pct <= 100.0);
     std::sort(v.begin(), v.end());
     if (v.size() == 1)
         return v[0];

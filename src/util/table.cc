@@ -3,9 +3,9 @@
  * Table rendering implementation.
  */
 
+#include "util/check.hh"
 #include "util/table.hh"
 
-#include <cassert>
 #include <iomanip>
 #include <sstream>
 
@@ -15,7 +15,7 @@ namespace gippr
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    assert(!headers_.empty());
+    GIPPR_CHECK(!headers_.empty());
 }
 
 Table &
@@ -28,8 +28,8 @@ Table::newRow()
 Table &
 Table::add(const std::string &cell)
 {
-    assert(!rows_.empty());
-    assert(rows_.back().size() < headers_.size());
+    GIPPR_CHECK(!rows_.empty());
+    GIPPR_CHECK(rows_.back().size() < headers_.size());
     rows_.back().push_back(cell);
     return *this;
 }
@@ -63,15 +63,15 @@ Table::add(int value)
 const std::string &
 Table::cell(size_t row, size_t col) const
 {
-    assert(row < rows_.size());
-    assert(col < rows_[row].size());
+    GIPPR_CHECK(row < rows_.size());
+    GIPPR_CHECK(col < rows_[row].size());
     return rows_[row][col];
 }
 
 const std::string &
 Table::header(size_t col) const
 {
-    assert(col < headers_.size());
+    GIPPR_CHECK(col < headers_.size());
     return headers_[col];
 }
 

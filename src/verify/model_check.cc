@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Exhaustive PLRU model-checker implementation.
+ */
+
+#include "verify/model_check.hh"
+
+#include <sstream>
+
+#include "core/plru_tree.hh"
+#include "util/bitops.hh"
+#include "util/check.hh"
+#include "util/log.hh"
+
+namespace gippr::verify
+{
+
+namespace
+{
+
+/** Load a packed bit assignment into a tree. */
+void
+loadState(PlruTree &tree, uint64_t state)
+{
+    for (unsigned node = 0; node < tree.numBits(); ++node)
+        tree.setBit(node, getBit(state, node) != 0);
+}
+
+/** Pack a tree's bit assignment into an integer (LSB = node 0). */
+uint64_t
+packState(const PlruTree &tree)
+{
+    uint64_t state = 0;
+    for (unsigned node = 0; node < tree.numBits(); ++node)
+        state = setBit(state, node, tree.bit(node) ? 1 : 0);
+    return state;
+}
+
+/**
+ * Independent PMRU derivation: descend from the root picking, at each
+ * node, the child whose position contribution is 0 — the right child
+ * when the bit is 0, the left child when it is 1.  Deliberately a
+ * different code path from PlruTree::position/wayAtPosition.
+ */
+unsigned
+walkPmru(const PlruTree &tree)
+{
+    const unsigned ways = tree.ways();
+    unsigned node = 0;
+    while (node < ways - 1)
+        node = tree.bit(node) ? 2 * node + 1 : 2 * node + 2;
+    return node - (ways - 1);
+}
+
+/** Nodes on @p way's leaf-to-root path, as a packed mask. */
+uint64_t
+pathMask(unsigned ways, unsigned way)
+{
+    uint64_t mask = 0;
+    unsigned node = ways - 1 + way;
+    while (node != 0) {
+        node = (node - 1) / 2;
+        mask = setBit(mask, node, 1);
+    }
+    return mask;
+}
+
+/** Collector that caps stored failures but keeps counting checks. */
+class Collector
+{
+  public:
+    Collector(ModelCheckResult &result, const ModelCheckOptions &opts)
+        : result_(result), opts_(opts)
+    {
+    }
+
+    /** Record one invariant evaluation; returns @p ok for chaining. */
+    bool
+    expect(bool ok, const std::string &invariant, uint64_t state,
+           const std::string &detail)
+    {
+        if (ok) {
+            ++result_.checksPassed;
+        } else if (result_.failures.size() < opts_.maxFailures) {
+            result_.failures.push_back({invariant, state, detail});
+        }
+        return ok;
+    }
+
+    /** True once the failure cap is hit (enumeration can stop). */
+    bool
+    saturated() const
+    {
+        return result_.failures.size() >= opts_.maxFailures;
+    }
+
+  private:
+    ModelCheckResult &result_;
+    const ModelCheckOptions &opts_;
+};
+
+/** "way w, target x" prefix for transition failure details. */
+std::string
+transitionLabel(unsigned way, unsigned target)
+{
+    return "way " + std::to_string(way) + ", target " +
+           std::to_string(target);
+}
+
+/** Check the static (per-state) invariants 1 and 2. */
+void
+checkStateInvariants(const PlruTree &tree, uint64_t state, Collector &c)
+{
+    const unsigned ways = tree.ways();
+
+    // Invariant 1: positions form a permutation of 0..k-1, and
+    // wayAtPosition inverts position.
+    std::vector<bool> seen(ways, false);
+    for (unsigned w = 0; w < ways; ++w) {
+        const unsigned x = tree.position(w);
+        if (!c.expect(x < ways, "permutation", state,
+                      "position(" + std::to_string(w) + ") = " +
+                          std::to_string(x) + " out of range")) {
+            continue;
+        }
+        c.expect(!seen[x], "permutation", state,
+                 "position " + std::to_string(x) + " occupied twice");
+        seen[x] = true;
+        c.expect(tree.wayAtPosition(x) == w, "inverse", state,
+                 "wayAtPosition(" + std::to_string(x) + ") != " +
+                     std::to_string(w));
+    }
+
+    // Invariant 2: the PLRU victim occupies the all-ones position k-1
+    // and the independently derived PMRU block occupies position 0.
+    const unsigned plru = tree.findPlru();
+    c.expect(tree.position(plru) == ways - 1, "plru-victim", state,
+             "findPlru() = " + std::to_string(plru) + " at position " +
+                 std::to_string(tree.position(plru)) +
+                 ", expected position " + std::to_string(ways - 1));
+    c.expect(tree.wayAtPosition(ways - 1) == plru, "plru-victim", state,
+             "wayAtPosition(k-1) != findPlru()");
+    const unsigned pmru = walkPmru(tree);
+    c.expect(tree.position(pmru) == 0, "pmru", state,
+             "PMRU walk reached way " + std::to_string(pmru) +
+                 " at position " + std::to_string(tree.position(pmru)));
+}
+
+/** Check the transition invariants 3 and 4 from @p state. */
+void
+checkTransitions(unsigned ways, uint64_t state, PlruTree &scratch,
+                 ModelCheckResult &result, Collector &c)
+{
+    const unsigned log_ways = floorLog2(ways);
+    for (unsigned w = 0; w < ways && !c.saturated(); ++w) {
+        for (unsigned x = 0; x < ways; ++x) {
+            loadState(scratch, state);
+            scratch.setPosition(w, x);
+            ++result.transitionsChecked;
+
+            // Invariant 3a: round trip.
+            c.expect(scratch.position(w) == x, "round-trip", state,
+                     transitionLabel(w, x) + ": landed at position " +
+                         std::to_string(scratch.position(w)));
+
+            // Invariant 3b: permutation preserved.
+            uint64_t occupied = 0;
+            for (unsigned v = 0; v < ways; ++v)
+                occupied = setBit(occupied, scratch.position(v), 1);
+            c.expect(occupied == lowMask(ways), "closure", state,
+                     transitionLabel(w, x) +
+                         ": positions no longer a permutation");
+
+            // Invariant 3c: at most log2(k) bits touched, all on the
+            // way's leaf-to-root path.
+            const uint64_t diff = packState(scratch) ^ state;
+            c.expect(popcount64(diff) <= log_ways, "touched-bits", state,
+                     transitionLabel(w, x) + ": " +
+                         std::to_string(popcount64(diff)) +
+                         " bits changed, bound is " +
+                         std::to_string(log_ways));
+            c.expect((diff & ~pathMask(ways, w)) == 0, "touched-bits",
+                     state,
+                     transitionLabel(w, x) +
+                         ": changed a bit off the leaf-to-root path");
+        }
+
+        // Invariant 4: promoteMru == setPosition(way, 0).
+        loadState(scratch, state);
+        scratch.promoteMru(w);
+        ++result.transitionsChecked;
+        const uint64_t promoted = packState(scratch);
+        loadState(scratch, state);
+        scratch.setPosition(w, 0);
+        c.expect(promoted == packState(scratch), "promote-mru", state,
+                 "way " + std::to_string(w) +
+                     ": promoteMru != setPosition(way, 0)");
+    }
+}
+
+} // namespace
+
+std::string
+ModelCheckFailure::toString() const
+{
+    std::ostringstream os;
+    os << invariant << " violated in state 0x" << std::hex << state
+       << std::dec << ": " << detail;
+    return os.str();
+}
+
+ModelCheckResult
+modelCheckPlruTree(unsigned ways, const ModelCheckOptions &opts)
+{
+    if (ways < 2 || ways > 64 || !isPow2(ways))
+        fatal("modelCheckPlruTree: ways must be a power of two in [2, 64]");
+
+    ModelCheckResult result;
+    result.ways = ways;
+    Collector c(result, opts);
+
+    PlruTree tree(ways);
+    PlruTree scratch(ways);
+    const uint64_t num_states = uint64_t{1} << (ways - 1);
+    for (uint64_t state = 0; state < num_states && !c.saturated();
+         ++state) {
+        loadState(tree, state);
+        ++result.statesChecked;
+        GIPPR_DCHECK(packState(tree) == state);
+        checkStateInvariants(tree, state, c);
+        checkTransitions(ways, state, scratch, result, c);
+    }
+    return result;
+}
+
+std::vector<ModelCheckResult>
+modelCheckSweep(const std::vector<unsigned> &ways_list,
+                const ModelCheckOptions &opts)
+{
+    std::vector<ModelCheckResult> results;
+    results.reserve(ways_list.size());
+    for (unsigned ways : ways_list)
+        results.push_back(modelCheckPlruTree(ways, opts));
+    return results;
+}
+
+} // namespace gippr::verify

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Exhaustive PLRU-tree model checking.
+ *
+ * The paper's Section 3 argument rests on structural invariants of the
+ * PseudoLRU tree that hold for *every* bit assignment, not just the
+ * states a workload happens to reach:
+ *
+ *  1. the k leaf positions form a permutation of 0..k-1;
+ *  2. the PMRU block sits at position 0 and the PLRU victim at the
+ *     all-ones position k-1 (and findPlru agrees with wayAtPosition);
+ *  3. setPosition(way, x) round-trips (position(way) == x afterwards),
+ *     preserves the permutation property, and touches at most log2(k)
+ *     bits, all on the way's leaf-to-root path;
+ *  4. promoteMru(way) is exactly setPosition(way, 0) (Fig. 6 == Fig. 9
+ *     at target 0).
+ *
+ * Because a k-way tree has only 2^(k-1) states and k*k (way, target)
+ * transitions per state, the whole space is enumerable for the
+ * associativities that matter (2..16 ways: at most ~8.4M transitions),
+ * so these invariants are *proved* by enumeration rather than spot
+ * checked.  The checker stops collecting after maxFailures so a broken
+ * tree implementation produces a readable report, not a flood.
+ */
+
+#ifndef GIPPR_VERIFY_MODEL_CHECK_HH_
+#define GIPPR_VERIFY_MODEL_CHECK_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gippr::verify
+{
+
+/** One violated invariant, with enough context to reproduce it. */
+struct ModelCheckFailure
+{
+    /** Which invariant broke ("permutation", "round-trip", ...). */
+    std::string invariant;
+    /** Tree bit assignment the failure occurred in (LSB = node 0). */
+    uint64_t state = 0;
+    /** Human-readable specifics (way, target, expected vs. got). */
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/** Outcome of exhaustively checking one associativity. */
+struct ModelCheckResult
+{
+    unsigned ways = 0;
+    /** Bit assignments enumerated (2^(ways-1)). */
+    uint64_t statesChecked = 0;
+    /** (state, way, target) transitions exercised. */
+    uint64_t transitionsChecked = 0;
+    /** Individual invariant evaluations that passed. */
+    uint64_t checksPassed = 0;
+    /** First failures encountered (capped; empty means proven). */
+    std::vector<ModelCheckFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Knobs for one model-check run. */
+struct ModelCheckOptions
+{
+    /** Stop collecting failures after this many. */
+    size_t maxFailures = 8;
+};
+
+/**
+ * Exhaustively verify the PLRU-tree invariants for @p ways.
+ * @pre ways is a power of two in [2, 64]
+ */
+ModelCheckResult modelCheckPlruTree(unsigned ways,
+                                    const ModelCheckOptions &opts = {});
+
+/**
+ * Run modelCheckPlruTree over the paper's associativity sweep
+ * (default {2, 4, 8, 16}), one result per associativity.
+ */
+std::vector<ModelCheckResult>
+modelCheckSweep(const std::vector<unsigned> &ways_list = {2, 4, 8, 16},
+                const ModelCheckOptions &opts = {});
+
+} // namespace gippr::verify
+
+#endif // GIPPR_VERIFY_MODEL_CHECK_HH_

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Reference-oracle implementations.
+ */
+
+#include "verify/oracle.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/check.hh"
+#include "util/log.hh"
+
+namespace gippr::verify
+{
+
+std::string
+ReferenceOracle::dumpSet(uint64_t set) const
+{
+    std::ostringstream os;
+    os << name() << " set " << set << " positions [";
+    for (unsigned p : positions(set))
+        os << ' ' << p;
+    os << " ]";
+    const std::string aux = auxState();
+    if (!aux.empty())
+        os << " aux=" << aux;
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// RecencyStackOracle
+
+RecencyStackOracle::RecencyStackOracle(uint64_t sets, unsigned ways,
+                                       Ipv ipv)
+    : ways_(ways), ipv_(std::move(ipv))
+{
+    if (ipv_.ways() != ways_)
+        fatal("RecencyStackOracle: IPV arity mismatch");
+    std::vector<uint8_t> identity(ways_);
+    for (unsigned w = 0; w < ways_; ++w)
+        identity[w] = static_cast<uint8_t>(w);
+    order_.assign(sets, identity);
+}
+
+unsigned
+RecencyStackOracle::indexOf(const std::vector<uint8_t> &order, unsigned way)
+{
+    for (unsigned p = 0; p < order.size(); ++p) {
+        if (order[p] == way)
+            return p;
+    }
+    panic("RecencyStackOracle: way missing from order list");
+}
+
+void
+RecencyStackOracle::moveTo(std::vector<uint8_t> &order, unsigned way,
+                           unsigned pos)
+{
+    // Erase + insert reproduces the generalized IPV move (Section
+    // 2.3): the intervening blocks shift by one in whichever direction
+    // makes room.
+    order.erase(order.begin() + indexOf(order, way));
+    order.insert(order.begin() + pos, static_cast<uint8_t>(way));
+}
+
+unsigned
+RecencyStackOracle::victim(uint64_t set) const
+{
+    return order_[set].back();
+}
+
+void
+RecencyStackOracle::onInsert(uint64_t set, unsigned way)
+{
+    GIPPR_CHECK(way < ways_);
+    moveTo(order_[set], way, ipv_.insertion());
+}
+
+void
+RecencyStackOracle::onHit(uint64_t set, unsigned way)
+{
+    GIPPR_CHECK(way < ways_);
+    std::vector<uint8_t> &order = order_[set];
+    moveTo(order, way, ipv_.promotion(indexOf(order, way)));
+}
+
+void
+RecencyStackOracle::onInvalidate(uint64_t set, unsigned way)
+{
+    moveTo(order_[set], way, ways_ - 1);
+}
+
+std::vector<unsigned>
+RecencyStackOracle::positions(uint64_t set) const
+{
+    std::vector<unsigned> pos(ways_, 0);
+    for (unsigned p = 0; p < ways_; ++p)
+        pos[order_[set][p]] = p;
+    return pos;
+}
+
+// ---------------------------------------------------------------------------
+// PlruTreeOracle
+
+namespace
+{
+
+/**
+ * Recursive top-down position derivation over a packed tree.  The
+ * subtree rooted at @p node spans ways [lo, hi); descending toward
+ * @p way contributes, at this level, the node's bit when going right
+ * and its complement when going left, as the bit *above* the bits
+ * already accumulated.
+ */
+unsigned
+positionRec(uint64_t bits, unsigned node, unsigned lo, unsigned hi,
+            unsigned way)
+{
+    if (hi - lo == 1)
+        return 0;
+    const unsigned mid = lo + (hi - lo) / 2;
+    const unsigned bit = static_cast<unsigned>(getBit(bits, node));
+    if (way < mid) {
+        const unsigned below = positionRec(bits, 2 * node + 1, lo, mid, way);
+        return ((1 - bit) << floorLog2(hi - lo - 1)) | below;
+    }
+    const unsigned below = positionRec(bits, 2 * node + 2, mid, hi, way);
+    return (bit << floorLog2(hi - lo - 1)) | below;
+}
+
+/** Recursive top-down path rewrite: make @p way occupy @p pos. */
+uint64_t
+setPositionRec(uint64_t bits, unsigned node, unsigned lo, unsigned hi,
+               unsigned way, unsigned pos)
+{
+    if (hi - lo == 1)
+        return bits;
+    const unsigned mid = lo + (hi - lo) / 2;
+    const unsigned level_bit = getBit(pos, floorLog2(hi - lo - 1));
+    if (way < mid) {
+        bits = setBit(bits, node, 1 - level_bit);
+        return setPositionRec(bits, 2 * node + 1, lo, mid, way, pos);
+    }
+    bits = setBit(bits, node, level_bit);
+    return setPositionRec(bits, 2 * node + 2, mid, hi, way, pos);
+}
+
+} // namespace
+
+PlruTreeOracle::PlruTreeOracle(uint64_t sets, unsigned ways, Ipv ipv)
+    : ways_(ways), bits_(sets, 0), ipv_(std::move(ipv))
+{
+    if (!isPow2(ways_) || ways_ < 2 || ways_ > 64)
+        fatal("PlruTreeOracle: ways must be a power of two in [2, 64]");
+    if (ipv_.ways() != ways_)
+        fatal("PlruTreeOracle: IPV arity mismatch");
+}
+
+unsigned
+PlruTreeOracle::positionOf(uint64_t bits, unsigned ways, unsigned way)
+{
+    return positionRec(bits, 0, 0, ways, way);
+}
+
+uint64_t
+PlruTreeOracle::withPosition(uint64_t bits, unsigned ways, unsigned way,
+                             unsigned pos)
+{
+    return setPositionRec(bits, 0, 0, ways, way, pos);
+}
+
+unsigned
+PlruTreeOracle::victim(uint64_t set) const
+{
+    // Deliberately not the production root-to-leaf walk: scan every
+    // way for the one occupying the all-ones PLRU position.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (positionOf(bits_[set], ways_, w) == ways_ - 1)
+            return w;
+    }
+    panic("PlruTreeOracle: no way occupies the PLRU position");
+}
+
+void
+PlruTreeOracle::onInsert(uint64_t set, unsigned way)
+{
+    bits_[set] = withPosition(bits_[set], ways_, way, ipv_.insertion());
+}
+
+void
+PlruTreeOracle::onHit(uint64_t set, unsigned way)
+{
+    const unsigned i = positionOf(bits_[set], ways_, way);
+    bits_[set] = withPosition(bits_[set], ways_, way, ipv_.promotion(i));
+}
+
+void
+PlruTreeOracle::onInvalidate(uint64_t set, unsigned way)
+{
+    bits_[set] = withPosition(bits_[set], ways_, way, ways_ - 1);
+}
+
+std::vector<unsigned>
+PlruTreeOracle::positions(uint64_t set) const
+{
+    std::vector<unsigned> pos(ways_);
+    for (unsigned w = 0; w < ways_; ++w)
+        pos[w] = positionOf(bits_[set], ways_, w);
+    return pos;
+}
+
+// ---------------------------------------------------------------------------
+// DuelOracle
+
+namespace
+{
+
+/** Re-derivation of clampLeaders: largest power of two leaving at
+ *  least three quarters of the sets as followers, and at least 1. */
+unsigned
+clampLeadersRef(uint64_t sets, unsigned policies, unsigned requested)
+{
+    uint64_t cap = sets / (4 * static_cast<uint64_t>(policies));
+    if (cap < 1)
+        cap = 1;
+    uint64_t want = std::min<uint64_t>(requested, cap);
+    if (want < 1)
+        want = 1;
+    uint64_t l = 1;
+    while (l * 2 <= want)
+        l *= 2;
+    return static_cast<unsigned>(l);
+}
+
+} // namespace
+
+DuelOracle::DuelOracle(uint64_t sets, unsigned ways,
+                       std::vector<Ipv> ipvs, unsigned leaders_per_policy,
+                       unsigned counter_bits)
+    : PlruTreeOracle(sets, ways, ipvs.at(0)), ipvs_(std::move(ipvs)),
+      sets_(sets),
+      leadersPerPolicy_(clampLeadersRef(
+          sets, static_cast<unsigned>(ipvs_.size()), leaders_per_policy)),
+      counterMax_((1u << counter_bits) - 1)
+{
+    const unsigned n = static_cast<unsigned>(ipvs_.size());
+    if (n < 2 || !isPow2(n))
+        fatal("DuelOracle: need a power-of-two vector count >= 2");
+    // Tournament: level l has n >> (l+1) counters, all at midpoint.
+    for (unsigned l = 0; (n >> (l + 1)) > 0; ++l) {
+        counters_.emplace_back(n >> (l + 1),
+                               (counterMax_ + 1) / 2);
+    }
+}
+
+int
+DuelOracle::owner(uint64_t set) const
+{
+    // Re-derive the documented mapping: constituency c = set / C with
+    // C = sets / leaders, and policy p leads offset (5c + p) mod C.
+    const uint64_t constituency = sets_ / leadersPerPolicy_;
+    const uint64_t c = set / constituency;
+    const uint64_t offset = set % constituency;
+    for (unsigned p = 0; p < ipvs_.size(); ++p) {
+        if ((5 * c + p) % constituency == offset)
+            return static_cast<int>(p);
+    }
+    return -1;
+}
+
+unsigned
+DuelOracle::winner() const
+{
+    unsigned idx = 0;
+    for (size_t l = counters_.size(); l-- > 0;) {
+        const bool prefer_b = counters_[l][idx] >= counterMax_ / 2 + 1;
+        idx = idx * 2 + (prefer_b ? 1 : 0);
+    }
+    return idx;
+}
+
+const Ipv &
+DuelOracle::ipvFor(uint64_t set) const
+{
+    const int p = owner(set);
+    return ipvs_[p >= 0 ? static_cast<size_t>(p) : winner()];
+}
+
+void
+DuelOracle::onMiss(uint64_t set, bool demand)
+{
+    if (!demand)
+        return;
+    const int p = owner(set);
+    if (p < 0)
+        return;
+    // A leader miss walks the tournament: at each level the counter
+    // for this policy's pair moves toward the sibling.
+    for (size_t l = 0; l < counters_.size(); ++l) {
+        unsigned &ctr = counters_[l][static_cast<unsigned>(p) >> (l + 1)];
+        if (((static_cast<unsigned>(p) >> l) & 1) == 0) {
+            if (ctr < counterMax_)
+                ++ctr;
+        } else if (ctr > 0) {
+            --ctr;
+        }
+    }
+}
+
+void
+DuelOracle::onInsert(uint64_t set, unsigned way)
+{
+    bits_[set] =
+        withPosition(bits_[set], ways_, way, ipvFor(set).insertion());
+}
+
+void
+DuelOracle::onHit(uint64_t set, unsigned way)
+{
+    const Ipv &ipv = ipvFor(set);
+    const unsigned i = positionOf(bits_[set], ways_, way);
+    bits_[set] = withPosition(bits_[set], ways_, way, ipv.promotion(i));
+}
+
+std::string
+DuelOracle::auxState() const
+{
+    return std::to_string(winner());
+}
+
+} // namespace gippr::verify

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Slow reference models for differential policy checking.
+ *
+ * Each oracle re-implements one replacement policy's *semantics* with
+ * deliberately different data structures and code paths than the
+ * production policies, in the cross-model validation style of the
+ * CRC-derived frameworks (e.g. Multi-step LRU validating against an
+ * exact LRU oracle):
+ *
+ *  - RecencyStackOracle keeps an explicit position-ordered way list
+ *    per set (the production RecencyStack keeps a way -> position
+ *    array) and applies IPV moves by erase/insert;
+ *  - PlruTreeOracle keeps each set's tree as one packed integer and
+ *    derives positions top-down recursively (PlruTree walks leaf-up
+ *    iteratively over a byte vector);
+ *  - DuelOracle replicates DGIPPR's leader-set mapping and tournament
+ *    bookkeeping from the documented formulas, over PlruTreeOracle
+ *    trees.
+ *
+ * Oracles favour clarity over speed (O(k) scans everywhere); the
+ * differential harness replays identical access streams through a
+ * production policy and its oracle and compares full per-set state
+ * after every event.
+ */
+
+#ifndef GIPPR_VERIFY_ORACLE_HH_
+#define GIPPR_VERIFY_ORACLE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ipv.hh"
+
+namespace gippr::verify
+{
+
+/**
+ * A reference replacement model: mirrors the ReplacementPolicy event
+ * interface but exposes its full per-set state for comparison.
+ * Writeback filtering is the caller's job — oracles are told only
+ * about events that change state (the harness forwards writeback hits
+ * and misses with demand=false so duel bookkeeping can skip them,
+ * matching the production convention).
+ */
+class ReferenceOracle
+{
+  public:
+    virtual ~ReferenceOracle() = default;
+
+    /** Way the reference model would evict from a full @p set. */
+    virtual unsigned victim(uint64_t set) const = 0;
+
+    /** A miss occurred in @p set (before fill; demand misses only
+     *  update duel state). */
+    virtual void
+    onMiss(uint64_t set, bool demand)
+    {
+        (void)set;
+        (void)demand;
+    }
+
+    /** Line filled into (set, way). */
+    virtual void onInsert(uint64_t set, unsigned way) = 0;
+
+    /** Demand hit on (set, way).  Never called for writeback hits. */
+    virtual void onHit(uint64_t set, unsigned way) = 0;
+
+    /** Line (set, way) invalidated externally. */
+    virtual void onInvalidate(uint64_t set, unsigned way) = 0;
+
+    /** Recency-stack position of every way in @p set (way -> pos). */
+    virtual std::vector<unsigned> positions(uint64_t set) const = 0;
+
+    /**
+     * Auxiliary global state rendered as a string (e.g. the duel
+     * winner); "" when the model has none.  Compared verbatim against
+     * the production policy's auxiliary state.
+     */
+    virtual std::string auxState() const { return ""; }
+
+    virtual std::string name() const = 0;
+
+    /** Render one set's state for divergence reports. */
+    std::string dumpSet(uint64_t set) const;
+};
+
+/**
+ * IPV-driven true-recency-stack oracle (LRU when the vector is all
+ * zeros, LIP for lruInsertion, GIPLR for arbitrary vectors).
+ */
+class RecencyStackOracle : public ReferenceOracle
+{
+  public:
+    RecencyStackOracle(uint64_t sets, unsigned ways, Ipv ipv);
+
+    unsigned victim(uint64_t set) const override;
+    void onInsert(uint64_t set, unsigned way) override;
+    void onHit(uint64_t set, unsigned way) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+    std::vector<unsigned> positions(uint64_t set) const override;
+    std::string name() const override { return "RecencyStackOracle"; }
+
+  private:
+    /** Index of @p way in @p order (its position). */
+    static unsigned indexOf(const std::vector<uint8_t> &order,
+                            unsigned way);
+
+    /** Move @p way to @p pos by erase + insert. */
+    static void moveTo(std::vector<uint8_t> &order, unsigned way,
+                       unsigned pos);
+
+    unsigned ways_;
+    Ipv ipv_;
+    /** Per set: order[p] = way occupying position p. */
+    std::vector<std::vector<uint8_t>> order_;
+};
+
+/**
+ * IPV-driven PseudoLRU-tree oracle (classic PLRU when the vector is
+ * all zeros — promotion to PMRU — and GIPPR for arbitrary vectors).
+ * State is one packed integer of plru bits per set; positions are
+ * derived top-down by recursion.
+ */
+class PlruTreeOracle : public ReferenceOracle
+{
+  public:
+    PlruTreeOracle(uint64_t sets, unsigned ways, Ipv ipv);
+
+    unsigned victim(uint64_t set) const override;
+    void onInsert(uint64_t set, unsigned way) override;
+    void onHit(uint64_t set, unsigned way) override;
+    void onInvalidate(uint64_t set, unsigned way) override;
+    std::vector<unsigned> positions(uint64_t set) const override;
+    std::string name() const override { return "PlruTreeOracle"; }
+
+    /** Position of @p way under packed bit state @p bits (exposed for
+     *  the duel oracle and tests). */
+    static unsigned positionOf(uint64_t bits, unsigned ways,
+                               unsigned way);
+
+    /** @p bits with @p way's path rewritten to occupy @p pos. */
+    static uint64_t withPosition(uint64_t bits, unsigned ways,
+                                 unsigned way, unsigned pos);
+
+  protected:
+    unsigned ways_;
+    std::vector<uint64_t> bits_;
+
+  private:
+    Ipv ipv_;
+};
+
+/**
+ * DGIPPR oracle: PLRU trees whose governing IPV is chosen per set by
+ * an independently re-derived leader-set map plus saturating-counter
+ * tournament (Qureshi single-PSEL at two vectors, Loh tournament
+ * above).
+ */
+class DuelOracle : public PlruTreeOracle
+{
+  public:
+    DuelOracle(uint64_t sets, unsigned ways, std::vector<Ipv> ipvs,
+               unsigned leaders_per_policy, unsigned counter_bits);
+
+    void onMiss(uint64_t set, bool demand) override;
+    void onInsert(uint64_t set, unsigned way) override;
+    void onHit(uint64_t set, unsigned way) override;
+    std::string auxState() const override;
+    std::string name() const override { return "DuelOracle"; }
+
+    /** Follower-set vector index right now. */
+    unsigned winner() const;
+
+  private:
+    /** Vector index leading @p set, or -1 for followers. */
+    int owner(uint64_t set) const;
+
+    const Ipv &ipvFor(uint64_t set) const;
+
+    std::vector<Ipv> ipvs_;
+    uint64_t sets_;
+    unsigned leadersPerPolicy_;
+    unsigned counterMax_;
+    /** counters_[level][pair]: tournament counters, leaves first. */
+    std::vector<std::vector<unsigned>> counters_;
+};
+
+} // namespace gippr::verify
+
+#endif // GIPPR_VERIFY_ORACLE_HH_

@@ -3,9 +3,8 @@
  * Synthetic access generator implementations.
  */
 
+#include "util/check.hh"
 #include "workloads/generators.hh"
-
-#include <cassert>
 
 #include "util/log.hh"
 
@@ -59,8 +58,8 @@ StreamGenerator::StreamGenerator(const GenParams &params, uint64_t stride,
                                  uint64_t wrap)
     : params_(params), stride_(stride), wrap_(wrap)
 {
-    assert(stride_ >= 1);
-    assert(wrap_ >= 1);
+    GIPPR_CHECK(stride_ >= 1);
+    GIPPR_CHECK(wrap_ >= 1);
 }
 
 MemRecord
@@ -76,7 +75,7 @@ StreamGenerator::next(Rng &rng)
 LoopGenerator::LoopGenerator(const GenParams &params, uint64_t blocks)
     : params_(params), blocks_(blocks)
 {
-    assert(blocks_ >= 1);
+    GIPPR_CHECK(blocks_ >= 1);
 }
 
 MemRecord
@@ -96,8 +95,8 @@ PointerChaseGenerator::PointerChaseGenerator(const GenParams &params,
                                              uint64_t seed)
     : params_(params)
 {
-    assert(blocks >= 2);
-    assert(blocks <= UINT32_MAX);
+    GIPPR_CHECK(blocks >= 2);
+    GIPPR_CHECK(blocks <= UINT32_MAX);
     // Sattolo's algorithm: a single cycle covering every node, so the
     // chase visits all blocks before repeating (reuse distance ==
     // working-set size, the mcf-like worst case).
@@ -146,9 +145,9 @@ HotColdGenerator::HotColdGenerator(const GenParams &params,
     : params_(params), hotBlocks_(hot_blocks), hotFrac_(hot_frac),
       coldWrap_(cold_wrap)
 {
-    assert(hotBlocks_ >= 1);
-    assert(coldWrap_ >= 1);
-    assert(hotFrac_ >= 0.0 && hotFrac_ <= 1.0);
+    GIPPR_CHECK(hotBlocks_ >= 1);
+    GIPPR_CHECK(coldWrap_ >= 1);
+    GIPPR_CHECK(hotFrac_ >= 0.0 && hotFrac_ <= 1.0);
 }
 
 MemRecord
@@ -172,8 +171,8 @@ StencilGenerator::StencilGenerator(const GenParams &params,
                                    uint64_t row_blocks, uint64_t rows)
     : params_(params), rowBlocks_(row_blocks), rows_(rows)
 {
-    assert(rowBlocks_ >= 1);
-    assert(rows_ >= 3);
+    GIPPR_CHECK(rowBlocks_ >= 1);
+    GIPPR_CHECK(rows_ >= 3);
 }
 
 MemRecord
@@ -214,16 +213,16 @@ SdProfileGenerator::SdProfileGenerator(const GenParams &params,
                                        double new_weight)
     : params_(params), bands_(std::move(bands)), newWeight_(new_weight)
 {
-    assert(newWeight_ >= 0.0);
+    GIPPR_CHECK(newWeight_ >= 0.0);
     totalWeight_ = newWeight_;
     uint64_t max_hi = 0;
     for (const Band &b : bands_) {
-        assert(b.lo <= b.hi);
-        assert(b.weight >= 0.0);
+        GIPPR_CHECK(b.lo <= b.hi);
+        GIPPR_CHECK(b.weight >= 0.0);
         totalWeight_ += b.weight;
         max_hi = std::max(max_hi, b.hi);
     }
-    assert(totalWeight_ > 0.0);
+    GIPPR_CHECK(totalWeight_ > 0.0);
     history_.assign(max_hi + 2, 0);
 }
 
@@ -293,10 +292,10 @@ SdProfileGenerator::next(Rng &rng)
 PhasedGenerator::PhasedGenerator(std::vector<Phase> phases)
     : phases_(std::move(phases))
 {
-    assert(!phases_.empty());
+    GIPPR_CHECK(!phases_.empty());
     for (const Phase &p : phases_) {
-        assert(p.gen != nullptr);
-        assert(p.length >= 1);
+        GIPPR_CHECK(p.gen != nullptr);
+        GIPPR_CHECK(p.length >= 1);
     }
 }
 
@@ -314,11 +313,11 @@ PhasedGenerator::next(Rng &rng)
 MixGenerator::MixGenerator(std::vector<Component> components)
     : components_(std::move(components))
 {
-    assert(!components_.empty());
+    GIPPR_CHECK(!components_.empty());
     totalWeight_ = 0.0;
     for (const Component &c : components_) {
-        assert(c.gen != nullptr);
-        assert(c.weight > 0.0);
+        GIPPR_CHECK(c.gen != nullptr);
+        GIPPR_CHECK(c.weight > 0.0);
         totalWeight_ += c.weight;
     }
 }

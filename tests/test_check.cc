@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the GIPPR_CHECK / GIPPR_DCHECK invariant macros.
+ *
+ * Forces the checks on regardless of the build type so the death
+ * tests are meaningful even in NDEBUG (RelWithDebInfo/Release) CI
+ * configurations.
+ */
+
+#define GIPPR_FORCE_CHECKS 1
+#include "util/check.hh"
+
+#include <gtest/gtest.h>
+
+namespace gippr
+{
+namespace
+{
+
+TEST(Check, EnabledUnderForceFlag)
+{
+    EXPECT_EQ(GIPPR_CHECKS_ENABLED, 1);
+}
+
+TEST(Check, PassingCheckIsSilent)
+{
+    GIPPR_CHECK(1 + 1 == 2);
+    GIPPR_DCHECK(true);
+    SUCCEED();
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    auto touch = [&]() {
+        ++calls;
+        return true;
+    };
+    GIPPR_CHECK(touch());
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, FailingCheckPanics)
+{
+    EXPECT_DEATH(GIPPR_CHECK(2 + 2 == 5),
+                 "GIPPR_CHECK failed at .*test_check.cc.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingDcheckPanics)
+{
+    const unsigned ways = 4;
+    EXPECT_DEATH(GIPPR_DCHECK(ways > 8),
+                 "GIPPR_DCHECK failed at .*ways > 8");
+}
+
+TEST(Check, UsableInConstexprAdjacentContexts)
+{
+    // The macros must be statements usable wherever a call is; the
+    // classic pitfall is an unbraced if/else swallowing the macro.
+    if (true)
+        GIPPR_CHECK(true);
+    else
+        GIPPR_CHECK(false);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gippr

@@ -28,12 +28,6 @@ cfg(unsigned sets, unsigned ways)
     return c;
 }
 
-uint64_t
-addrOf(const CacheConfig &c, uint64_t set, uint64_t tag)
-{
-    return ((tag << c.setShift()) | set) << c.blockShift();
-}
-
 TEST(Dip, VictimIsAlwaysLruPosition)
 {
     CacheConfig c = cfg(64, 4);

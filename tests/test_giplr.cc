@@ -59,8 +59,9 @@ TEST(Giplr, LruVectorBehavesExactlyLikeLru)
         ASSERT_EQ(a.hit, b.hit) << "access " << i;
         ASSERT_EQ(a.evictedBlock.has_value(),
                   b.evictedBlock.has_value());
-        if (a.evictedBlock)
+        if (a.evictedBlock) {
             ASSERT_EQ(*a.evictedBlock, *b.evictedBlock);
+        }
     }
     EXPECT_EQ(lru.stats().misses, giplr.stats().misses);
 }

@@ -68,6 +68,66 @@ TEST(Ipv, ToStringRoundTrip)
     EXPECT_TRUE(v == u);
 }
 
+TEST(Ipv, ParseRejectsEmptyInput)
+{
+    EXPECT_THROW(Ipv::parse(""), std::runtime_error);
+    EXPECT_THROW(Ipv::parse("   "), std::runtime_error);
+    EXPECT_THROW(Ipv::parse("[]"), std::runtime_error);
+}
+
+TEST(Ipv, ParseRejectsNonNumericTokens)
+{
+    EXPECT_THROW(Ipv::parse("0 x 1 2"), std::runtime_error);
+    EXPECT_THROW(Ipv::parse("a b c d"), std::runtime_error);
+    // Trailing garbage after a well-formed prefix must not be
+    // silently dropped.
+    EXPECT_THROW(Ipv::parse("0 0 1 2 junk"), std::runtime_error);
+}
+
+TEST(Ipv, ParseAllowsTrailingWhitespace)
+{
+    Ipv v = Ipv::parse("  0 0 1 2  \n");
+    EXPECT_EQ(v.ways(), 3u);
+}
+
+TEST(Ipv, ParseRejectsNegativeEntries)
+{
+    EXPECT_THROW(Ipv::parse("0 0 -1 2"), std::runtime_error);
+}
+
+TEST(Ipv, ParseRejectsEntriesAbove255)
+{
+    EXPECT_THROW(Ipv::parse("0 0 1 999"), std::runtime_error);
+}
+
+TEST(Ipv, ParsePaper16WayVectorRoundTrips)
+{
+    // The paper's offline-evolved 16-way GIPPR vector (Section 2.5).
+    Ipv paper = paper_vectors::wiGippr();
+    ASSERT_EQ(paper.ways(), 16u);
+    Ipv reparsed = Ipv::parse(paper.toString());
+    EXPECT_TRUE(paper == reparsed);
+    EXPECT_EQ(reparsed.toString(), paper.toString());
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(reparsed.promotion(i), paper.promotion(i)) << i;
+    EXPECT_EQ(reparsed.insertion(), paper.insertion());
+}
+
+TEST(Ipv, ValidationBoundsWays)
+{
+    // k = 1 (two entries) is below the smallest real cache.
+    EXPECT_FALSE(Ipv::isValidVector({0, 0}));
+    // k = 2 is the floor...
+    EXPECT_TRUE(Ipv::isValidVector({0, 1, 1}));
+    // ...and k = 256 the ceiling, matching PlruTree's constructor.
+    EXPECT_TRUE(
+        Ipv::isValidVector(std::vector<uint8_t>(257, 0)));
+    EXPECT_FALSE(
+        Ipv::isValidVector(std::vector<uint8_t>(258, 0)));
+    EXPECT_FALSE(
+        Ipv::isValidVector(std::vector<uint8_t>(300, 0)));
+}
+
 TEST(Ipv, ValidationCatchesBadVectors)
 {
     EXPECT_FALSE(Ipv::isValidVector({0, 1}));        // too short

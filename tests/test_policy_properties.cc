@@ -65,8 +65,9 @@ TEST_P(PolicyProperty, SurvivesRandomizedMixedTraffic)
         }
         AccessResult r = cache.access(block * 64, type, pc);
         // Contract: way in range unless bypassed.
-        if (!r.bypassed)
+        if (!r.bypassed) {
             ASSERT_LT(r.way, c.assoc);
+        }
     }
     EXPECT_EQ(cache.stats().accesses, 60000u);
 }
@@ -126,8 +127,9 @@ TEST_P(PolicyProperty, InvalidateThenRefill)
     AccessResult r = cache.access(
         ((20ull << c.setShift()) | 3) << c.blockShift(),
         AccessType::Load, 0x400000);
-    if (!r.bypassed)
+    if (!r.bypassed) {
         EXPECT_FALSE(r.evictedBlock.has_value());
+    }
 }
 
 TEST_P(PolicyProperty, StorageAccountingIsStable)
