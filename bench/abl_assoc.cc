@@ -26,10 +26,12 @@ PolicyDef
 duelDefFor(unsigned ways)
 {
     std::vector<Ipv> set = {Ipv::lru(ways), Ipv::lruInsertion(ways)};
-    return {"2-DGIPPR", [set](const CacheConfig &cfg) {
+    return {"2-DGIPPR",
+            [set](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<DgipprPolicy>(cfg, set));
-            }};
+            },
+            fastpath::dgipprSpec(set)};
 }
 
 } // namespace

@@ -24,11 +24,14 @@ namespace
 PolicyDef
 duelDef(const std::string &name, unsigned leaders, unsigned bits)
 {
-    return {name, [leaders, bits](const CacheConfig &cfg) {
+    return {name,
+            [leaders, bits](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<DgipprPolicy>(
                         cfg, local_vectors::dgippr2(), leaders, bits));
-            }};
+            },
+            fastpath::dgipprSpec(local_vectors::dgippr2(), leaders,
+                                 bits)};
 }
 
 } // namespace

@@ -150,9 +150,13 @@ Session::experimentConfig(const Scale &scale)
     ExperimentConfig cfg = bench::experimentConfig(scale);
     cfg.registry = &registry_;
     cfg.timings = &timings_;
+    cfg.replayEngine = &fastpath::defaultReplayEngine();
+    cfg.traceCache = &traceCache_;
     if (!configRecorded_) {
         recordScale(scale);
         setConfig("system", toJson(cfg.system));
+        setConfig("replay_backend",
+                  telemetry::JsonValue(cfg.replayEngine->name()));
         SuiteParams sp = suiteParams(scale);
         setConfig("base_seed",
                   telemetry::JsonValue(static_cast<uint64_t>(sp.baseSeed)));

@@ -92,11 +92,14 @@ class Session
     telemetry::PhaseTimings &timings() { return timings_; }
     telemetry::MetricRegistry &registry() { return registry_; }
     telemetry::RunReport &report() { return report_; }
+    LlcTraceCache &traceCache() { return traceCache_; }
 
     /**
-     * experimentConfig(scale) with this session's telemetry taps
-     * wired in; also records the standard config keys (scale, cache
-     * geometry, threads, base seed) on first call.
+     * experimentConfig(scale) with this session's telemetry taps,
+     * trace cache and replay engine wired in; also records the
+     * standard config keys (scale, cache geometry, threads, base
+     * seed, replay backend) on first call.  Benches that run several
+     * experiments therefore filter each workload's LLC trace once.
      */
     ExperimentConfig experimentConfig(const Scale &scale);
 
@@ -128,6 +131,7 @@ class Session
     telemetry::PhaseTimings timings_;
     telemetry::MetricRegistry registry_;
     telemetry::RunReport report_;
+    LlcTraceCache traceCache_;
     bool configRecorded_ = false;
 };
 

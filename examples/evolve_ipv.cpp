@@ -103,12 +103,19 @@ main(int argc, char **argv)
     std::printf("materializing the %zu-workload suite and filtering "
                 "to LLC traces...\n",
                 suite.specs().size());
-    std::vector<Workload> workloads;
-    for (const auto &spec : suite.specs())
-        workloads.push_back(SyntheticSuite::materialize(spec));
-    FitnessEvaluator fitness(sys.hier.llc,
-                             buildFitnessTraces(workloads, sys.hier),
-                             {}, &timings);
+    // Stream one workload at a time: materialize, filter to LLC,
+    // discard the CPU-level traces.  Peak memory is one workload's
+    // CPU trace plus the (much smaller) filtered set, instead of the
+    // whole suite at CPU level.
+    std::vector<FitnessTrace> traces;
+    for (const auto &spec : suite.specs()) {
+        std::vector<Workload> single;
+        single.push_back(SyntheticSuite::materialize(spec));
+        for (FitnessTrace &ft : buildFitnessTraces(single, sys.hier))
+            traces.push_back(std::move(ft));
+    }
+    FitnessEvaluator fitness(sys.hier.llc, std::move(traces), {},
+                             &timings);
     fitness.attachTelemetry(registry, "fitness");
 
     std::printf("evolving %s vectors: pop %zu, %u generations, "
@@ -165,6 +172,9 @@ main(int argc, char **argv)
             "threads",
             telemetry::JsonValue(static_cast<uint64_t>(params.threads)));
         report.setConfig("seed", telemetry::JsonValue(params.seed));
+        report.setConfig(
+            "replay_backend",
+            telemetry::JsonValue(fastpath::defaultReplayEngine().name()));
         telemetry::JsonValue llc = telemetry::JsonValue::object();
         llc.set("size_bytes", telemetry::JsonValue(sys.hier.llc.sizeBytes));
         llc.set("assoc",

@@ -70,6 +70,12 @@ class DgipprPolicy : public ReplacementPolicy
     /** Vector currently used by follower sets (test aid). */
     unsigned currentWinner() const { return selector_.winner(); }
 
+    /** Tournament state (backend-equivalence checks). */
+    const TournamentSelector &selector() const { return selector_; }
+
+    /** Leader-set layout (backend-equivalence checks). */
+    const LeaderSets &leaderSets() const { return leaders_; }
+
     /** Per-set tree accessor (test / verification aid). */
     const PlruTree &tree(uint64_t set) const { return trees_[set]; }
 

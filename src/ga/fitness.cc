@@ -7,8 +7,6 @@
 
 #include "cache/cache.hh"
 #include "cache/replay.hh"
-#include "core/giplr.hh"
-#include "core/gippr.hh"
 #include "core/rrip_ipv.hh"
 #include "policies/lru.hh"
 #include "util/check.hh"
@@ -22,17 +20,21 @@ namespace gippr
 FitnessEvaluator::FitnessEvaluator(const CacheConfig &llc,
                                    std::vector<FitnessTrace> traces,
                                    CpiModel model,
-                                   telemetry::PhaseTimings *timings)
-    : llc_(llc), traces_(std::move(traces)), model_(model)
+                                   telemetry::PhaseTimings *timings,
+                                   const fastpath::ReplayEngine *engine)
+    : llc_(llc), traces_(std::move(traces)), model_(model),
+      engine_(engine ? engine : &fastpath::defaultReplayEngine())
 {
     if (traces_.empty())
         fatal("fitness evaluator needs at least one training trace");
     telemetry::ScopedTimer timer(timings, "fitness_baseline");
     lruMisses_.resize(traces_.size());
+    const fastpath::ReplaySpec lru = fastpath::lruSpec();
     parallelFor(traces_.size(), resolveThreads(0), [&](size_t i) {
-        SetAssocCache cache(llc_, std::make_unique<LruPolicy>(llc_));
-        replayTrace(cache, *traces_[i].llcTrace, warmupOf(i));
-        lruMisses_[i] = cache.stats().demandMisses;
+        lruMisses_[i] = engine_
+                            ->replay(lru, llc_, *traces_[i].llcTrace,
+                                     warmupOf(i))
+                            .measured.demandMisses;
     });
 }
 
@@ -59,22 +61,25 @@ FitnessEvaluator::missesOn(size_t idx, const Ipv &ipv,
                            IpvFamily family) const
 {
     GIPPR_CHECK(idx < traces_.size());
-    std::unique_ptr<ReplacementPolicy> policy;
-    switch (family) {
-      case IpvFamily::Giplr:
-        policy = std::make_unique<GiplrPolicy>(llc_, ipv);
-        break;
-      case IpvFamily::Gippr:
-        policy = std::make_unique<GipprPolicy>(llc_, ipv);
-        break;
-      case IpvFamily::RripIpv:
-        policy = std::make_unique<RripIpvPolicy>(llc_, ipv, 2);
-        break;
-    }
-    SetAssocCache cache(llc_, std::move(policy));
-    replayTrace(cache, *traces_[idx].llcTrace, warmupOf(idx));
     if (replays_)
         replays_->increment();
+    switch (family) {
+      case IpvFamily::Giplr:
+        return engine_
+            ->replay(fastpath::giplrSpec(ipv), llc_,
+                     *traces_[idx].llcTrace, warmupOf(idx))
+            .measured.demandMisses;
+      case IpvFamily::Gippr:
+        return engine_
+            ->replay(fastpath::gipprSpec(ipv), llc_,
+                     *traces_[idx].llcTrace, warmupOf(idx))
+            .measured.demandMisses;
+      case IpvFamily::RripIpv:
+        break; // no fast-path description; scalar below
+    }
+    SetAssocCache cache(llc_,
+                        std::make_unique<RripIpvPolicy>(llc_, ipv, 2));
+    replayTrace(cache, *traces_[idx].llcTrace, warmupOf(idx));
     return cache.stats().demandMisses;
 }
 

@@ -23,6 +23,7 @@
 #include "cache/config.hh"
 #include "cache/hierarchy.hh"
 #include "core/ipv.hh"
+#include "sim/fastpath/engine.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/timer.hh"
 #include "trace/simpoint.hh"
@@ -75,11 +76,15 @@ class FitnessEvaluator
      *                 here, in parallel over the traces
      * @param model    linear CPI model
      * @param timings  optional sink for the "fitness_baseline" phase
+     * @param engine   replay engine for the LRU/GIPLR/GIPPR families
+     *                 (RripIpv always replays on the scalar
+     *                 simulator); null means defaultReplayEngine()
      */
     FitnessEvaluator(const CacheConfig &llc,
                      std::vector<FitnessTrace> traces,
                      CpiModel model = {},
-                     telemetry::PhaseTimings *timings = nullptr);
+                     telemetry::PhaseTimings *timings = nullptr,
+                     const fastpath::ReplayEngine *engine = nullptr);
 
     /**
      * Mean estimated speedup of @p ipv over LRU across the training
@@ -120,6 +125,7 @@ class FitnessEvaluator
     CacheConfig llc_;
     std::vector<FitnessTrace> traces_;
     CpiModel model_;
+    const fastpath::ReplayEngine *engine_;
     std::vector<uint64_t> lruMisses_;
     telemetry::Counter *evaluations_ = nullptr;
     telemetry::Counter *replays_ = nullptr;

@@ -101,6 +101,17 @@ TournamentSelector::winner() const
     return idx;
 }
 
+std::vector<uint64_t>
+TournamentSelector::counterValues() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(policies_ - 1);
+    for (const auto &level : levels_)
+        for (const DuelCounter &ctr : level)
+            out.push_back(ctr.raw());
+    return out;
+}
+
 std::size_t
 TournamentSelector::stateBits() const
 {

@@ -92,6 +92,15 @@ class TournamentSelector
     /** Currently winning policy for follower sets. */
     unsigned winner() const;
 
+    /**
+     * Raw PSEL counter values, tournament level-major (level 0's
+     * pair counters first, the meta counter last).  This is direct
+     * state access — unlike the telemetry mirror, it works in
+     * GIPPR_DISABLE_TELEMETRY builds, so backend-equivalence checks
+     * can compare duel outcomes exactly.
+     */
+    std::vector<uint64_t> counterValues() const;
+
     unsigned policies() const { return policies_; }
 
     /** Total PSEL storage in bits (the paper's "33 bits" for N=4). */

@@ -20,17 +20,55 @@ namespace gippr
 namespace
 {
 
+/**
+ * Mirror a fast-backend replay into the registry the same way a
+ * telemetry-attached SetAssocCache (and DgipprPolicy) would: live
+ * counters cover the whole trace, warmup included, and the duel
+ * winner gauge holds the final winner.
+ */
+void
+mirrorTelemetry(telemetry::MetricRegistry &registry,
+                const std::string &prefix,
+                const fastpath::ReplayStats &stats)
+{
+    registry.counter(prefix + ".hits").increment(stats.total.hits);
+    registry.counter(prefix + ".demand_misses")
+        .increment(stats.total.demandMisses);
+    registry.counter(prefix + ".bypasses").increment(0);
+    registry.counter(prefix + ".evictions")
+        .increment(stats.total.evictions);
+    registry.counter(prefix + ".writebacks")
+        .increment(stats.total.writebacks);
+    for (size_t i = 0; i < stats.leaderMisses.size(); ++i)
+        registry
+            .counter(prefix + ".duel.leader_misses." +
+                     std::to_string(i))
+            .increment(stats.leaderMisses[i]);
+    if (!stats.leaderMisses.empty())
+        registry.gauge(prefix + ".duel.winner").set(stats.finalWinner);
+}
+
 /** Miss metrics for one workload under a policy list. */
 WorkloadRow
 missRowFor(const WorkloadSpec &spec,
            const std::vector<PolicyDef> &policies,
            const ExperimentConfig &config)
 {
-    telemetry::ScopedTimer materialize_timer(config.timings,
-                                             "materialize");
-    const Workload workload = SyntheticSuite::materialize(spec);
-    materialize_timer.stop();
     const HierarchyConfig &hier = config.system.hier;
+    const fastpath::ReplayEngine &engine =
+        config.replayEngine ? *config.replayEngine
+                            : fastpath::defaultReplayEngine();
+
+    // Demand-only streams: the trace-driven miss simulator (like the
+    // paper's) compares policies and MIN on an identical reference
+    // string; see demandOnlyTrace().  A shared traceCache memoizes
+    // them across experiments; the local fallback runs the identical
+    // build path once.
+    LlcTraceCache local_cache;
+    LlcTraceCache &traces =
+        config.traceCache ? *config.traceCache : local_cache;
+    std::shared_ptr<const LlcTraceCache::Entries> entries =
+        traces.get(spec, hier, config.timings);
 
     WorkloadRow row;
     row.workload = spec.name;
@@ -38,36 +76,44 @@ missRowFor(const WorkloadSpec &spec,
     // Per-policy MPKI per simpoint, then the weighted combine.
     size_t columns = policies.size() + (config.includeMin ? 1 : 0);
     std::vector<std::vector<double>> per_simpoint(columns);
+    std::vector<double> weights;
+    weights.reserve(entries->size());
 
-    for (const Simpoint &sp : workload.simpoints()) {
-        // Demand-only stream: the trace-driven miss simulator (like
-        // the paper's) compares policies and MIN on an identical
-        // reference string; see demandOnlyTrace().
-        telemetry::ScopedTimer filter_timer(config.timings,
-                                            "llc_filter");
-        Trace llc_trace = demandOnlyTrace(Hierarchy::filterToLlc(
-            *sp.trace, hier, lruFactory(), lruFactory()));
-        filter_timer.stop();
+    for (const LlcTraceCache::Entry &entry : *entries) {
+        const Trace &llc_trace = *entry.demandTrace;
+        weights.push_back(entry.weight);
         size_t warmup = static_cast<size_t>(
             static_cast<double>(llc_trace.size()) *
             config.system.warmupFraction);
         // Instructions in the measured region of the CPU segment.
         uint64_t inst = static_cast<uint64_t>(
-            static_cast<double>(sp.trace->instructions()) *
+            static_cast<double>(entry.instructions) *
             (1.0 - config.system.warmupFraction));
         if (inst == 0)
             inst = 1;
 
         telemetry::ScopedTimer replay_timer(config.timings, "replay");
         for (size_t p = 0; p < policies.size(); ++p) {
-            SetAssocCache cache(hier.llc, policies[p].make(hier.llc));
-            if (config.registry)
-                cache.attachTelemetry(*config.registry,
-                                      "llc." + policies[p].name);
-            replayTrace(cache, llc_trace, warmup);
+            uint64_t demand_misses = 0;
+            if (policies[p].fastSpec) {
+                fastpath::ReplayStats stats =
+                    engine.replay(*policies[p].fastSpec, hier.llc,
+                                  llc_trace, warmup);
+                demand_misses = stats.measured.demandMisses;
+                if (config.registry)
+                    mirrorTelemetry(*config.registry,
+                                    "llc." + policies[p].name, stats);
+            } else {
+                SetAssocCache cache(hier.llc,
+                                    policies[p].make(hier.llc));
+                if (config.registry)
+                    cache.attachTelemetry(*config.registry,
+                                          "llc." + policies[p].name);
+                replayTrace(cache, llc_trace, warmup);
+                demand_misses = cache.stats().demandMisses;
+            }
             per_simpoint[p].push_back(
-                1000.0 *
-                static_cast<double>(cache.stats().demandMisses) /
+                1000.0 * static_cast<double>(demand_misses) /
                 static_cast<double>(inst));
         }
         if (config.includeMin) {
@@ -81,7 +127,7 @@ missRowFor(const WorkloadSpec &spec,
 
     row.values.reserve(columns);
     for (size_t c = 0; c < columns; ++c)
-        row.values.push_back(workload.combine(per_simpoint[c]));
+        row.values.push_back(weightedMean(per_simpoint[c], weights));
     return row;
 }
 

@@ -23,8 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "sim/fastpath/engine.hh"
 #include "sim/policy_zoo.hh"
 #include "sim/system.hh"
+#include "sim/trace_cache.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/report.hh"
 #include "telemetry/timer.hh"
@@ -52,6 +54,18 @@ struct ExperimentConfig
      */
     telemetry::MetricRegistry *registry = nullptr;
     telemetry::PhaseTimings *timings = nullptr;
+    /**
+     * Replay engine for miss experiments.  Policies with a fastSpec
+     * replay through it (backend per GIPPR_REPLAY_BACKEND when this is
+     * the default engine); policies without one always use the scalar
+     * simulator.  Null means defaultReplayEngine().
+     */
+    const fastpath::ReplayEngine *replayEngine = nullptr;
+    /**
+     * Optional memo of filtered LLC traces, shared across experiments
+     * (see LlcTraceCache).  Null rebuilds traces per call, as before.
+     */
+    LlcTraceCache *traceCache = nullptr;
 };
 
 /** Raw per-workload metric values, one per column. */

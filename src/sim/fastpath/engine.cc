@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Replay engine implementations.
+ */
+
+#include "sim/fastpath/engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "cache/replay.hh"
+#include "core/dgippr.hh"
+#include "sim/fastpath/soa_cache.hh"
+#include "util/check.hh"
+#include "util/log.hh"
+#include "util/parallel.hh"
+
+namespace gippr::fastpath
+{
+
+namespace
+{
+
+CounterBank
+toBank(const CacheStats &s)
+{
+    CounterBank b;
+    b.accesses = s.accesses;
+    b.hits = s.hits;
+    b.misses = s.misses;
+    b.evictions = s.evictions;
+    b.writebacks = s.writebacks;
+    b.demandAccesses = s.demandAccesses;
+    b.demandMisses = s.demandMisses;
+    return b;
+}
+
+CounterBank
+bankDelta(const CacheStats &end, const CacheStats &start)
+{
+    CounterBank b;
+    b.accesses = end.accesses - start.accesses;
+    b.hits = end.hits - start.hits;
+    b.misses = end.misses - start.misses;
+    b.evictions = end.evictions - start.evictions;
+    b.writebacks = end.writebacks - start.writebacks;
+    b.demandAccesses = end.demandAccesses - start.demandAccesses;
+    b.demandMisses = end.demandMisses - start.demandMisses;
+    return b;
+}
+
+/** Contiguous-range shard of @p set for @p shards partitions. */
+inline size_t
+shardOf(uint64_t set, size_t shards, uint64_t sets)
+{
+    return static_cast<size_t>((set * shards) / sets);
+}
+
+} // namespace
+
+ReplayStats
+ScalarReplayEngine::replay(const ReplaySpec &spec,
+                           const CacheConfig &config, const Trace &trace,
+                           size_t warmup) const
+{
+    GIPPR_CHECK(warmup <= trace.size());
+    SetAssocCache cache(config, makeScalarPolicy(spec, config));
+    const auto *dg =
+        dynamic_cast<const DgipprPolicy *>(&cache.policy());
+    std::vector<uint64_t> leader_misses;
+    if (dg)
+        leader_misses.assign(dg->ipvs().size(), 0);
+
+    CacheStats at_warmup;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (i == warmup)
+            at_warmup = cache.stats();
+        const MemRecord &r = trace[i];
+        const AccessType type = recordType(r);
+        const AccessResult res = cache.access(r.addr, type, r.pc);
+        if (dg && !res.hit && type != AccessType::Writeback) {
+            const int owner =
+                dg->leaderSets().owner(config.setIndex(r.addr));
+            if (owner != LeaderSets::kFollower)
+                ++leader_misses[static_cast<unsigned>(owner)];
+        }
+    }
+    if (warmup == trace.size())
+        at_warmup = cache.stats();
+
+    ReplayStats stats;
+    stats.total = toBank(cache.stats());
+    stats.measured = bankDelta(cache.stats(), at_warmup);
+    if (dg) {
+        stats.finalWinner = dg->currentWinner();
+        stats.duelCounters = dg->selector().counterValues();
+        stats.leaderMisses = std::move(leader_misses);
+    }
+    return stats;
+}
+
+FastReplayEngine::FastReplayEngine(unsigned shards)
+    : shards_(shards == 0 ? resolveThreads(0) : shards)
+{
+}
+
+bool
+FastReplayEngine::supports(const ReplaySpec &spec,
+                           const CacheConfig &config)
+{
+    return SoaCacheModel::supports(spec, config);
+}
+
+ReplayStats
+FastReplayEngine::replay(const ReplaySpec &spec,
+                         const CacheConfig &config, const Trace &trace,
+                         size_t warmup) const
+{
+    if (!supports(spec, config))
+        return fallback_.replay(spec, config, trace, warmup);
+    GIPPR_CHECK(warmup <= trace.size());
+
+    const uint64_t sets = config.sets();
+    const size_t shards = std::min<uint64_t>(shards_, sets);
+    const bool duel = spec.kind == FastPolicyKind::Dgippr;
+
+    if (shards == 1 || !duel) {
+        if (shards == 1) {
+            // One model replays the whole trace in order (for Dgippr
+            // this keeps leader updates and follower reads naturally
+            // interleaved, exactly like the scalar engine).
+            SoaCacheModel model(spec, config);
+            for (size_t i = 0; i < trace.size(); ++i) {
+                if (i == warmup)
+                    model.markWarmup();
+                const MemRecord &r = trace[i];
+                model.accessAddr(r.addr, recordType(r));
+            }
+            if (warmup == trace.size())
+                model.markWarmup();
+            return model.stats();
+        }
+
+        // Independent sets: each shard filter-scans the trace for its
+        // contiguous slice of the set space.
+        std::vector<ReplayStats> shard_stats(shards);
+        parallelFor(shards, static_cast<unsigned>(shards),
+                    [&](size_t shard) {
+                        SoaCacheModel model(spec, config);
+                        // Snapshot before the shard's first measured
+                        // record (warmup == 0 needs none: the initial
+                        // snapshot is already all-zero).
+                        bool snapped = warmup == 0;
+                        for (size_t i = 0; i < trace.size(); ++i) {
+                            const MemRecord &r = trace[i];
+                            const uint64_t set = model.setIndex(r.addr);
+                            if (shardOf(set, shards, sets) != shard)
+                                continue;
+                            if (!snapped && i >= warmup) {
+                                model.markWarmup();
+                                snapped = true;
+                            }
+                            model.access(set, model.tagOf(r.addr),
+                                         recordType(r));
+                        }
+                        if (!snapped)
+                            model.markWarmup();
+                        shard_stats[shard] = model.stats();
+                    });
+        ReplayStats out;
+        for (const ReplayStats &s : shard_stats) {
+            out.measured += s.measured;
+            out.total += s.total;
+        }
+        return out;
+    }
+
+    // DGIPPR, multi-shard: leader sets never depend on the duel
+    // winner, so pass A replays them alone (sequentially, in trace
+    // order) while recording when the winner changes; pass B replays
+    // follower shards in parallel, each cursor-walking the recorded
+    // timeline so any access at trace index j sees the winner after
+    // all leader updates at indices < j — the same value the
+    // single-pass engine would have used.
+    struct WinnerEvent
+    {
+        size_t index;
+        unsigned winner;
+    };
+    SoaCacheModel leader_model(spec, config);
+    std::vector<WinnerEvent> timeline;
+    bool leader_snapped = warmup == 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const MemRecord &r = trace[i];
+        const uint64_t set = leader_model.setIndex(r.addr);
+        if (leader_model.leaderOwner(set) == LeaderSets::kFollower)
+            continue;
+        if (!leader_snapped && i >= warmup) {
+            leader_model.markWarmup();
+            leader_snapped = true;
+        }
+        const unsigned before = leader_model.winner();
+        leader_model.access(set, leader_model.tagOf(r.addr),
+                            recordType(r));
+        if (leader_model.winner() != before)
+            timeline.push_back({i, leader_model.winner()});
+    }
+    if (!leader_snapped)
+        leader_model.markWarmup();
+    ReplayStats out = leader_model.stats();
+
+    std::vector<ReplayStats> shard_stats(shards);
+    parallelFor(
+        shards, static_cast<unsigned>(shards), [&](size_t shard) {
+            SoaCacheModel model(spec, config,
+                                SoaCacheModel::DuelMode::Timeline);
+            size_t cursor = 0;
+            bool snapped = warmup == 0;
+            for (size_t i = 0; i < trace.size(); ++i) {
+                const MemRecord &r = trace[i];
+                const uint64_t set = model.setIndex(r.addr);
+                if (model.leaderOwner(set) != LeaderSets::kFollower)
+                    continue;
+                if (shardOf(set, shards, sets) != shard)
+                    continue;
+                while (cursor < timeline.size() &&
+                       timeline[cursor].index < i) {
+                    model.setWinner(timeline[cursor].winner);
+                    ++cursor;
+                }
+                if (!snapped && i >= warmup) {
+                    model.markWarmup();
+                    snapped = true;
+                }
+                model.access(set, model.tagOf(r.addr), recordType(r));
+            }
+            if (!snapped)
+                model.markWarmup();
+            shard_stats[shard] = model.stats();
+        });
+    for (const ReplayStats &s : shard_stats) {
+        out.measured += s.measured;
+        out.total += s.total;
+    }
+    return out;
+}
+
+std::unique_ptr<ReplayEngine>
+makeReplayEngine(const std::string &backend, unsigned shards)
+{
+    if (backend == "scalar")
+        return std::make_unique<ScalarReplayEngine>();
+    if (backend == "fast")
+        return std::make_unique<FastReplayEngine>(shards);
+    fatal("unknown replay backend '" + backend +
+          "' (expected scalar or fast)");
+}
+
+const ReplayEngine &
+defaultReplayEngine()
+{
+    static const std::unique_ptr<ReplayEngine> engine = [] {
+        const char *backend_env = std::getenv("GIPPR_REPLAY_BACKEND");
+        const std::string backend = backend_env ? backend_env : "fast";
+        // Default to one shard: every production caller (GA fitness,
+        // the experiment harness) already parallelizes across traces,
+        // so nested sharding is opt-in via the environment.
+        unsigned shards = 1;
+        if (const char *s = std::getenv("GIPPR_REPLAY_SHARDS"))
+            shards = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+        return makeReplayEngine(backend, shards);
+    }();
+    return *engine;
+}
+
+} // namespace gippr::fastpath

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Replay engines: scalar reference and sharded fast backend.
+ *
+ * A ReplayEngine replays one LLC trace under one ReplaySpec and
+ * returns ReplayStats.  Two implementations exist:
+ *
+ *  - ScalarReplayEngine drives the production SetAssocCache +
+ *    ReplacementPolicy objects (the pre-existing simulator) and is
+ *    the semantic reference.
+ *  - FastReplayEngine drives SoaCacheModel, optionally sharded: the
+ *    set space is split into contiguous ranges and each shard
+ *    filter-scans the trace for its own sets on a worker of the
+ *    shared pool.  Per-set access streams are independent for every
+ *    policy except DGIPPR's global duel state, which is handled with
+ *    a two-pass scheme: pass A sequentially replays only the leader
+ *    sets (whose behaviour never depends on the duel winner) and
+ *    records a timeline of winner changes; pass B replays follower
+ *    shards in parallel, each walking the timeline with a monotone
+ *    cursor so every follower access sees exactly the winner the
+ *    scalar engine would have used.  Counter merges are plain sums
+ *    over disjoint set ranges, so results are bit-identical for any
+ *    shard count.
+ *
+ * Backend selection: consumers default to defaultReplayEngine(),
+ * which honours GIPPR_REPLAY_BACKEND (fast | scalar, default fast)
+ * and GIPPR_REPLAY_SHARDS (default 1 — callers like the GA already
+ * parallelize over traces, so nested sharding is opt-in).
+ */
+
+#ifndef GIPPR_SIM_FASTPATH_ENGINE_HH_
+#define GIPPR_SIM_FASTPATH_ENGINE_HH_
+
+#include <memory>
+#include <string>
+
+#include "sim/fastpath/replay_spec.hh"
+#include "trace/trace.hh"
+
+namespace gippr::fastpath
+{
+
+/** Replays traces under value-described policies. */
+class ReplayEngine
+{
+  public:
+    virtual ~ReplayEngine() = default;
+
+    /**
+     * Replay @p trace against a cache of @p config geometry running
+     * @p spec; records with index >= @p warmup are measured (the
+     * replayTrace convention).
+     */
+    virtual ReplayStats replay(const ReplaySpec &spec,
+                               const CacheConfig &config,
+                               const Trace &trace,
+                               size_t warmup) const = 0;
+
+    /** Backend name ("scalar" or "fast"). */
+    virtual std::string name() const = 0;
+};
+
+/** Reference backend over SetAssocCache + policy objects. */
+class ScalarReplayEngine : public ReplayEngine
+{
+  public:
+    ReplayStats replay(const ReplaySpec &spec, const CacheConfig &config,
+                       const Trace &trace,
+                       size_t warmup) const override;
+    std::string name() const override { return "scalar"; }
+};
+
+/** Packed structure-of-arrays backend, optionally sharded. */
+class FastReplayEngine : public ReplayEngine
+{
+  public:
+    /** @param shards set-space partitions (>= 1); 1 = no threading */
+    explicit FastReplayEngine(unsigned shards = 1);
+
+    ReplayStats replay(const ReplaySpec &spec, const CacheConfig &config,
+                       const Trace &trace,
+                       size_t warmup) const override;
+    std::string name() const override { return "fast"; }
+
+    unsigned shards() const { return shards_; }
+
+    /**
+     * True when the fast path covers @p spec at @p config; otherwise
+     * replay() silently falls back to the scalar reference.
+     */
+    static bool supports(const ReplaySpec &spec,
+                         const CacheConfig &config);
+
+  private:
+    unsigned shards_;
+    ScalarReplayEngine fallback_;
+};
+
+/**
+ * Build an engine by name: "scalar" or "fast" (with @p shards; 0
+ * means one shard per hardware thread).  Throws on unknown names.
+ */
+std::unique_ptr<ReplayEngine> makeReplayEngine(const std::string &backend,
+                                               unsigned shards = 1);
+
+/**
+ * The process-wide default engine, resolved once from the
+ * environment: GIPPR_REPLAY_BACKEND (default "fast") and
+ * GIPPR_REPLAY_SHARDS (default 1).
+ */
+const ReplayEngine &defaultReplayEngine();
+
+} // namespace gippr::fastpath
+
+#endif // GIPPR_SIM_FASTPATH_ENGINE_HH_

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Replay spec implementation.
+ */
+
+#include "sim/fastpath/replay_spec.hh"
+
+#include <sstream>
+
+#include "core/dgippr.hh"
+#include "core/giplr.hh"
+#include "core/gippr.hh"
+#include "core/plru.hh"
+#include "policies/lru.hh"
+#include "util/log.hh"
+
+namespace gippr::fastpath
+{
+
+std::string
+ReplaySpec::name() const
+{
+    switch (kind) {
+      case FastPolicyKind::Lru:
+        return "LRU";
+      case FastPolicyKind::Lip:
+        return "LIP";
+      case FastPolicyKind::Giplr:
+        return "GIPLR";
+      case FastPolicyKind::Plru:
+        return "PLRU";
+      case FastPolicyKind::Gippr:
+        return "GIPPR";
+      case FastPolicyKind::Dgippr:
+        return std::to_string(ipvs.size()) + "-DGIPPR";
+    }
+    return "?";
+}
+
+ReplaySpec
+lruSpec()
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Lru;
+    return s;
+}
+
+ReplaySpec
+lipSpec()
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Lip;
+    return s;
+}
+
+ReplaySpec
+giplrSpec(Ipv ipv)
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Giplr;
+    s.ipvs.push_back(std::move(ipv));
+    return s;
+}
+
+ReplaySpec
+plruSpec()
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Plru;
+    return s;
+}
+
+ReplaySpec
+gipprSpec(Ipv ipv)
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Gippr;
+    s.ipvs.push_back(std::move(ipv));
+    return s;
+}
+
+ReplaySpec
+dgipprSpec(std::vector<Ipv> ipvs, unsigned leaders,
+           unsigned counter_bits)
+{
+    ReplaySpec s;
+    s.kind = FastPolicyKind::Dgippr;
+    s.ipvs = std::move(ipvs);
+    s.leaders = leaders;
+    s.counterBits = counter_bits;
+    return s;
+}
+
+CounterBank &
+CounterBank::operator+=(const CounterBank &o)
+{
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    demandAccesses += o.demandAccesses;
+    demandMisses += o.demandMisses;
+    return *this;
+}
+
+CacheStats
+ReplayStats::toCacheStats() const
+{
+    CacheStats s;
+    s.accesses = measured.accesses;
+    s.hits = measured.hits;
+    s.misses = measured.misses;
+    s.evictions = measured.evictions;
+    s.writebacks = measured.writebacks;
+    s.demandAccesses = measured.demandAccesses;
+    s.demandMisses = measured.demandMisses;
+    return s;
+}
+
+namespace
+{
+
+void
+bankTo(std::ostream &os, const char *label, const CounterBank &b)
+{
+    os << label << "{acc " << b.accesses << " hit " << b.hits << " miss "
+       << b.misses << " evict " << b.evictions << " wb " << b.writebacks
+       << " dacc " << b.demandAccesses << " dmiss " << b.demandMisses
+       << "}";
+}
+
+} // namespace
+
+std::string
+ReplayStats::toString() const
+{
+    std::ostringstream os;
+    bankTo(os, "measured", measured);
+    os << ' ';
+    bankTo(os, "total", total);
+    if (!duelCounters.empty()) {
+        os << " winner " << finalWinner << " psel [";
+        for (uint64_t v : duelCounters)
+            os << ' ' << v;
+        os << " ] leader_misses [";
+        for (uint64_t v : leaderMisses)
+            os << ' ' << v;
+        os << " ]";
+    }
+    return os.str();
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeScalarPolicy(const ReplaySpec &spec, const CacheConfig &config)
+{
+    switch (spec.kind) {
+      case FastPolicyKind::Lru:
+        return std::make_unique<LruPolicy>(config);
+      case FastPolicyKind::Lip:
+        return std::make_unique<GiplrPolicy>(
+            config, Ipv::lruInsertion(config.assoc));
+      case FastPolicyKind::Giplr:
+        if (spec.ipvs.size() != 1)
+            fatal("GIPLR replay spec needs exactly one IPV");
+        return std::make_unique<GiplrPolicy>(config, spec.ipvs.front());
+      case FastPolicyKind::Plru:
+        return std::make_unique<PlruPolicy>(config);
+      case FastPolicyKind::Gippr:
+        if (spec.ipvs.size() != 1)
+            fatal("GIPPR replay spec needs exactly one IPV");
+        return std::make_unique<GipprPolicy>(config, spec.ipvs.front());
+      case FastPolicyKind::Dgippr:
+        return std::make_unique<DgipprPolicy>(config, spec.ipvs,
+                                              spec.leaders,
+                                              spec.counterBits);
+    }
+    fatal("makeScalarPolicy: unknown policy kind");
+}
+
+} // namespace gippr::fastpath

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Structure-of-arrays cache model implementation.
+ */
+
+#include "sim/fastpath/soa_cache.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/check.hh"
+
+namespace gippr::fastpath
+{
+
+namespace
+{
+
+/** Promotion rows / insertion positions for the spec's vectors. */
+std::vector<Ipv>
+effectiveIpvs(const ReplaySpec &spec, unsigned ways)
+{
+    switch (spec.kind) {
+      case FastPolicyKind::Lru:
+        return {Ipv::lru(ways)};
+      case FastPolicyKind::Lip:
+        return {Ipv::lruInsertion(ways)};
+      case FastPolicyKind::Plru:
+        return {}; // promote-to-MRU needs no vector
+      case FastPolicyKind::Giplr:
+      case FastPolicyKind::Gippr:
+      case FastPolicyKind::Dgippr:
+        return spec.ipvs;
+    }
+    return {};
+}
+
+} // namespace
+
+bool
+SoaCacheModel::supports(const ReplaySpec &spec, const CacheConfig &config)
+{
+    const unsigned ways = config.assoc;
+    if (ways < 2 || ways > 64)
+        return false;
+    switch (spec.kind) {
+      case FastPolicyKind::Lru:
+      case FastPolicyKind::Lip:
+        return true;
+      case FastPolicyKind::Giplr:
+        return spec.ipvs.size() == 1 &&
+               spec.ipvs.front().ways() == ways;
+      case FastPolicyKind::Plru:
+        return isPow2(ways);
+      case FastPolicyKind::Gippr:
+        return isPow2(ways) && spec.ipvs.size() == 1 &&
+               spec.ipvs.front().ways() == ways;
+      case FastPolicyKind::Dgippr:
+        if (!isPow2(ways) || spec.ipvs.size() < 2 ||
+            !isPow2(spec.ipvs.size())) {
+            return false;
+        }
+        for (const Ipv &v : spec.ipvs) {
+            if (v.ways() != ways)
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+SoaCacheModel::SoaCacheModel(const ReplaySpec &spec,
+                             const CacheConfig &config, DuelMode mode)
+    : sets_(config.sets()), assoc_(config.assoc),
+      blockShift_(config.blockShift()), setShift_(config.setShift()),
+      wayMask_(config.assoc == 64 ? ~uint64_t{0}
+                                  : (uint64_t{1} << config.assoc) - 1),
+      mode_(mode),
+      // Non-duel specs get degenerate dueling state (never consulted).
+      leaders_(config.sets(),
+               spec.kind == FastPolicyKind::Dgippr
+                   ? static_cast<unsigned>(spec.ipvs.size())
+                   : 1,
+               spec.kind == FastPolicyKind::Dgippr
+                   ? clampLeaders(config.sets(),
+                                  static_cast<unsigned>(spec.ipvs.size()),
+                                  spec.leaders)
+                   : 1),
+      selector_(spec.kind == FastPolicyKind::Dgippr
+                    ? static_cast<unsigned>(spec.ipvs.size())
+                    : 2,
+                spec.kind == FastPolicyKind::Dgippr ? spec.counterBits
+                                                    : 1)
+{
+    GIPPR_CHECK(supports(spec, config));
+    switch (spec.kind) {
+      case FastPolicyKind::Lru:
+      case FastPolicyKind::Lip:
+      case FastPolicyKind::Giplr:
+        family_ = Family::Recency;
+        break;
+      case FastPolicyKind::Plru:
+        family_ = Family::Plru;
+        break;
+      case FastPolicyKind::Gippr:
+        family_ = Family::TreeIpv;
+        break;
+      case FastPolicyKind::Dgippr:
+        family_ = Family::TreeIpv;
+        duel_ = true;
+        break;
+    }
+
+    for (const Ipv &v : effectiveIpvs(spec, assoc_)) {
+        std::vector<uint8_t> row(assoc_);
+        for (unsigned i = 0; i < assoc_; ++i)
+            row[i] = static_cast<uint8_t>(v.promotion(i));
+        promo_.push_back(std::move(row));
+        insert_.push_back(static_cast<uint8_t>(v.insertion()));
+    }
+
+    tags_.assign(sets_ * assoc_, 0);
+    sig_.assign(sets_ * assoc_, 0);
+    valid_.assign(sets_, 0);
+    dirty_.assign(sets_, 0);
+    if (family_ == Family::Recency) {
+        // Identity layout, matching RecencyStack's constructor.
+        pos_.resize(sets_ * assoc_);
+        for (uint64_t s = 0; s < sets_; ++s)
+            for (unsigned w = 0; w < assoc_; ++w)
+                pos_[s * assoc_ + w] = static_cast<uint8_t>(w);
+    } else {
+        tree_.assign(sets_, 0);
+        // Per-way path tables: every tree update/read in the access
+        // path reduces to mask-and-deposit through these (see the
+        // header comment at the members).
+        depth_ = static_cast<unsigned>(countTrailingZeros(assoc_));
+        pathNodes_.assign(assoc_ * depth_, 0);
+        parityXor_.assign(assoc_, 0);
+        clearMask_.assign(assoc_, 0);
+        deposit_.assign(assoc_ * assoc_, 0);
+        for (unsigned way = 0; way < assoc_; ++way) {
+            unsigned q = assoc_ - 1 + way;
+            for (unsigned i = 0; i < depth_; ++i) {
+                const unsigned par = (q - 1) / 2;
+                pathNodes_[way * depth_ + i] =
+                    static_cast<uint8_t>(par);
+                clearMask_[way] |= uint64_t{1} << par;
+                if (q % 2 == 1) // left child: complemented bit
+                    parityXor_[way] |= 1u << i;
+                q = par;
+            }
+            for (unsigned x = 0; x < assoc_; ++x)
+                deposit_[way * assoc_ + x] =
+                    packedSetPosition(0, assoc_, way, x) &
+                    clearMask_[way];
+        }
+        if (assoc_ <= 16) {
+            victimLut_.assign(uint64_t{1} << (assoc_ - 1), 0);
+            for (uint64_t w = 0; w < victimLut_.size(); ++w)
+                victimLut_[w] =
+                    static_cast<uint8_t>(packedFindPlru(w, assoc_));
+        }
+        if (family_ == Family::TreeIpv) {
+            const size_t vecs = promo_.size();
+            promoDeposit_.assign(vecs * assoc_ * assoc_, 0);
+            insertDeposit_.assign(vecs * assoc_, 0);
+            for (size_t v = 0; v < vecs; ++v) {
+                for (unsigned way = 0; way < assoc_; ++way) {
+                    for (unsigned i = 0; i < assoc_; ++i)
+                        promoDeposit_[(v * assoc_ + way) * assoc_ +
+                                      i] =
+                            deposit_[way * assoc_ + promo_[v][i]];
+                    insertDeposit_[v * assoc_ + way] =
+                        deposit_[way * assoc_ + insert_[v]];
+                }
+            }
+        }
+    }
+    if (duel_) {
+        winner_ = selector_.winner();
+        leaderMisses_.assign(promo_.size(), 0);
+        owners_.resize(sets_);
+        for (uint64_t s = 0; s < sets_; ++s)
+            owners_[s] = static_cast<int8_t>(leaders_.owner(s));
+    }
+}
+
+uint64_t
+SoaCacheModel::setIndex(uint64_t byte_addr) const
+{
+    return (byte_addr >> blockShift_) & (sets_ - 1);
+}
+
+uint64_t
+SoaCacheModel::tagOf(uint64_t byte_addr) const
+{
+    return byte_addr >> (blockShift_ + setShift_);
+}
+
+int
+SoaCacheModel::leaderOwner(uint64_t set) const
+{
+    return duel_ ? leaders_.owner(set) : LeaderSets::kFollower;
+}
+
+void
+SoaCacheModel::setWinner(unsigned w)
+{
+    GIPPR_DCHECK(duel_ && mode_ == DuelMode::Timeline);
+    GIPPR_DCHECK(w < promo_.size());
+    winner_ = w;
+}
+
+ReplayStats
+SoaCacheModel::stats() const
+{
+    ReplayStats s;
+    s.total = counters_;
+    s.total.misses = counters_.accesses - counters_.hits;
+    s.measured.accesses = counters_.accesses - warmupBase_.accesses;
+    s.measured.hits = counters_.hits - warmupBase_.hits;
+    s.measured.misses = s.measured.accesses - s.measured.hits;
+    s.measured.evictions = counters_.evictions - warmupBase_.evictions;
+    s.measured.writebacks =
+        counters_.writebacks - warmupBase_.writebacks;
+    s.measured.demandAccesses =
+        counters_.demandAccesses - warmupBase_.demandAccesses;
+    s.measured.demandMisses =
+        counters_.demandMisses - warmupBase_.demandMisses;
+    if (duel_ && mode_ == DuelMode::Live) {
+        s.finalWinner = selector_.winner();
+        s.duelCounters = selector_.counterValues();
+        s.leaderMisses = leaderMisses_;
+    }
+    return s;
+}
+
+std::vector<unsigned>
+SoaCacheModel::positionsOf(uint64_t set) const
+{
+    std::vector<unsigned> out(assoc_);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        out[w] = family_ == Family::Recency
+                     ? pos_[set * assoc_ + w]
+                     : packedPosition(tree_[set], assoc_, w);
+    }
+    return out;
+}
+
+bool
+SoaCacheModel::validAt(uint64_t set, unsigned way) const
+{
+    return (valid_[set] >> way) & 1;
+}
+
+bool
+SoaCacheModel::dirtyAt(uint64_t set, unsigned way) const
+{
+    return (dirty_[set] >> way) & 1;
+}
+
+std::string
+SoaCacheModel::dumpSet(uint64_t set) const
+{
+    std::ostringstream os;
+    os << "set " << set << " positions [";
+    for (unsigned p : positionsOf(set))
+        os << ' ' << p;
+    os << " ] valid 0x" << std::hex << valid_[set] << " dirty 0x"
+       << dirty_[set] << std::dec;
+    if (family_ != Family::Recency)
+        os << " tree 0x" << std::hex << tree_[set] << std::dec;
+    if (duel_) {
+        os << " owner " << leaderOwner(set) << " winner " << winner_;
+    }
+    os << " tags [";
+    for (unsigned w = 0; w < assoc_; ++w)
+        os << ' ' << std::hex << tags_[set * assoc_ + w] << std::dec;
+    os << " ]";
+    return os.str();
+}
+
+} // namespace gippr::fastpath

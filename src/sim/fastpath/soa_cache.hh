@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Structure-of-arrays cache model for the fast replay backend.
+ *
+ * The scalar simulator (SetAssocCache + a ReplacementPolicy object)
+ * pays a virtual dispatch and several pointer chases per access.  The
+ * fast backend packs the same state into flat arrays — one tag word
+ * per line, one valid/dirty bitmask per set, one uint64 of PseudoLRU
+ * tree bits per set, one byte of recency position per line — and
+ * specializes the per-access transition on the policy family, so a
+ * whole trace replays branch-light over contiguous memory.
+ *
+ * The packed PLRU kernels below are bit-for-bit transcriptions of
+ * PlruTree's four algorithms (paper Figures 5/6/7/9) onto a single
+ * word of heap-ordered node bits; tests/test_fastpath_equiv.cc checks
+ * them exhaustively against PlruTree over every state for ways up to
+ * 16.  SoaCacheModel then mirrors SetAssocCache::access event order
+ * exactly (invalid-way fill before victim selection, writeback
+ * conventions, demand-only duel updates), which is what makes the
+ * scalar/fast equivalence guarantee provable by lock-step replay.
+ */
+
+#ifndef GIPPR_SIM_FASTPATH_SOA_CACHE_HH_
+#define GIPPR_SIM_FASTPATH_SOA_CACHE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "cache/replacement.hh"
+#include "policies/set_dueling.hh"
+#include "sim/fastpath/replay_spec.hh"
+#include "util/bitops.hh"
+#include "util/check.hh"
+
+namespace gippr::fastpath
+{
+
+/** PLRU victim: walk the packed bits from the root (Fig. 5). */
+inline unsigned
+packedFindPlru(uint64_t word, unsigned ways)
+{
+    unsigned p = 0;
+    while (p < ways - 1)
+        p = ((word >> p) & 1) ? 2 * p + 2 : 2 * p + 1;
+    return p - (ways - 1);
+}
+
+/** Recency-stack position of @p way in the packed tree (Fig. 7). */
+inline unsigned
+packedPosition(uint64_t word, unsigned ways, unsigned way)
+{
+    unsigned x = 0;
+    unsigned i = 0;
+    unsigned q = ways - 1 + way;
+    while (q != 0) {
+        const unsigned par = (q - 1) / 2;
+        const unsigned bit = (word >> par) & 1;
+        // Right children (even heap index) contribute the parent's
+        // bit, left children its complement.
+        x |= (q % 2 == 0 ? bit : bit ^ 1u) << i;
+        q = par;
+        ++i;
+    }
+    return x;
+}
+
+/** Write path bits so @p way occupies position @p x (Fig. 9). */
+inline uint64_t
+packedSetPosition(uint64_t word, unsigned ways, unsigned way, unsigned x)
+{
+    unsigned i = 0;
+    unsigned q = ways - 1 + way;
+    while (q != 0) {
+        const unsigned par = (q - 1) / 2;
+        const uint64_t bit = (x >> i) & 1;
+        const uint64_t value = q % 2 == 0 ? bit : bit ^ 1u;
+        word = (word & ~(uint64_t{1} << par)) | (value << par);
+        q = par;
+        ++i;
+    }
+    return word;
+}
+
+/** Classic PLRU promotion: point every path bit away (Fig. 6). */
+inline uint64_t
+packedPromoteMru(uint64_t word, unsigned ways, unsigned way)
+{
+    unsigned q = ways - 1 + way;
+    while (q != 0) {
+        const unsigned par = (q - 1) / 2;
+        const uint64_t value = q % 2 == 0 ? 0 : 1;
+        word = (word & ~(uint64_t{1} << par)) | (value << par);
+        q = par;
+    }
+    return word;
+}
+
+/**
+ * Packed replica of SetAssocCache + one of the seven core policies.
+ *
+ * The model covers every set of the geometry but is oblivious to
+ * which accesses it is fed; the replay engine shards a trace by
+ * feeding each model only its slice of the set space.  For Dgippr
+ * specs the duel winner is either maintained live (the model owns the
+ * tournament selector and updates it on leader misses) or driven
+ * externally via setWinner() from a pre-recorded winner timeline —
+ * the mechanism that makes follower-set shards independent of each
+ * other.
+ */
+class SoaCacheModel
+{
+  public:
+    /** How Dgippr follower sets learn the duel winner. */
+    enum class DuelMode
+    {
+        Live,     ///< model updates the selector on leader misses
+        Timeline, ///< caller injects the winner via setWinner()
+    };
+
+    SoaCacheModel(const ReplaySpec &spec, const CacheConfig &config,
+                  DuelMode mode = DuelMode::Live);
+
+    /** True when the fast backend can pack this spec/geometry. */
+    static bool supports(const ReplaySpec &spec,
+                         const CacheConfig &config);
+
+    /** Outcome of one access (mirror of AccessResult). */
+    struct Step
+    {
+        bool hit = false;
+        unsigned way = 0;
+        bool evicted = false;
+        bool evictedDirty = false;
+        uint64_t evictedTag = 0;
+    };
+
+    /** Perform one access (defined inline: the replay hot path). */
+    Step access(uint64_t set, uint64_t tag, AccessType type);
+
+    /** Access by byte address (set/tag split per the geometry). */
+    Step accessAddr(uint64_t byte_addr, AccessType type);
+
+    /**
+     * Snapshot the counters: stats().measured reports everything
+     * accumulated after the last call (the warmup convention).
+     * Never calling it leaves measured == total.
+     */
+    void markWarmup() { warmupBase_ = counters_; }
+
+    /**
+     * Hint that @p set is about to be accessed.  Replay loops call
+     * this a few records ahead of the access cursor: sets are
+     * effectively random, so the tag/state rows miss L1 otherwise and
+     * the lookahead hides that latency behind the in-flight accesses.
+     */
+    void prefetchSet(uint64_t set) const
+    {
+        const uint64_t base = set * assoc_;
+        __builtin_prefetch(&sig_[base]);
+        __builtin_prefetch(&valid_[set]);
+        if (family_ == Family::Recency)
+            __builtin_prefetch(&pos_[base]);
+        else
+            __builtin_prefetch(&tree_[set]);
+    }
+
+    /** Timeline mode: winner for subsequent follower accesses. */
+    void setWinner(unsigned w);
+
+    /** Current follower winner (Dgippr). */
+    unsigned winner() const { return winner_; }
+
+    /** Leading vector of @p set, or LeaderSets::kFollower. */
+    int leaderOwner(uint64_t set) const;
+
+    /**
+     * Statistics so far; for live Dgippr models the duel fields
+     * (finalWinner, duelCounters, leaderMisses) are synced from the
+     * selector.
+     */
+    ReplayStats stats() const;
+
+    uint64_t sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Set index / tag of a byte address (replay plumbing). */
+    uint64_t setIndex(uint64_t byte_addr) const;
+    uint64_t tagOf(uint64_t byte_addr) const;
+
+    /** Recency positions of every way in @p set (equivalence probe). */
+    std::vector<unsigned> positionsOf(uint64_t set) const;
+
+    bool validAt(uint64_t set, unsigned way) const;
+    bool dirtyAt(uint64_t set, unsigned way) const;
+
+    /** Full shard-state rendering of one set (divergence dumps). */
+    std::string dumpSet(uint64_t set) const;
+
+  private:
+    /** Transition family the access path switches on. */
+    enum class Family : uint8_t
+    {
+        Recency, ///< Lru / Lip / Giplr: byte positions + moveTo
+        Plru,    ///< classic tree: promote-to-MRU
+        TreeIpv, ///< Gippr / Dgippr: packed tree + IPV positions
+    };
+
+    unsigned ipvIndexFor(uint64_t set) const;
+    void moveTo(uint8_t *pos, unsigned way, unsigned to);
+    unsigned recencyVictim(const uint8_t *pos) const;
+    int findWay(uint64_t base, uint64_t tag, uint64_t valid) const;
+    unsigned treePositionOf(uint64_t word, unsigned way) const;
+
+    // Geometry.
+    uint64_t sets_;
+    unsigned assoc_;
+    unsigned blockShift_;
+    unsigned setShift_;
+    uint64_t wayMask_;
+
+    // Policy.
+    Family family_;
+    bool duel_ = false;
+    DuelMode mode_;
+    /** promo_[v][i] = new position on a hit at position i; one row
+     *  per candidate vector. */
+    std::vector<std::vector<uint8_t>> promo_;
+    /** insert_[v] = insertion position of vector v. */
+    std::vector<uint8_t> insert_;
+
+    // Packed per-set / per-line state.
+    std::vector<uint64_t> tags_;  // sets * assoc
+    std::vector<uint8_t> sig_;    // low tag byte per line (scan filter)
+    std::vector<uint64_t> valid_; // bitmask per set
+    std::vector<uint64_t> dirty_; // bitmask per set
+    std::vector<uint64_t> tree_;  // PLRU node bits per set
+    std::vector<uint8_t> pos_;    // sets * assoc (recency family)
+
+    /**
+     * Per-way tree tables (pow2-way families), built once from the
+     * packed kernels: a leaf's path through the tree is fixed, so
+     * setPosition(word, way, x) == (word & ~clearMask_[way]) |
+     * deposit_[way * assoc + x], and position() is a gather of the
+     * path bits (pathNodes_) xor the left-child parity
+     * (parityXor_).  This turns the per-access log(ways) loops into
+     * a handful of independent instructions.
+     */
+    unsigned depth_ = 0;
+    std::vector<uint8_t> pathNodes_;  // assoc * depth
+    std::vector<uint8_t> parityXor_;  // assoc
+    std::vector<uint64_t> clearMask_; // assoc
+    std::vector<uint64_t> deposit_;   // assoc * assoc
+    /** Tree word -> PLRU victim, tabulated when the word fits 15
+     *  bits (assoc <= 16); wider trees keep the root walk. */
+    std::vector<uint8_t> victimLut_;
+    /** Fused promotion / insertion deposits for the TreeIpv family:
+     *  promoDeposit_[(v * assoc + way) * assoc + i] =
+     *  deposit_[way * assoc + promo_[v][i]], and insertDeposit_[v *
+     *  assoc + way] likewise through insert_[v] — one load on the
+     *  hit / fill path instead of two dependent ones. */
+    std::vector<uint64_t> promoDeposit_;
+    std::vector<uint64_t> insertDeposit_;
+
+    // Set dueling (Dgippr only).
+    LeaderSets leaders_;
+    /** Flat copy of leaders_'s owner table (duel models index this
+     *  on every access; the class accessor is an outlined call). */
+    std::vector<int8_t> owners_;
+    TournamentSelector selector_;
+    unsigned winner_ = 0;
+    std::vector<uint64_t> leaderMisses_;
+
+    /**
+     * Whole-trace counters; stats() derives misses (accesses - hits)
+     * and the measured bank (counters - warmupBase).  Keeping one
+     * bank and deriving the rest halves the hot path's counter work.
+     */
+    CounterBank counters_;
+    CounterBank warmupBase_;
+};
+
+inline unsigned
+SoaCacheModel::ipvIndexFor(uint64_t set) const
+{
+    if (!duel_)
+        return 0;
+    const int owner = owners_[set];
+    return owner != LeaderSets::kFollower ? static_cast<unsigned>(owner)
+                                          : winner_;
+}
+
+inline void
+SoaCacheModel::moveTo(uint8_t *pos, unsigned way, unsigned to)
+{
+    // RecencyStack semantics: slide the interval between the old and
+    // new positions by one.  Positions are < 64, so signed byte
+    // compares are safe in the vector path.
+    const unsigned from = pos[way];
+#if defined(__SSE2__)
+    if (assoc_ == 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(pos));
+        __m128i out = v;
+        if (to < from) {
+            // pos += (pos >= to) & (pos < from): the mask bytes are
+            // -1, so subtracting the mask adds one.
+            const __m128i m = _mm_and_si128(
+                _mm_cmpgt_epi8(
+                    v, _mm_set1_epi8(static_cast<char>(
+                           static_cast<int>(to) - 1))),
+                _mm_cmplt_epi8(v, _mm_set1_epi8(
+                                      static_cast<char>(from))));
+            out = _mm_sub_epi8(v, m);
+        } else if (to > from) {
+            // pos -= (pos > from) & (pos <= to).
+            const __m128i m = _mm_and_si128(
+                _mm_cmpgt_epi8(v, _mm_set1_epi8(
+                                      static_cast<char>(from))),
+                _mm_cmplt_epi8(
+                    v, _mm_set1_epi8(static_cast<char>(
+                           static_cast<int>(to) + 1))));
+            out = _mm_add_epi8(v, m);
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(pos), out);
+        pos[way] = static_cast<uint8_t>(to);
+        return;
+    }
+#endif
+    if (to < from) {
+        for (unsigned w = 0; w < assoc_; ++w)
+            pos[w] = static_cast<uint8_t>(
+                pos[w] + ((pos[w] >= to) & (pos[w] < from)));
+    } else if (to > from) {
+        for (unsigned w = 0; w < assoc_; ++w)
+            pos[w] = static_cast<uint8_t>(
+                pos[w] - ((pos[w] > from) & (pos[w] <= to)));
+    }
+    pos[way] = static_cast<uint8_t>(to);
+}
+
+inline unsigned
+SoaCacheModel::recencyVictim(const uint8_t *pos) const
+{
+    const uint8_t last = static_cast<uint8_t>(assoc_ - 1);
+#if defined(__SSE2__)
+    if (assoc_ == 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(pos));
+        const unsigned match = static_cast<unsigned>(_mm_movemask_epi8(
+            _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(last)))));
+        GIPPR_DCHECK(match != 0);
+        return static_cast<unsigned>(countTrailingZeros(match));
+    }
+#endif
+    uint64_t match = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        match |= uint64_t{pos[w] == last} << w;
+    GIPPR_DCHECK(match != 0); // positions are always a permutation
+    return static_cast<unsigned>(countTrailingZeros(match));
+}
+
+inline int
+SoaCacheModel::findWay(uint64_t base, uint64_t tag,
+                       uint64_t valid) const
+{
+#if defined(__SSE2__)
+    if (assoc_ == 16) {
+        // One-byte signatures filter the row in a single compare;
+        // candidates (usually exactly the hit way) verify against the
+        // full tag.  Valid tags are unique per set, so the first
+        // verified candidate is THE match.
+        const __m128i row = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(&sig_[base]));
+        const __m128i probe = _mm_set1_epi8(static_cast<char>(tag));
+        unsigned cand = static_cast<unsigned>(_mm_movemask_epi8(
+                            _mm_cmpeq_epi8(row, probe))) &
+                        static_cast<unsigned>(valid);
+        while (cand != 0) {
+            const unsigned w =
+                static_cast<unsigned>(countTrailingZeros(cand));
+            if (tags_[base + w] == tag)
+                return static_cast<int>(w);
+            cand &= cand - 1;
+        }
+        return -1;
+    }
+#endif
+    const uint64_t *tags = &tags_[base];
+    uint64_t match = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        match |= uint64_t{tags[w] == tag} << w;
+    match &= valid;
+    return match != 0 ? static_cast<int>(countTrailingZeros(match))
+                      : -1;
+}
+
+inline unsigned
+SoaCacheModel::treePositionOf(uint64_t word, unsigned way) const
+{
+    // Gather the fixed path bits for this leaf and flip the
+    // left-child ones (packedPosition without the loop-carried walk).
+    // The switch unrolls the gather: the shifts are independent, so
+    // they issue in parallel instead of a loop-carried OR chain.
+    const uint8_t *nodes = &pathNodes_[way * depth_];
+    uint64_t x = 0;
+    switch (depth_) {
+      case 6:
+        x |= ((word >> nodes[5]) & 1) << 5;
+        [[fallthrough]];
+      case 5:
+        x |= ((word >> nodes[4]) & 1) << 4;
+        [[fallthrough]];
+      case 4:
+        x |= ((word >> nodes[3]) & 1) << 3;
+        [[fallthrough]];
+      case 3:
+        x |= ((word >> nodes[2]) & 1) << 2;
+        [[fallthrough]];
+      case 2:
+        x |= ((word >> nodes[1]) & 1) << 1;
+        [[fallthrough]];
+      default:
+        x |= (word >> nodes[0]) & 1;
+    }
+    return static_cast<unsigned>(x) ^ parityXor_[way];
+}
+
+inline SoaCacheModel::Step
+SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
+{
+    GIPPR_DCHECK(set < sets_);
+    const bool demand = type != AccessType::Writeback;
+    const uint64_t base = set * assoc_;
+    const uint64_t valid = valid_[set];
+
+    ++counters_.accesses;
+    counters_.demandAccesses += demand;
+
+    Step step;
+    const int hit_way = findWay(base, tag, valid);
+    if (hit_way >= 0) {
+        const unsigned way = static_cast<unsigned>(hit_way);
+        ++counters_.hits;
+        step.hit = true;
+        step.way = way;
+        if (type != AccessType::Load)
+            dirty_[set] |= uint64_t{1} << way;
+        if (demand) {
+            // Promotion (writeback hits never touch recency state).
+            switch (family_) {
+              case Family::Recency: {
+                uint8_t *pos = &pos_[base];
+                moveTo(pos, way, promo_[0][pos[way]]);
+                break;
+              }
+              case Family::Plru:
+                // Promote-to-MRU == setPosition(way, 0).
+                tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                             deposit_[way * assoc_];
+                break;
+              case Family::TreeIpv: {
+                const unsigned v = ipvIndexFor(set);
+                const unsigned i = treePositionOf(tree_[set], way);
+                tree_[set] =
+                    (tree_[set] & ~clearMask_[way]) |
+                    promoDeposit_[(v * assoc_ + way) * assoc_ + i];
+                break;
+              }
+            }
+        }
+        return step;
+    }
+
+    // Miss.
+    counters_.demandMisses += demand;
+    if (duel_ && demand) {
+        const int owner = owners_[set];
+        if (owner != LeaderSets::kFollower) {
+            GIPPR_DCHECK(mode_ == DuelMode::Live);
+            ++leaderMisses_[static_cast<unsigned>(owner)];
+            selector_.recordMiss(static_cast<unsigned>(owner));
+            winner_ = selector_.winner();
+        }
+    }
+
+    // Fill: first invalid way in way order, else the policy victim.
+    const uint64_t free = ~valid & wayMask_;
+    unsigned way;
+    if (free != 0) {
+        way = static_cast<unsigned>(countTrailingZeros(free));
+    } else {
+        way = family_ == Family::Recency
+                  ? recencyVictim(&pos_[base])
+                  : (!victimLut_.empty()
+                         ? victimLut_[tree_[set]]
+                         : packedFindPlru(tree_[set], assoc_));
+        ++counters_.evictions;
+        step.evicted = true;
+        step.evictedTag = tags_[base + way];
+        step.evictedDirty = (dirty_[set] >> way) & 1;
+        counters_.writebacks += step.evictedDirty;
+    }
+
+    tags_[base + way] = tag;
+    sig_[base + way] = static_cast<uint8_t>(tag);
+    valid_[set] = valid | (uint64_t{1} << way);
+    if (type != AccessType::Load)
+        dirty_[set] |= uint64_t{1} << way;
+    else
+        dirty_[set] &= ~(uint64_t{1} << way);
+    step.way = way;
+
+    // Insertion.
+    switch (family_) {
+      case Family::Recency: {
+        // GiplrPolicy::onInsert: normalize through the LRU position,
+        // then move to V[k] (identical to LruPolicy's direct
+        // moveTo(way, 0) when the vector is all-zero).
+        uint8_t *pos = &pos_[base];
+        moveTo(pos, way, assoc_ - 1);
+        moveTo(pos, way, insert_[0]);
+        break;
+      }
+      case Family::Plru:
+        tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                     deposit_[way * assoc_];
+        break;
+      case Family::TreeIpv: {
+        const unsigned v = ipvIndexFor(set);
+        tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                     insertDeposit_[v * assoc_ + way];
+        break;
+      }
+    }
+    return step;
+}
+
+inline SoaCacheModel::Step
+SoaCacheModel::accessAddr(uint64_t byte_addr, AccessType type)
+{
+    return access(setIndex(byte_addr), tagOf(byte_addr), type);
+}
+
+} // namespace gippr::fastpath
+
+#endif // GIPPR_SIM_FASTPATH_SOA_CACHE_HH_

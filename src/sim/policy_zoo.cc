@@ -29,19 +29,23 @@ namespace gippr
 PolicyDef
 lruDef()
 {
-    return {"LRU", [](const CacheConfig &cfg) {
+    return {"LRU",
+            [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<LruPolicy>(cfg));
-            }};
+            },
+            fastpath::lruSpec()};
 }
 
 PolicyDef
 plruDef()
 {
-    return {"PLRU", [](const CacheConfig &cfg) {
+    return {"PLRU",
+            [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<PlruPolicy>(cfg));
-            }};
+            },
+            fastpath::plruSpec()};
 }
 
 PolicyDef
@@ -119,29 +123,35 @@ shipDef()
 PolicyDef
 giplrDef(const std::string &name, const Ipv &ipv)
 {
-    return {name, [ipv](const CacheConfig &cfg) {
+    return {name,
+            [ipv](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<GiplrPolicy>(cfg, ipv));
-            }};
+            },
+            fastpath::giplrSpec(ipv)};
 }
 
 PolicyDef
 gipprDef(const std::string &name, const Ipv &ipv)
 {
-    return {name, [ipv](const CacheConfig &cfg) {
+    return {name,
+            [ipv](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<GipprPolicy>(cfg, ipv));
-            }};
+            },
+            fastpath::gipprSpec(ipv)};
 }
 
 PolicyDef
 dgipprDef(const std::string &name, std::vector<Ipv> ipvs,
           unsigned leaders)
 {
-    return {name, [ipvs, leaders](const CacheConfig &cfg) {
+    return {name,
+            [ipvs, leaders](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<DgipprPolicy>(cfg, ipvs, leaders));
-            }};
+            },
+            fastpath::dgipprSpec(ipvs, leaders)};
 }
 
 PolicyDef

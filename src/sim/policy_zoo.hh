@@ -10,11 +10,13 @@
 #ifndef GIPPR_SIM_POLICY_ZOO_HH_
 #define GIPPR_SIM_POLICY_ZOO_HH_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "core/ipv.hh"
+#include "sim/fastpath/replay_spec.hh"
 
 namespace gippr
 {
@@ -24,6 +26,13 @@ struct PolicyDef
 {
     std::string name;
     PolicyFactory make;
+    /**
+     * Value description for the fast replay backend; policies without
+     * one (RRIP family, PDP, SHiP, ...) always replay through the
+     * scalar simulator.  The miss-experiment harness uses this to
+     * route trace replay through the selected ReplayEngine.
+     */
+    std::optional<fastpath::ReplaySpec> fastSpec;
 };
 
 /** Baselines. */

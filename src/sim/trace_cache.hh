@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cross-repetition cache of filtered LLC traces.
+ *
+ * Materializing a synthetic workload and filtering it through L1+L2
+ * dominates the wall-clock of every miss experiment, and benches that
+ * run several experiments over the same suite (ablation loops,
+ * before/after comparisons) used to redo that work per repetition.
+ * LlcTraceCache memoizes the demand-only LLC trace per (workload
+ * spec, L1/L2 filter geometry) so repeated runMissExperiment calls
+ * replay from memory.  Keys capture every input that shapes the
+ * filtered trace — workload name, per-simpoint seeds/lengths/weights
+ * and the full hierarchy geometry — so benches that deliberately vary
+ * the suite (seed ablations) never alias entries.
+ *
+ * The cache is thread-compatible with the experiment harness's worker
+ * pool: lookups lock a mutex, trace construction runs outside it, and
+ * entries are immutable once published.
+ */
+
+#ifndef GIPPR_SIM_TRACE_CACHE_HH_
+#define GIPPR_SIM_TRACE_CACHE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "telemetry/timer.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace gippr
+{
+
+/** Memoizes demand-only LLC traces per workload spec. */
+class LlcTraceCache
+{
+  public:
+    /** One simpoint's filtered trace plus its combining metadata. */
+    struct Entry
+    {
+        /** Demand-only LLC stream (writebacks stripped). */
+        std::shared_ptr<const Trace> demandTrace;
+        /** Instructions of the originating CPU segment. */
+        uint64_t instructions = 0;
+        /** SimPoint weight. */
+        double weight = 1.0;
+    };
+    using Entries = std::vector<Entry>;
+
+    /**
+     * Entries for @p spec filtered through @p hier's L1+L2 (true LRU,
+     * as everywhere), building and publishing them on first use.
+     * @p timings, when non-null, receives the "materialize" and
+     * "llc_filter" phases on cache misses (hits cost neither).
+     */
+    std::shared_ptr<const Entries> get(const WorkloadSpec &spec,
+                                       const HierarchyConfig &hier,
+                                       telemetry::PhaseTimings *timings);
+
+    /** Lookup counters (test / diagnostics aid). */
+    uint64_t hits() const;
+    uint64_t misses() const;
+
+  private:
+    static std::string keyOf(const WorkloadSpec &spec,
+                             const HierarchyConfig &hier);
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<const Entries>> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace gippr
+
+#endif // GIPPR_SIM_TRACE_CACHE_HH_

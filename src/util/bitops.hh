@@ -6,6 +6,7 @@
 #ifndef GIPPR_UTIL_BITOPS_HH_
 #define GIPPR_UTIL_BITOPS_HH_
 
+#include <bit>
 #include <cstdint>
 
 namespace gippr
@@ -74,6 +75,13 @@ popcount64(uint64_t x)
     return n;
 }
 
+/** Index of the lowest set bit of @p x.  @pre x != 0 */
+constexpr unsigned
+countTrailingZeros(uint64_t x)
+{
+    return static_cast<unsigned>(std::countr_zero(x));
+}
+
 // Compile-time self-tests: every helper is constexpr, so its whole
 // truth table (at the interesting boundary points) is checkable here
 // at zero runtime cost.
@@ -93,6 +101,8 @@ static_assert(lowMask(0) == 0 && lowMask(1) == 1);
 static_assert(lowMask(4) == 0xf && lowMask(64) == ~uint64_t{0});
 static_assert(popcount64(0) == 0 && popcount64(0b1011) == 3);
 static_assert(popcount64(~uint64_t{0}) == 64);
+static_assert(countTrailingZeros(1) == 0 && countTrailingZeros(0b1000) == 3);
+static_assert(countTrailingZeros(uint64_t{1} << 63) == 63);
 
 } // namespace gippr
 

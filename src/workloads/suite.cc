@@ -49,6 +49,7 @@ SyntheticSuite::SyntheticSuite(SuiteParams params)
                        double>> sims) {
         WorkloadSpec spec;
         spec.name = name;
+        spec.capacityBlocks = C;
         unsigned sidx = 0;
         for (auto &sim : sims) {
             GenParams gp;

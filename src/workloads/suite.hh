@@ -54,6 +54,13 @@ struct WorkloadSpec
 {
     std::string name;
     std::vector<SimpointSpec> simpoints;
+    /**
+     * LLC capacity (blocks) the generators were scaled to.  Working
+     * sets are sized relative to this, so together with the simpoint
+     * seeds it pins down the generated streams — consumers that
+     * memoize traces key on it.
+     */
+    uint64_t capacityBlocks = 0;
 };
 
 /** The full suite. */

@@ -171,11 +171,13 @@ TEST(Integration, DgipprAdaptsPerWorkload)
         policyByName("GIPPR:0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 15");
     // Duel exactly the two archetypes this test reasons about.
     std::vector<Ipv> pair = {Ipv::lru(16), Ipv::lruInsertion(16)};
-    PolicyDef duel{"2-DGIPPR", [pair](const CacheConfig &cfg) {
+    PolicyDef duel{"2-DGIPPR",
+                   [pair](const CacheConfig &cfg) {
                        return std::unique_ptr<ReplacementPolicy>(
                            std::make_unique<DgipprPolicy>(cfg, pair, 1,
                                                           7));
-                   }};
+                   },
+                   fastpath::dgipprSpec(pair, 1, 7)};
 
     Workload thrash =
         SyntheticSuite::materialize(suite.spec("loop_thrash"));

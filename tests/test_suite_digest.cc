@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Regression tests pinning the synthetic suite's generated contents
+ * and the shared LLC trace memo.
+ *
+ * The bench/example harnesses materialize each workload once and
+ * reuse the traces across repetitions and experiments.  That hoist is
+ * only sound if (a) materializing a spec is deterministic, and (b) the
+ * shared LlcTraceCache returns the same filtered traces an unshared
+ * run would build.  A golden FNV-1a digest over every record of every
+ * workload pins the suite contents so an accidental generator change
+ * (which would silently shift every result table) fails loudly here.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace gippr
+{
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+foldU64(uint64_t h, uint64_t v)
+{
+    return fnv1a(h, &v, sizeof(v));
+}
+
+uint64_t
+foldDouble(uint64_t h, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return foldU64(h, bits);
+}
+
+/** Digest of one materialized workload (weights and every record). */
+uint64_t
+digestOf(const Workload &w, uint64_t h)
+{
+    for (const Simpoint &sp : w.simpoints()) {
+        h = foldDouble(h, sp.weight);
+        h = foldU64(h, sp.trace->size());
+        for (const MemRecord &rec : sp.trace->records()) {
+            h = foldU64(h, rec.instGap);
+            h = foldU64(h, rec.addr);
+            h = foldU64(h, rec.pc);
+            h = foldU64(h, rec.isWrite ? 1 : 0);
+        }
+    }
+    return h;
+}
+
+SuiteParams
+pinnedParams()
+{
+    SuiteParams p;
+    p.llcBlocks = 256;
+    p.accessesPerSimpoint = 2000;
+    p.baseSeed = 0x5eed;
+    return p;
+}
+
+uint64_t
+suiteDigest(const SuiteParams &params)
+{
+    SyntheticSuite suite(params);
+    uint64_t h = kFnvOffset;
+    for (const WorkloadSpec &spec : suite.specs()) {
+        h = fnv1a(h, spec.name.data(), spec.name.size());
+        h = digestOf(SyntheticSuite::materialize(spec), h);
+    }
+    return h;
+}
+
+HierarchyConfig
+tinyHier()
+{
+    HierarchyConfig hier;
+    hier.l1 = {"L1", 4 * 1024, 8, 64};
+    hier.l2 = {"L2", 8 * 1024, 8, 64};
+    hier.llc = {"LLC", 32 * 1024, 16, 64};
+    return hier;
+}
+
+} // namespace
+
+TEST(SuiteDigest, MaterializationIsDeterministic)
+{
+    const SyntheticSuite suite(pinnedParams());
+    const WorkloadSpec &spec = suite.spec("zipf_twophase");
+    const uint64_t once =
+        digestOf(SyntheticSuite::materialize(spec), kFnvOffset);
+    const uint64_t again =
+        digestOf(SyntheticSuite::materialize(spec), kFnvOffset);
+    EXPECT_EQ(once, again);
+}
+
+TEST(SuiteDigest, GoldenDigestPinned)
+{
+    // Golden value computed from the suite at the pinned params above.
+    // If a generator change is INTENTIONAL, rerun this test and update
+    // the constant; an unexpected mismatch means every published table
+    // silently changed.
+    constexpr uint64_t kGolden = 0x9358339984f6f65full;
+    EXPECT_EQ(suiteDigest(pinnedParams()), kGolden);
+}
+
+TEST(SuiteDigest, TraceCacheMemoizesEntries)
+{
+    const SyntheticSuite suite(pinnedParams());
+    const HierarchyConfig hier = tinyHier();
+    LlcTraceCache cache;
+    const auto first = cache.get(suite.spec("loop_fit"), hier, nullptr);
+    const auto second = cache.get(suite.spec("loop_fit"), hier, nullptr);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    ASSERT_FALSE(first->empty());
+    for (const LlcTraceCache::Entry &entry : *first) {
+        EXPECT_GT(entry.instructions, 0u);
+        EXPECT_GT(entry.weight, 0.0);
+    }
+}
+
+TEST(SuiteDigest, TraceCacheKeysOnCapacityAndGeometry)
+{
+    SuiteParams small = pinnedParams();
+    SuiteParams big = pinnedParams();
+    big.llcBlocks = 512; // same seeds, differently scaled generators
+    const SyntheticSuite a(small);
+    const SyntheticSuite b(big);
+    const HierarchyConfig hier = tinyHier();
+    LlcTraceCache cache;
+    const auto ea = cache.get(a.spec("stream_pure"), hier, nullptr);
+    const auto eb = cache.get(b.spec("stream_pure"), hier, nullptr);
+    EXPECT_NE(ea.get(), eb.get());
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // Same spec through a different hierarchy is a distinct entry too.
+    HierarchyConfig wider = hier;
+    wider.llc.sizeBytes = 64 * 1024;
+    const auto ec = cache.get(a.spec("stream_pure"), wider, nullptr);
+    EXPECT_NE(ea.get(), ec.get());
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SuiteDigest, SharedCacheLeavesExperimentRowsUnchanged)
+{
+    SuiteParams sp = pinnedParams();
+    sp.accessesPerSimpoint = 6000;
+    const SyntheticSuite suite(sp);
+
+    ExperimentConfig cfg;
+    cfg.system.hier = tinyHier();
+    cfg.threads = 4;
+    const std::vector<PolicyDef> policies = {policyByName("LRU"),
+                                             policyByName("DGIPPR2")};
+
+    const ExperimentResult plain =
+        runMissExperiment(suite, policies, cfg);
+
+    LlcTraceCache shared;
+    cfg.traceCache = &shared;
+    const ExperimentResult cached =
+        runMissExperiment(suite, policies, cfg);
+    EXPECT_GT(shared.misses(), 0u);
+
+    ASSERT_EQ(plain.rows.size(), cached.rows.size());
+    EXPECT_EQ(plain.columns, cached.columns);
+    for (size_t i = 0; i < plain.rows.size(); ++i) {
+        EXPECT_EQ(plain.rows[i].workload, cached.rows[i].workload);
+        EXPECT_EQ(plain.rows[i].values, cached.rows[i].values);
+    }
+
+    // A second experiment through the same cache is all hits.
+    const uint64_t misses_before = shared.misses();
+    const ExperimentResult again =
+        runMissExperiment(suite, policies, cfg);
+    EXPECT_EQ(shared.misses(), misses_before);
+    EXPECT_GT(shared.hits(), 0u);
+    for (size_t i = 0; i < plain.rows.size(); ++i)
+        EXPECT_EQ(plain.rows[i].values, again.rows[i].values);
+}
+
+} // namespace gippr
