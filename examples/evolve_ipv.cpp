@@ -175,6 +175,14 @@ main(int argc, char **argv)
         report.setConfig(
             "replay_backend",
             telemetry::JsonValue(fastpath::defaultReplayEngine().name()));
+        report.setConfig(
+            "ga_batch",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(fitness.batchWidth())));
+        report.setConfig(
+            "memo_capacity",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(fitness.memoCapacity())));
         telemetry::JsonValue llc = telemetry::JsonValue::object();
         llc.set("size_bytes", telemetry::JsonValue(sys.hier.llc.sizeBytes));
         llc.set("assoc",

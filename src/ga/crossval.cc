@@ -27,7 +27,14 @@ flattenExcept(const std::vector<WorkloadTraces> &workloads,
     return out;
 }
 
-/** Run one GA fold and pick a duel set from its final population. */
+/**
+ * Run one GA fold and pick a duel set from its final population.
+ *
+ * Both stages share the fold's FitnessEvaluator, so the batched
+ * evaluations inside evolveIpv warm its memo cache and the duel-set
+ * candidates (drawn from the final population) are scored without a
+ * single extra replay.
+ */
 std::vector<Ipv>
 evolveAndSelect(const FitnessEvaluator &fitness, IpvFamily family,
                 size_t n_vectors, const GaParams &params)

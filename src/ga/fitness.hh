@@ -17,7 +17,10 @@
 #define GIPPR_GA_FITNESS_HH_
 
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/config.hh"
@@ -96,6 +99,51 @@ class FitnessEvaluator
     std::vector<double> perTraceSpeedups(const Ipv &ipv,
                                          IpvFamily family) const;
 
+    /**
+     * Batch evaluation: fitness of every vector in @p ipvs, computed
+     * by streaming each trace ONCE for up to batchWidth() genomes at
+     * a time (ReplayEngine::replayMany) and memoized on (family,
+     * canonical IPV bytes, trace-set digest) so duplicate children,
+     * carried-over elites and duel-set candidates never pay a second
+     * replay.  @p threads as in parallelFor (0 = hardware, <= 1
+     * inline); the work items are (genome-batch, trace) pairs.
+     * Returns the same values evaluate() would, index-aligned.
+     */
+    std::vector<double> evaluateAll(std::span<const Ipv> ipvs,
+                                    IpvFamily family,
+                                    unsigned threads = 0) const;
+
+    /** Batched perTraceSpeedups (one row per input vector). */
+    std::vector<std::vector<double>>
+    perTraceSpeedupsAll(std::span<const Ipv> ipvs, IpvFamily family,
+                        unsigned threads = 0) const;
+
+    /**
+     * Measured demand misses for every (vector, trace) pair — the
+     * batch kernel's raw output (row g, column t) and the unit the
+     * memo cache stores.
+     */
+    std::vector<std::vector<uint64_t>>
+    missesForAll(std::span<const Ipv> ipvs, IpvFamily family,
+                 unsigned threads = 0) const;
+
+    /**
+     * Genomes replayed together per trace stream (default from
+     * GIPPR_GA_BATCH, 32; <= 1 restores per-genome replay).
+     */
+    void setBatchWidth(unsigned genomes);
+    unsigned batchWidth() const { return batchWidth_; }
+
+    /**
+     * Memo entries retained, each one vector's per-trace miss row
+     * (default from GIPPR_GA_MEMO, 65536; 0 disables memoization).
+     */
+    void setMemoCapacity(size_t entries);
+    size_t memoCapacity() const { return memoCapacity_; }
+
+    /** FNV-1a digest of the training traces (memo-key component). */
+    uint64_t traceSetDigest() const { return traceDigest_; }
+
     /** Demand misses of @p ipv on trace @p idx (measured region). */
     uint64_t missesOn(size_t idx, const Ipv &ipv,
                       IpvFamily family) const;
@@ -112,8 +160,11 @@ class FitnessEvaluator
     double estimateCpi(uint64_t misses, uint64_t instructions) const;
 
     /**
-     * Count every evaluate() call in "<prefix>.evaluations" and every
-     * candidate trace replay in "<prefix>.replays" (thread-safe; GA
+     * Count every evaluate()/evaluateAll() candidate in
+     * "<prefix>.evaluations", every candidate trace replay in
+     * "<prefix>.replays" (batched ones also in
+     * "<prefix>.batch_replays"), and memo outcomes in
+     * "<prefix>.memo_hits" / "<prefix>.memo_misses" (thread-safe; GA
      * workers call evaluate concurrently).
      */
     void attachTelemetry(telemetry::MetricRegistry &registry,
@@ -121,14 +172,31 @@ class FitnessEvaluator
 
   private:
     size_t warmupOf(size_t idx) const;
+    /** Memo key: family byte + trace-set digest + IPV bytes. */
+    std::string memoKey(const Ipv &ipv, IpvFamily family) const;
+    /** Scalar RripIpv replay of trace @p idx (no fast path). */
+    uint64_t scalarRripMisses(size_t idx, const Ipv &ipv) const;
+    /** CPI-model speedups from one per-trace miss row. */
+    std::vector<double>
+    speedupsFromMisses(const std::vector<uint64_t> &misses) const;
 
     CacheConfig llc_;
     std::vector<FitnessTrace> traces_;
     CpiModel model_;
     const fastpath::ReplayEngine *engine_;
     std::vector<uint64_t> lruMisses_;
+    unsigned batchWidth_;
+    size_t memoCapacity_;
+    uint64_t traceDigest_ = 0;
+    /** Memoized per-trace miss rows, keyed by memoKey(). */
+    mutable std::mutex memoMu_;
+    mutable std::unordered_map<std::string, std::vector<uint64_t>>
+        memo_;
     telemetry::Counter *evaluations_ = nullptr;
     telemetry::Counter *replays_ = nullptr;
+    telemetry::Counter *batchReplays_ = nullptr;
+    telemetry::Counter *memoHits_ = nullptr;
+    telemetry::Counter *memoMisses_ = nullptr;
 };
 
 /**

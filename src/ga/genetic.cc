@@ -10,7 +10,6 @@
 #include "ga/random_search.hh"
 #include "util/check.hh"
 #include "util/log.hh"
-#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace gippr
@@ -20,20 +19,26 @@ namespace
 {
 
 /**
- * Evaluate a population in parallel — the same worker-pool scheme the
- * experiment harness uses (util/parallel.hh), with the thread count
- * from GaParams.  Returns the wall-clock seconds spent evaluating.
+ * Evaluate pop[from..] through the batched fitness API (one streaming
+ * pass per trace per genome batch; see FitnessEvaluator::evaluateAll)
+ * with the thread count from GaParams.  Individuals before @p from —
+ * the carried-over elites — keep their fitness untouched.  Returns
+ * the wall-clock seconds spent evaluating.
  */
 double
-evaluateAll(const FitnessEvaluator &fitness, IpvFamily family,
-            std::vector<SampledIpv> &pop, const GaParams &params)
+evaluatePopulation(const FitnessEvaluator &fitness, IpvFamily family,
+                   std::vector<SampledIpv> &pop, size_t from,
+                   const GaParams &params)
 {
     telemetry::ScopedTimer timer(params.timings, "ga_eval");
-    parallelFor(pop.size(), resolveThreads(params.threads),
-                [&](size_t i) {
-                    pop[i].fitness =
-                        fitness.evaluate(pop[i].ipv, family);
-                });
+    std::vector<Ipv> ipvs;
+    ipvs.reserve(pop.size() - from);
+    for (size_t i = from; i < pop.size(); ++i)
+        ipvs.push_back(pop[i].ipv);
+    const std::vector<double> scores =
+        fitness.evaluateAll(ipvs, family, params.threads);
+    for (size_t i = from; i < pop.size(); ++i)
+        pop[i].fitness = scores[i - from];
     double seconds = timer.elapsed();
     timer.stop();
     return seconds;
@@ -104,7 +109,8 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
         pop.push_back({seed_ipv, 0.0});
     while (pop.size() < params.initialPopulation)
         pop.push_back({randomIpv(ways, rng), 0.0});
-    double gen0_seconds = evaluateAll(fitness, family, pop, params);
+    double gen0_seconds =
+        evaluatePopulation(fitness, family, pop, 0, params);
     sortByFitnessDesc(pop);
 
     GaResult result;
@@ -132,7 +138,20 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
                                params.mutationRate, ways, rng);
             next.push_back({std::move(child), 0.0});
         }
-        double gen_seconds = evaluateAll(fitness, family, next, params);
+        // Elites carry their fitness from the previous generation —
+        // the replay is deterministic, so re-evaluating them could
+        // only reproduce the same value.  Children start at the elite
+        // cutoff.
+        double gen_seconds =
+            evaluatePopulation(fitness, family, next, elites, params);
+#if GIPPR_CHECKS_ENABLED
+        // The memoized fitness function must agree exactly with the
+        // value each elite carried in.
+        for (size_t e = 0; e < elites; ++e) {
+            GIPPR_CHECK(fitness.evaluate(next[e].ipv, family) ==
+                        next[e].fitness);
+        }
+#endif
         sortByFitnessDesc(next);
         pop = std::move(next);
         result.history.push_back(pop.front().fitness);
@@ -157,11 +176,12 @@ selectDuelSet(const FitnessEvaluator &fitness, IpvFamily family,
 {
     if (candidates.empty())
         fatal("selectDuelSet: no candidate vectors");
-    // Per-candidate, per-trace speedups.
-    std::vector<std::vector<double>> speedups;
-    speedups.reserve(candidates.size());
-    for (const Ipv &c : candidates)
-        speedups.push_back(fitness.perTraceSpeedups(c, family));
+    // Per-candidate, per-trace speedups in one batched call:
+    // candidates drawn from the final population (or seeded into
+    // generation zero) come straight out of the memo cache instead of
+    // paying a full re-replay each.
+    const std::vector<std::vector<double>> speedups =
+        fitness.perTraceSpeedupsAll(candidates, family);
 
     const size_t traces = fitness.traceCount();
     std::vector<size_t> chosen;

@@ -24,26 +24,41 @@ hillClimb(const FitnessEvaluator &fitness, IpvFamily family,
         std::vector<uint8_t> entries = result.best.entries();
         for (size_t i = 0; i < entries.size() && !improved; ++i) {
             const uint8_t original = entries[i];
+            // Every neighbour of element i, evaluated as one batch
+            // (one streaming pass per trace for the whole row) and
+            // scanned in value order, so the climb still accepts the
+            // first strict improvement.  The row is capped at the
+            // remaining budget; every batched candidate counts as an
+            // evaluation.
+            std::vector<Ipv> row;
+            row.reserve(ways - 1);
             for (unsigned v = 0; v < ways; ++v) {
                 if (v == original)
                     continue;
                 if (max_evaluations &&
-                    result.evaluations >= max_evaluations)
-                    return result;
+                    result.evaluations + row.size() >= max_evaluations)
+                    break;
                 entries[i] = static_cast<uint8_t>(v);
-                Ipv candidate(entries);
-                double f = fitness.evaluate(candidate, family);
-                ++result.evaluations;
-                if (f > result.bestFitness) {
-                    result.best = candidate;
-                    result.bestFitness = f;
+                row.emplace_back(entries);
+            }
+            entries[i] = original;
+            if (row.empty())
+                return result;
+            const std::vector<double> scores =
+                fitness.evaluateAll(row, family, 1);
+            result.evaluations += row.size();
+            for (size_t c = 0; c < row.size(); ++c) {
+                if (scores[c] > result.bestFitness) {
+                    result.best = row[c];
+                    result.bestFitness = scores[c];
                     ++result.steps;
                     improved = true;
                     break;
                 }
             }
-            if (!improved)
-                entries[i] = original;
+            if (!improved && max_evaluations &&
+                result.evaluations >= max_evaluations)
+                return result;
         }
     }
     return result;

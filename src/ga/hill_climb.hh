@@ -6,7 +6,12 @@
  * First-improvement local search: repeatedly scan every (element,
  * value) neighbour of the current vector and move to the first strict
  * improvement, until a full scan finds none or the evaluation budget
- * is exhausted.
+ * is exhausted.  Each element's neighbour row is evaluated as one
+ * batch (FitnessEvaluator::evaluateAll, one streaming pass per trace
+ * for the row) and scanned in value order, so the accepted move is
+ * the same one the per-candidate scan would pick; the row is capped
+ * at the remaining budget and every batched candidate counts against
+ * it.
  */
 
 #ifndef GIPPR_GA_HILL_CLIMB_HH_

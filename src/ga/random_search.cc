@@ -6,8 +6,6 @@
 #include "ga/random_search.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 namespace gippr
 {
@@ -27,29 +25,20 @@ randomSearch(const FitnessEvaluator &fitness, IpvFamily family,
 {
     const unsigned ways = familyArity(family, fitness.llc());
     std::vector<SampledIpv> samples(count);
+    std::vector<Ipv> ipvs;
+    ipvs.reserve(count);
     Rng rng(seed);
-    for (auto &s : samples)
+    for (auto &s : samples) {
         s.ipv = randomIpv(ways, rng);
-
-    std::atomic<size_t> cursor{0};
-    auto worker = [&]() {
-        for (;;) {
-            size_t i = cursor.fetch_add(1);
-            if (i >= samples.size())
-                return;
-            samples[i].fitness = fitness.evaluate(samples[i].ipv, family);
-        }
-    };
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
+        ipvs.push_back(s.ipv);
     }
+
+    // Batched evaluation: each trace streams once per genome batch
+    // instead of once per sample (FitnessEvaluator::evaluateAll).
+    const std::vector<double> scores =
+        fitness.evaluateAll(ipvs, family, threads);
+    for (size_t i = 0; i < samples.size(); ++i)
+        samples[i].fitness = scores[i];
 
     std::sort(samples.begin(), samples.end(),
               [](const SampledIpv &a, const SampledIpv &b) {

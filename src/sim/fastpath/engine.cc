@@ -56,7 +56,201 @@ shardOf(uint64_t set, size_t shards, uint64_t sets)
     return static_cast<size_t>((set * shards) / sets);
 }
 
+/** One decoded trace record (the work shared by every genome). */
+struct DecodedAccess
+{
+    uint64_t tag;
+    uint32_t set;
+    AccessType type;
+};
+
+/**
+ * Records decoded per chunk.  The chunk length sets the batch
+ * kernel's memory traffic: each genome's packed arrays are re-read
+ * from the outer cache levels once per chunk, so traffic scales as
+ * models * model_bytes / chunk while the decoded buffer itself
+ * streams sequentially (prefetch-friendly).  64K accesses (1MB of
+ * DecodedAccess) keeps one genome's model plus the buffer stream
+ * resident while that genome replays the chunk, and shrinks the
+ * all-genomes re-stream cost to noise even for wide populations.
+ */
+constexpr size_t kBatchChunk = 64 * 1024;
+/** Lookahead distance for prefetching a genome's set rows. */
+constexpr size_t kBatchPrefetch = 8;
+/**
+ * Target resident footprint of one (genome, set-range) pass.  The
+ * random set sequence makes every access pull its rows from wherever
+ * the model lives; bucketing each chunk by contiguous set range
+ * shrinks that working slice to roughly this budget, so the rows land
+ * (and stay) in L1 while the slice replays.  ~24KB leaves room for
+ * the decoded buffer stream and the shared tree tables beside it.
+ */
+constexpr size_t kBatchL1Budget = 24 * 1024;
+
+/** Set-range buckets that keep one genome's slice near the budget. */
+size_t
+localityBuckets(uint64_t sets, unsigned assoc)
+{
+    // Per set: assoc tag words + assoc signature/position bytes +
+    // valid/dirty/tree words (upper bound across families).
+    const uint64_t bytes = sets * (assoc * 10ull + 24);
+    const uint64_t buckets = (bytes + kBatchL1Budget - 1) / kBatchL1Budget;
+    return static_cast<size_t>(
+        std::clamp<uint64_t>(buckets, 1, std::min<uint64_t>(sets, 256)));
+}
+
+#if GIPPR_BATCH_KERNEL16
+/**
+ * Chunk loop over the branch-free 16-way kernel.  Compiled with the
+ * bmi2 target so accessBatched16 (and its pext) inlines; only called
+ * when __builtin_cpu_supports("bmi2") at run time.
+ */
+__attribute__((target("bmi2"))) void
+runChunk16(SoaCacheModel &m, const DecodedAccess *a, size_t n,
+           size_t steady)
+{
+    // Outcome counters accumulate in registers; accessBatched16
+    // leaves them to this loop (four memory RMWs saved per access).
+    uint64_t hits = 0, dmiss = 0, evic = 0, wb = 0;
+    for (size_t k = 0; k < steady; ++k) {
+        m.prefetchSet(a[k + kBatchPrefetch].set);
+        const SoaCacheModel::Step s =
+            m.accessBatched16(a[k].set, a[k].tag, a[k].type);
+        hits += s.hit;
+        dmiss += (a[k].type != AccessType::Writeback) & !s.hit;
+        evic += s.evicted;
+        wb += s.evictedDirty;
+    }
+    for (size_t k = steady; k < n; ++k) {
+        const SoaCacheModel::Step s =
+            m.accessBatched16(a[k].set, a[k].tag, a[k].type);
+        hits += s.hit;
+        dmiss += (a[k].type != AccessType::Writeback) & !s.hit;
+        evic += s.evicted;
+        wb += s.evictedDirty;
+    }
+    m.addOutcomeCounters(hits, dmiss, evic, wb);
+}
+#endif
+
+/**
+ * Stream @p trace once and apply it to every model in @p models:
+ * each chunk is decoded a single time and then replayed genome-major,
+ * with the next few set rows prefetched ahead of the access cursor.
+ *
+ * Non-duel models replay each chunk bucket-ordered: a stable counting
+ * sort groups the decoded accesses by contiguous set range, so one
+ * (genome, range) pass works in an L1-resident slice of the model.
+ * Accesses to different sets commute for every non-duel policy (the
+ * engine's set sharding already relies on this), and the sort is
+ * stable per set, so the per-set access sequences — and therefore the
+ * final state and every counter — are bit-identical to trace order.
+ * Dgippr models keep trace order: the shared tournament selector
+ * couples leader updates to follower reads across sets.
+ *
+ * @p shards > 1 filters to @p shard's contiguous slice of the set
+ * space (the engine's usual sharding).  Chunks never straddle
+ * @p warmup, so every model snapshots its counters at exactly the
+ * boundary the per-spec replay() uses.
+ */
+void
+replayBatch(std::vector<SoaCacheModel> &models, const Trace &trace,
+            size_t warmup, size_t shard, size_t shards, uint64_t sets)
+{
+    const SoaCacheModel &geo = models.front();
+    const size_t chunk = std::min<size_t>(kBatchChunk, trace.size());
+    const size_t buckets = localityBuckets(sets, geo.assoc());
+    bool any_ordered = false;
+    for (const SoaCacheModel &m : models)
+        any_ordered |= !m.isDuel();
+    std::vector<DecodedAccess> buf(chunk);
+    std::vector<DecodedAccess> ordered(
+        buckets > 1 && any_ordered ? chunk : 0);
+    std::vector<uint32_t> cursor(buckets + 1);
+
+    bool snapped = warmup == 0;
+    size_t i = 0;
+    while (i < trace.size()) {
+        size_t end = std::min(trace.size(), i + kBatchChunk);
+        if (!snapped) {
+            if (i >= warmup) {
+                for (SoaCacheModel &m : models)
+                    m.markWarmup();
+                snapped = true;
+            } else {
+                end = std::min(end, warmup);
+            }
+        }
+        size_t n = 0;
+        uint64_t demand = 0;
+        for (size_t j = i; j < end; ++j) {
+            const MemRecord &r = trace[j];
+            const uint64_t set = geo.setIndex(r.addr);
+            if (shards > 1 && shardOf(set, shards, sets) != shard)
+                continue;
+            const AccessType type = recordType(r);
+            demand += type != AccessType::Writeback;
+            buf[n++] = {geo.tagOf(r.addr),
+                        static_cast<uint32_t>(set), type};
+        }
+
+        // Stable counting sort of the chunk by set-range bucket.
+        const DecodedAccess *ord = buf.data();
+        if (!ordered.empty() && n > 0) {
+            std::fill(cursor.begin(), cursor.end(), 0);
+            for (size_t k = 0; k < n; ++k)
+                ++cursor[shardOf(buf[k].set, buckets, sets) + 1];
+            for (size_t b = 1; b <= buckets; ++b)
+                cursor[b] += cursor[b - 1];
+            for (size_t k = 0; k < n; ++k)
+                ordered[cursor[shardOf(buf[k].set, buckets, sets)]++] =
+                    buf[k];
+            ord = ordered.data();
+        }
+
+        const size_t steady = n > kBatchPrefetch ? n - kBatchPrefetch
+                                                 : 0;
+#if GIPPR_BATCH_KERNEL16
+        static const bool kernel16 = __builtin_cpu_supports("bmi2");
+#endif
+        for (SoaCacheModel &m : models) {
+            const DecodedAccess *a = m.isDuel() ? buf.data() : ord;
+#if GIPPR_BATCH_KERNEL16
+            if (kernel16 && m.assoc() == 16) {
+                runChunk16(m, a, n, steady);
+                m.addStreamCounters(n, demand);
+                continue;
+            }
+#endif
+            for (size_t k = 0; k < steady; ++k) {
+                m.prefetchSet(a[k + kBatchPrefetch].set);
+                m.accessBatched(a[k].set, a[k].tag, a[k].type);
+            }
+            for (size_t k = steady; k < n; ++k)
+                m.accessBatched(a[k].set, a[k].tag, a[k].type);
+            m.addStreamCounters(n, demand);
+        }
+        i = end;
+    }
+    if (!snapped) {
+        for (SoaCacheModel &m : models)
+            m.markWarmup();
+    }
+}
+
 } // namespace
+
+std::vector<ReplayStats>
+ReplayEngine::replayMany(std::span<const ReplaySpec> specs,
+                         const CacheConfig &config, const Trace &trace,
+                         size_t warmup) const
+{
+    std::vector<ReplayStats> out;
+    out.reserve(specs.size());
+    for (const ReplaySpec &spec : specs)
+        out.push_back(replay(spec, config, trace, warmup));
+    return out;
+}
 
 ReplayStats
 ScalarReplayEngine::replay(const ReplaySpec &spec,
@@ -241,6 +435,67 @@ FastReplayEngine::replay(const ReplaySpec &spec,
     for (const ReplayStats &s : shard_stats) {
         out.measured += s.measured;
         out.total += s.total;
+    }
+    return out;
+}
+
+std::vector<ReplayStats>
+FastReplayEngine::replayMany(std::span<const ReplaySpec> specs,
+                             const CacheConfig &config,
+                             const Trace &trace, size_t warmup) const
+{
+    GIPPR_CHECK(warmup <= trace.size());
+    std::vector<ReplayStats> out(specs.size());
+    const uint64_t sets = config.sets();
+    const size_t shards = std::min<uint64_t>(shards_, sets);
+
+    // Batch everything the packed model covers.  Unsupported specs
+    // fall back to the scalar reference and multi-shard Dgippr keeps
+    // replay()'s two-pass timeline scheme, both per spec, so any mix
+    // of specs yields the same results as per-spec replay().
+    std::vector<size_t> batch;
+    batch.reserve(specs.size());
+    for (size_t s = 0; s < specs.size(); ++s) {
+        const bool duel = specs[s].kind == FastPolicyKind::Dgippr;
+        if (supports(specs[s], config) && !(duel && shards > 1))
+            batch.push_back(s);
+        else
+            out[s] = replay(specs[s], config, trace, warmup);
+    }
+    if (batch.empty())
+        return out;
+
+    if (shards == 1) {
+        std::vector<SoaCacheModel> models;
+        models.reserve(batch.size());
+        for (size_t s : batch)
+            models.emplace_back(specs[s], config);
+        replayBatch(models, trace, warmup, 0, 1, sets);
+        for (size_t m = 0; m < batch.size(); ++m)
+            out[batch[m]] = models[m].stats();
+        return out;
+    }
+
+    // Sharded batch: a shard × genome grid over disjoint set ranges,
+    // merged per genome with the usual deterministic counter sums.
+    std::vector<std::vector<ReplayStats>> grid(shards);
+    parallelFor(
+        shards, static_cast<unsigned>(shards), [&](size_t shard) {
+            std::vector<SoaCacheModel> models;
+            models.reserve(batch.size());
+            for (size_t s : batch)
+                models.emplace_back(specs[s], config);
+            replayBatch(models, trace, warmup, shard, shards, sets);
+            grid[shard].resize(batch.size());
+            for (size_t m = 0; m < batch.size(); ++m)
+                grid[shard][m] = models[m].stats();
+        });
+    for (size_t m = 0; m < batch.size(); ++m) {
+        ReplayStats &merged = out[batch[m]];
+        for (size_t shard = 0; shard < shards; ++shard) {
+            merged.measured += grid[shard][m].measured;
+            merged.total += grid[shard][m].total;
+        }
     }
     return out;
 }

@@ -32,7 +32,9 @@
 #define GIPPR_SIM_FASTPATH_ENGINE_HH_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "sim/fastpath/replay_spec.hh"
 #include "trace/trace.hh"
@@ -55,6 +57,18 @@ class ReplayEngine
                                const CacheConfig &config,
                                const Trace &trace,
                                size_t warmup) const = 0;
+
+    /**
+     * Replay @p trace once per spec in @p specs and return stats
+     * index-aligned with the input.  Semantically identical to
+     * calling replay() per spec (and that is the default
+     * implementation); backends may amortize the shared per-record
+     * work — trace fetch, set/tag decode — across the batch.
+     */
+    virtual std::vector<ReplayStats>
+    replayMany(std::span<const ReplaySpec> specs,
+               const CacheConfig &config, const Trace &trace,
+               size_t warmup) const;
 
     /** Backend name ("scalar" or "fast"). */
     virtual std::string name() const = 0;
@@ -80,6 +94,25 @@ class FastReplayEngine : public ReplayEngine
     ReplayStats replay(const ReplaySpec &spec, const CacheConfig &config,
                        const Trace &trace,
                        size_t warmup) const override;
+
+    /**
+     * Batched kernel: all supported specs stream the trace ONCE in
+     * genome-major order — each chunk of records is decoded a single
+     * time (set index, tag, access type) and then applied to every
+     * spec's packed model back to back, so the models' tag/signature
+     * rows and PLRU words stay hot while the shared decode work is
+     * paid once per generation instead of once per genome.  Composes
+     * with set-space sharding (a shard × genome grid over disjoint
+     * set ranges).  Unsupported specs fall back to scalar and
+     * multi-shard Dgippr keeps replay()'s two-pass timeline scheme,
+     * each per spec; results are bit-identical to per-spec replay()
+     * for any batch composition and shard count.
+     */
+    std::vector<ReplayStats>
+    replayMany(std::span<const ReplaySpec> specs,
+               const CacheConfig &config, const Trace &trace,
+               size_t warmup) const override;
+
     std::string name() const override { return "fast"; }
 
     unsigned shards() const { return shards_; }

@@ -5,6 +5,8 @@
 
 #include "sim/fastpath/soa_cache.hh"
 
+#include <algorithm>
+#include <mutex>
 #include <sstream>
 
 #include "util/bitops.hh"
@@ -36,6 +38,50 @@ effectiveIpvs(const ReplaySpec &spec, unsigned ways)
 }
 
 } // namespace
+
+std::shared_ptr<const TreeTables>
+TreeTables::forAssoc(unsigned assoc)
+{
+    GIPPR_CHECK(isPow2(assoc) && assoc >= 2 && assoc <= 64);
+    // One slot per depth, kept for the life of the process: the
+    // tables depend only on the associativity, and batched replay
+    // constructs models by the hundred per generation.
+    static std::mutex mu;
+    static std::shared_ptr<const TreeTables> cache[7];
+    const unsigned depth =
+        static_cast<unsigned>(countTrailingZeros(assoc));
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache[depth])
+        return cache[depth];
+    auto t = std::make_shared<TreeTables>();
+    t->depth = depth;
+    t->pathNodes.assign(assoc * depth, 0);
+    t->parityXor.assign(assoc, 0);
+    t->clearMask.assign(assoc, 0);
+    t->deposit.assign(assoc * assoc, 0);
+    for (unsigned way = 0; way < assoc; ++way) {
+        unsigned q = assoc - 1 + way;
+        for (unsigned i = 0; i < depth; ++i) {
+            const unsigned par = (q - 1) / 2;
+            t->pathNodes[way * depth + i] = static_cast<uint8_t>(par);
+            t->clearMask[way] |= uint64_t{1} << par;
+            if (q % 2 == 1) // left child: complemented bit
+                t->parityXor[way] |= 1u << i;
+            q = par;
+        }
+        for (unsigned x = 0; x < assoc; ++x)
+            t->deposit[way * assoc + x] =
+                packedSetPosition(0, assoc, way, x) & t->clearMask[way];
+    }
+    if (assoc <= 16) {
+        t->victimLut.assign(uint64_t{1} << (assoc - 1), 0);
+        for (uint64_t w = 0; w < t->victimLut.size(); ++w)
+            t->victimLut[w] =
+                static_cast<uint8_t>(packedFindPlru(w, assoc));
+    }
+    cache[depth] = t;
+    return t;
+}
 
 bool
 SoaCacheModel::supports(const ReplaySpec &spec, const CacheConfig &config)
@@ -131,40 +177,23 @@ SoaCacheModel::SoaCacheModel(const ReplaySpec &spec,
                 pos_[s * assoc_ + w] = static_cast<uint8_t>(w);
     } else {
         tree_.assign(sets_, 0);
-        // Per-way path tables: every tree update/read in the access
-        // path reduces to mask-and-deposit through these (see the
-        // header comment at the members).
-        depth_ = static_cast<unsigned>(countTrailingZeros(assoc_));
-        pathNodes_.assign(assoc_ * depth_, 0);
-        parityXor_.assign(assoc_, 0);
-        clearMask_.assign(assoc_, 0);
-        deposit_.assign(assoc_ * assoc_, 0);
-        for (unsigned way = 0; way < assoc_; ++way) {
-            unsigned q = assoc_ - 1 + way;
-            for (unsigned i = 0; i < depth_; ++i) {
-                const unsigned par = (q - 1) / 2;
-                pathNodes_[way * depth_ + i] =
-                    static_cast<uint8_t>(par);
-                clearMask_[way] |= uint64_t{1} << par;
-                if (q % 2 == 1) // left child: complemented bit
-                    parityXor_[way] |= 1u << i;
-                q = par;
-            }
-            for (unsigned x = 0; x < assoc_; ++x)
-                deposit_[way * assoc_ + x] =
-                    packedSetPosition(0, assoc_, way, x) &
-                    clearMask_[way];
-        }
-        if (assoc_ <= 16) {
-            victimLut_.assign(uint64_t{1} << (assoc_ - 1), 0);
-            for (uint64_t w = 0; w < victimLut_.size(); ++w)
-                victimLut_[w] =
-                    static_cast<uint8_t>(packedFindPlru(w, assoc_));
-        }
+        // Per-way path tables, shared process-wide per geometry:
+        // every tree update/read in the access path reduces to
+        // mask-and-deposit through these (see TreeTables).
+        tables_ = TreeTables::forAssoc(assoc_);
+        depth_ = tables_->depth;
+        pathNodes_ = tables_->pathNodes.data();
+        parityXor_ = tables_->parityXor.data();
+        clearMask_ = tables_->clearMask.data();
+        deposit_ = tables_->deposit.data();
+        victimLut_ = tables_->victimLut.empty()
+                         ? nullptr
+                         : tables_->victimLut.data();
         if (family_ == Family::TreeIpv) {
             const size_t vecs = promo_.size();
             promoDeposit_.assign(vecs * assoc_ * assoc_, 0);
             insertDeposit_.assign(vecs * assoc_, 0);
+            fusedPromo_.assign((vecs * assoc_) << depth_, 0);
             for (size_t v = 0; v < vecs; ++v) {
                 for (unsigned way = 0; way < assoc_; ++way) {
                     for (unsigned i = 0; i < assoc_; ++i)
@@ -173,6 +202,26 @@ SoaCacheModel::SoaCacheModel(const ReplaySpec &spec,
                             deposit_[way * assoc_ + promo_[v][i]];
                     insertDeposit_[v * assoc_ + way] =
                         deposit_[way * assoc_ + insert_[v]];
+                    // Fused batched-hit LUT: enumerate the way's path
+                    // bits in ascending node order (pext extraction
+                    // order), recover the stack position each pattern
+                    // encodes, and store the deposit it promotes to.
+                    std::vector<uint8_t> nodes(
+                        &pathNodes_[way * depth_],
+                        &pathNodes_[way * depth_] + depth_);
+                    std::sort(nodes.begin(), nodes.end());
+                    for (unsigned pat = 0; pat < (1u << depth_);
+                         ++pat) {
+                        uint64_t word = 0;
+                        for (unsigned b = 0; b < depth_; ++b)
+                            word |= uint64_t{(pat >> b) & 1u}
+                                    << nodes[b];
+                        const unsigned pos =
+                            packedPosition(word, assoc_, way);
+                        fusedPromo_[((v * assoc_ + way) << depth_) +
+                                    pat] =
+                            deposit_[way * assoc_ + promo_[v][pos]];
+                    }
                 }
             }
         }

@@ -24,11 +24,24 @@
 #define GIPPR_SIM_FASTPATH_SOA_CACHE_HH_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
+#endif
+
+/**
+ * The branch-free 16-way batch kernel uses BMI2 pext through a
+ * per-function target attribute, so the library builds with baseline
+ * flags and the replay engine selects the kernel at run time
+ * (__builtin_cpu_supports).  Only compiled where the attribute and
+ * the intrinsics exist.
+ */
+#if defined(__GNUC__) && defined(__x86_64__) && defined(__SSE2__)
+#define GIPPR_BATCH_KERNEL16 1
+#include <immintrin.h>
 #endif
 
 #include "cache/replacement.hh"
@@ -101,6 +114,38 @@ packedPromoteMru(uint64_t word, unsigned ways, unsigned way)
 }
 
 /**
+ * Per-way tree tables for one pow2 associativity.
+ *
+ * Everything here depends only on the geometry, never on the policy
+ * vectors or the cache contents, so the tables are built once per
+ * process and shared read-only between models (forAssoc memoizes one
+ * instance per associativity).  That matters for batched replay,
+ * which constructs one model per genome per trace: the 16-way victim
+ * LUT alone tabulates 2^15 tree states, and rebuilding it G times per
+ * generation would swamp the replay itself.
+ *
+ * A leaf's path through the tree is fixed, so setPosition(word, way,
+ * x) == (word & ~clearMask[way]) | deposit[way * assoc + x], and
+ * position() is a gather of the path bits (pathNodes) xor the
+ * left-child parity (parityXor).  This turns the per-access log(ways)
+ * loops into a handful of independent instructions.
+ */
+struct TreeTables
+{
+    unsigned depth = 0;               ///< log2(assoc)
+    std::vector<uint8_t> pathNodes;   ///< assoc * depth node indices
+    std::vector<uint8_t> parityXor;   ///< assoc left-child parities
+    std::vector<uint64_t> clearMask;  ///< assoc path-bit masks
+    std::vector<uint64_t> deposit;    ///< assoc * assoc position bits
+    /** Tree word -> PLRU victim, tabulated when the word fits 15
+     *  bits (assoc <= 16); wider trees keep the root walk. */
+    std::vector<uint8_t> victimLut;
+
+    /** Shared tables for @p assoc (pow2, 2..64), built on first use. */
+    static std::shared_ptr<const TreeTables> forAssoc(unsigned assoc);
+};
+
+/**
  * Packed replica of SetAssocCache + one of the seven core policies.
  *
  * The model covers every set of the geometry but is oblivious to
@@ -142,6 +187,60 @@ class SoaCacheModel
     /** Perform one access (defined inline: the replay hot path). */
     Step access(uint64_t set, uint64_t tag, AccessType type);
 
+    /**
+     * Batched hot path: the same transition as access() — the
+     * equivalence tests enforce bit-identical results — but
+     * specialized for the batch kernel's loop.  The stream-determined
+     * counters (accesses, demandAccesses) are left to the caller,
+     * which accumulates them once per chunk via addStreamCounters().
+     * access() itself is kept on the straightforward reference path:
+     * per-genome replay is the oracle the batched kernel is validated
+     * against.
+     */
+    Step accessBatched(uint64_t set, uint64_t tag, AccessType type)
+    {
+        return accessImpl<true>(set, tag, type);
+    }
+
+#if GIPPR_BATCH_KERNEL16
+    /**
+     * Branch-free variant of accessBatched() for 16-way geometries on
+     * BMI2 hardware (engine-internal; dispatched per chunk).  The
+     * hit/miss outcome is genome-private and effectively random, so
+     * the generic path eats a mispredict on most accesses; here the
+     * outcome is turned into data flow instead: the victim is
+     * computed unconditionally, the fill stores always run (on a hit
+     * they rewrite the values already present), and the replacement
+     * update selects between promotion, insertion, and identity
+     * deposits.  Tree-IPV promotions read the fused path-bit LUT
+     * (fusedPromo_) via pext in place of the reference position
+     * gather.  Bit-identical to access() by the same argument as the
+     * generic batched path; tests/test_batched_equiv.cc enforces it.
+     */
+    __attribute__((target("bmi2"))) Step
+    accessBatched16(uint64_t set, uint64_t tag, AccessType type);
+#endif
+
+    /** Credit @p accesses records (@p demand of them demand) to the
+     *  counters; pairs with accessBatched(). */
+    void addStreamCounters(uint64_t accesses, uint64_t demand)
+    {
+        counters_.accesses += accesses;
+        counters_.demandAccesses += demand;
+    }
+
+    /** Credit outcome counters accumulated in the chunk loop's
+     *  registers; pairs with accessBatched16(), which leaves them to
+     *  the caller. */
+    void addOutcomeCounters(uint64_t hits, uint64_t demand_misses,
+                            uint64_t evictions, uint64_t writebacks)
+    {
+        counters_.hits += hits;
+        counters_.demandMisses += demand_misses;
+        counters_.evictions += evictions;
+        counters_.writebacks += writebacks;
+    }
+
     /** Access by byte address (set/tag split per the geometry). */
     Step accessAddr(uint64_t byte_addr, AccessType type);
 
@@ -163,6 +262,12 @@ class SoaCacheModel
         const uint64_t base = set * assoc_;
         __builtin_prefetch(&sig_[base]);
         __builtin_prefetch(&valid_[set]);
+        // The tag row is the access path's only other dependent load
+        // (signature candidates verify against it); a 16-way row
+        // spans two lines.
+        __builtin_prefetch(&tags_[base]);
+        if (assoc_ > 8)
+            __builtin_prefetch(&tags_[base + 8]);
         if (family_ == Family::Recency)
             __builtin_prefetch(&pos_[base]);
         else
@@ -174,6 +279,10 @@ class SoaCacheModel
 
     /** Current follower winner (Dgippr). */
     unsigned winner() const { return winner_; }
+
+    /** True for Dgippr models (global duel state couples the sets,
+     *  so replay order across sets is load-bearing). */
+    bool isDuel() const { return duel_; }
 
     /** Leading vector of @p set, or LeaderSets::kFollower. */
     int leaderOwner(uint64_t set) const;
@@ -211,7 +320,12 @@ class SoaCacheModel
     };
 
     unsigned ipvIndexFor(uint64_t set) const;
+    template <bool Batched>
+    Step accessImpl(uint64_t set, uint64_t tag, AccessType type);
     void moveTo(uint8_t *pos, unsigned way, unsigned to);
+#if GIPPR_BATCH_KERNEL16
+    void moveTo16(uint8_t *pos, unsigned way, unsigned to);
+#endif
     unsigned recencyVictim(const uint8_t *pos) const;
     int findWay(uint64_t base, uint64_t tag, uint64_t valid) const;
     unsigned treePositionOf(uint64_t word, unsigned way) const;
@@ -242,22 +356,18 @@ class SoaCacheModel
     std::vector<uint8_t> pos_;    // sets * assoc (recency family)
 
     /**
-     * Per-way tree tables (pow2-way families), built once from the
-     * packed kernels: a leaf's path through the tree is fixed, so
-     * setPosition(word, way, x) == (word & ~clearMask_[way]) |
-     * deposit_[way * assoc + x], and position() is a gather of the
-     * path bits (pathNodes_) xor the left-child parity
-     * (parityXor_).  This turns the per-access log(ways) loops into
-     * a handful of independent instructions.
+     * Shared per-way tree tables (pow2-way families); see TreeTables.
+     * The raw pointers alias tables_'s arrays so the access path pays
+     * no shared_ptr indirection — victimLut_ is null when the word is
+     * too wide to tabulate (assoc > 16).
      */
+    std::shared_ptr<const TreeTables> tables_;
     unsigned depth_ = 0;
-    std::vector<uint8_t> pathNodes_;  // assoc * depth
-    std::vector<uint8_t> parityXor_;  // assoc
-    std::vector<uint64_t> clearMask_; // assoc
-    std::vector<uint64_t> deposit_;   // assoc * assoc
-    /** Tree word -> PLRU victim, tabulated when the word fits 15
-     *  bits (assoc <= 16); wider trees keep the root walk. */
-    std::vector<uint8_t> victimLut_;
+    const uint8_t *pathNodes_ = nullptr;  // assoc * depth
+    const uint8_t *parityXor_ = nullptr;  // assoc
+    const uint64_t *clearMask_ = nullptr; // assoc
+    const uint64_t *deposit_ = nullptr;   // assoc * assoc
+    const uint8_t *victimLut_ = nullptr;  // 2^(assoc-1) entries
     /** Fused promotion / insertion deposits for the TreeIpv family:
      *  promoDeposit_[(v * assoc + way) * assoc + i] =
      *  deposit_[way * assoc + promo_[v][i]], and insertDeposit_[v *
@@ -265,6 +375,17 @@ class SoaCacheModel
      *  hit / fill path instead of two dependent ones. */
     std::vector<uint64_t> promoDeposit_;
     std::vector<uint64_t> insertDeposit_;
+    /**
+     * Fully fused hit-promotion deposits for the batched path: a
+     * way's stack position depends only on its own path bits, so
+     * extracting them (pext against clearMask_) yields a dense
+     * 2^depth index and fusedPromo_[((v * assoc + way) << depth) +
+     * pathBits] is the promotion deposit in ONE L1-resident load —
+     * vecs * assoc * 2^depth words (2KB for one 16-way vector) —
+     * replacing the reference path's serial position gather plus
+     * promoDeposit_ load.
+     */
+    std::vector<uint64_t> fusedPromo_;
 
     // Set dueling (Dgippr only).
     LeaderSets leaders_;
@@ -342,6 +463,33 @@ SoaCacheModel::moveTo(uint8_t *pos, unsigned way, unsigned to)
     }
     pos[way] = static_cast<uint8_t>(to);
 }
+
+#if GIPPR_BATCH_KERNEL16
+inline void
+SoaCacheModel::moveTo16(uint8_t *pos, unsigned way, unsigned to)
+{
+    // Branch-free moveTo for 16 ways: the increment region [to, from)
+    // and the decrement region (from, to] cannot both be non-empty,
+    // so applying both masks unconditionally is the exact shift for
+    // either direction (and a no-op when to == from).
+    const unsigned from = pos[way];
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(pos));
+    const __m128i inc = _mm_and_si128(
+        _mm_cmpgt_epi8(v, _mm_set1_epi8(static_cast<char>(
+                              static_cast<int>(to) - 1))),
+        _mm_cmplt_epi8(v,
+                       _mm_set1_epi8(static_cast<char>(from))));
+    const __m128i dec = _mm_and_si128(
+        _mm_cmpgt_epi8(v, _mm_set1_epi8(static_cast<char>(from))),
+        _mm_cmplt_epi8(v, _mm_set1_epi8(static_cast<char>(
+                              static_cast<int>(to) + 1))));
+    // Subtracting a -1 mask adds one; adding it subtracts one.
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(pos),
+                     _mm_add_epi8(_mm_sub_epi8(v, inc), dec));
+    pos[way] = static_cast<uint8_t>(to);
+}
+#endif
 
 inline unsigned
 SoaCacheModel::recencyVictim(const uint8_t *pos) const
@@ -430,16 +578,19 @@ SoaCacheModel::treePositionOf(uint64_t word, unsigned way) const
     return static_cast<unsigned>(x) ^ parityXor_[way];
 }
 
+template <bool Batched>
 inline SoaCacheModel::Step
-SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
+SoaCacheModel::accessImpl(uint64_t set, uint64_t tag, AccessType type)
 {
     GIPPR_DCHECK(set < sets_);
     const bool demand = type != AccessType::Writeback;
     const uint64_t base = set * assoc_;
     const uint64_t valid = valid_[set];
 
-    ++counters_.accesses;
-    counters_.demandAccesses += demand;
+    if constexpr (!Batched) {
+        ++counters_.accesses;
+        counters_.demandAccesses += demand;
+    }
 
     Step step;
     const int hit_way = findWay(base, tag, valid);
@@ -496,7 +647,7 @@ SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
     } else {
         way = family_ == Family::Recency
                   ? recencyVictim(&pos_[base])
-                  : (!victimLut_.empty()
+                  : (victimLut_ != nullptr
                          ? victimLut_[tree_[set]]
                          : packedFindPlru(tree_[set], assoc_));
         ++counters_.evictions;
@@ -522,8 +673,18 @@ SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
         // then move to V[k] (identical to LruPolicy's direct
         // moveTo(way, 0) when the vector is all-zero).
         uint8_t *pos = &pos_[base];
-        moveTo(pos, way, assoc_ - 1);
-        moveTo(pos, way, insert_[0]);
+        if constexpr (Batched) {
+            // Removing the way from its position and reinserting it
+            // at V[k] is one moveTo: composing the two shifts leaves
+            // every other way's position unchanged outside
+            // [min(from,k), max(from,k)], and on evictions the
+            // normalize step is a no-op outright (the victim already
+            // sits at the LRU position).
+            moveTo(pos, way, insert_[0]);
+        } else {
+            moveTo(pos, way, assoc_ - 1);
+            moveTo(pos, way, insert_[0]);
+        }
         break;
       }
       case Family::Plru:
@@ -538,6 +699,140 @@ SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
       }
     }
     return step;
+}
+
+#if GIPPR_BATCH_KERNEL16
+__attribute__((target("bmi2"))) inline SoaCacheModel::Step
+SoaCacheModel::accessBatched16(uint64_t set, uint64_t tag,
+                               AccessType type)
+{
+    GIPPR_DCHECK(set < sets_ && assoc_ == 16);
+    const bool demand = type != AccessType::Writeback;
+    const bool is_store = type != AccessType::Load;
+    const uint64_t base = set * 16;
+    const uint64_t valid = valid_[set];
+
+    // Signature scan without the candidate loop: resolve the first
+    // candidate with flag arithmetic (tzcnt of an empty mask is
+    // steered to a sentinel lane); genuine signature collisions are
+    // rare enough that their verify loop stays a cold branch.
+    const __m128i row = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(&sig_[base]));
+    const unsigned cand =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+            row, _mm_set1_epi8(static_cast<char>(tag))))) &
+        static_cast<unsigned>(valid);
+    unsigned hw =
+        static_cast<unsigned>(countTrailingZeros(cand | 0x10000u)) &
+        15u;
+    bool hit = cand != 0 && tags_[base + hw] == tag;
+    if (const unsigned rest = cand & (cand - 1);
+        __builtin_expect(rest != 0 && !hit, 0)) {
+        for (unsigned c = rest; c != 0; c &= c - 1) {
+            const unsigned w =
+                static_cast<unsigned>(countTrailingZeros(c));
+            if (tags_[base + w] == tag) {
+                hw = w;
+                hit = true;
+                break;
+            }
+        }
+    }
+
+    // Victim computed unconditionally (hits simply ignore it): the
+    // row it reads is already resident for the update below.  Only
+    // cold-set fills during warmup take the free-way branch.
+    unsigned fill = family_ == Family::Recency
+                        ? recencyVictim(&pos_[base])
+                        : victimLut_[tree_[set]];
+    const uint64_t free = ~valid & wayMask_;
+    const bool full = free == 0;
+    if (__builtin_expect(!full, 0))
+        fill = static_cast<unsigned>(countTrailingZeros(free));
+    const unsigned way = hit ? hw : fill;
+
+    const uint64_t dirty = dirty_[set];
+    const bool evict = !hit & full;
+    const bool evicted_dirty = evict & ((dirty >> fill) & 1);
+    const uint64_t evicted_tag = tags_[base + fill];
+
+    // Outcome counters (hits, demandMisses, evictions, writebacks)
+    // are accumulated in registers by the chunk loop from the
+    // returned Step and credited via addOutcomeCounters(): four
+    // read-modify-writes per access are pure overhead in a loop that
+    // already returns the outcome.
+
+    // Never taken for non-duel models (duel_ is fixed per model).
+    if (duel_ && demand && !hit) {
+        const int owner = owners_[set];
+        if (owner != LeaderSets::kFollower) {
+            GIPPR_DCHECK(mode_ == DuelMode::Live);
+            ++leaderMisses_[static_cast<unsigned>(owner)];
+            selector_.recordMiss(static_cast<unsigned>(owner));
+            winner_ = selector_.winner();
+        }
+    }
+
+    // Fill stores run unconditionally: on a hit they rewrite the
+    // values already present (tags_[base + way] == tag, the valid bit
+    // is set), so the stored state is unchanged.
+    const uint64_t bit = uint64_t{1} << way;
+    tags_[base + way] = tag;
+    sig_[base + way] = static_cast<uint8_t>(tag);
+    valid_[set] = valid | bit;
+    const uint64_t set_bit = is_store ? bit : 0;
+    const uint64_t clear_bit = (!hit & !is_store) ? bit : 0;
+    dirty_[set] = (dirty & ~clear_bit) | set_bit;
+
+    // Replacement update as selects: promotion deposit on demand
+    // hits, identity on writeback hits, insertion deposit on misses.
+    switch (family_) {
+      case Family::Recency: {
+        uint8_t *pos = &pos_[base];
+        const unsigned from = pos[way];
+        const unsigned to =
+            hit ? (demand ? promo_[0][from] : from) : insert_[0];
+        moveTo16(pos, way, to);
+        break;
+      }
+      case Family::Plru: {
+        const uint64_t t = tree_[set];
+        const uint64_t cm = clearMask_[way];
+        // Plru promotion and insertion are the same deposit
+        // (promote-to-MRU), so only writeback hits need identity.
+        const uint64_t dep =
+            hit && !demand ? (t & cm) : deposit_[way * 16];
+        tree_[set] = (t & ~cm) | dep;
+        break;
+      }
+      case Family::TreeIpv: {
+        const unsigned v = ipvIndexFor(set);
+        const uint64_t t = tree_[set];
+        const uint64_t cm = clearMask_[way];
+        const uint64_t promo_dep =
+            fusedPromo_[((v * 16 + way) << 4) + _pext_u64(t, cm)];
+        const uint64_t ins_dep = insertDeposit_[v * 16 + way];
+        const uint64_t dep =
+            hit ? (demand ? promo_dep : (t & cm)) : ins_dep;
+        tree_[set] = (t & ~cm) | dep;
+        break;
+      }
+    }
+
+    Step step;
+    step.hit = hit;
+    step.way = way;
+    step.evicted = evict;
+    step.evictedDirty = evicted_dirty;
+    step.evictedTag = evict ? evicted_tag : 0;
+    return step;
+}
+#endif
+
+inline SoaCacheModel::Step
+SoaCacheModel::access(uint64_t set, uint64_t tag, AccessType type)
+{
+    return accessImpl<false>(set, tag, type);
 }
 
 inline SoaCacheModel::Step
