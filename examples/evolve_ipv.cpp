@@ -14,19 +14,33 @@
  *     --threads N            fitness evaluation threads (default 8)
  *     --seed N               GA seed (default 42)
  *     --json PATH            write a gippr-run-report JSON artifact
+ *     --checkpoint PATH      save a resumable checkpoint each boundary
+ *     --checkpoint-every N   generations between checkpoints (default 1)
+ *     --resume               continue from --checkpoint if it exists
+ *     --deterministic        pin timestamp, zero timings in the JSON
+ *                            artifact (for byte-identity comparisons)
  *
  * Prints the convergence curve, the best vector, and (for N > 1) the
  * complementary duel set chosen from the final population.
+ *
+ * Crash safety: with --checkpoint, SIGINT/SIGTERM request a graceful
+ * stop at the next generation boundary; the run checkpoints, writes a
+ * partial JSON artifact with "interrupted": true, and exits 75
+ * (resumable).  Re-running with --resume continues and the final
+ * artifact is byte-identical (under --deterministic) to an
+ * uninterrupted run's.  I/O failures exit 1 with an error message.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "core/vectors.hh"
 #include "ga/genetic.hh"
 #include "policies/lru.hh"
+#include "robust/shutdown.hh"
 #include "sim/system.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/report.hh"
@@ -57,10 +71,17 @@ argString(int argc, char **argv, const char *flag,
     return fallback;
 }
 
-} // namespace
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     const std::string family_name =
         argString(argc, argv, "--family", "gippr");
@@ -76,6 +97,12 @@ main(int argc, char **argv)
     params.seed = argValue(argc, argv, "--seed", 42);
     const size_t n_vectors = argValue(argc, argv, "--vectors", 4);
     const std::string json_path = argString(argc, argv, "--json", "");
+    params.checkpoint.path = argString(argc, argv, "--checkpoint", "");
+    params.checkpoint.every = static_cast<unsigned>(
+        argValue(argc, argv, "--checkpoint-every", 1));
+    params.checkpoint.resume = hasFlag(argc, argv, "--resume");
+    const bool deterministic =
+        hasFlag(argc, argv, "--deterministic");
 
     telemetry::PhaseTimings timings;
     telemetry::MetricRegistry registry;
@@ -118,6 +145,10 @@ main(int argc, char **argv)
                              &timings);
     fitness.attachTelemetry(registry, "fitness");
 
+    // SIGINT/SIGTERM now request a graceful stop at the next
+    // generation boundary instead of killing the process.
+    robust::ShutdownGuard shutdown_guard;
+
     std::printf("evolving %s vectors: pop %zu, %u generations, "
                 "%u threads, seed %lu\n",
                 family_name.c_str(), params.population,
@@ -133,7 +164,7 @@ main(int argc, char **argv)
                 result.best.toString().c_str(), result.bestFitness);
 
     std::vector<Ipv> duel;
-    if (n_vectors > 1) {
+    if (n_vectors > 1 && !result.interrupted) {
         std::vector<Ipv> pool;
         size_t take =
             std::min<size_t>(result.finalPopulation.size(), 24);
@@ -156,6 +187,9 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         telemetry::RunReport report("ga", "evolve_ipv");
+        // Checkpoint path and resume provenance are deliberately NOT
+        // recorded: a resumed run's artifact must be byte-identical
+        // to an uninterrupted run's.
         report.setConfig("family", telemetry::JsonValue(family_name));
         report.setConfig("population",
                          telemetry::JsonValue(
@@ -192,6 +226,9 @@ main(int argc, char **argv)
                 telemetry::JsonValue(
                     static_cast<uint64_t>(sys.hier.llc.blockBytes)));
         report.setConfig("llc", std::move(llc));
+        if (result.interrupted)
+            report.setConfig("interrupted",
+                             telemetry::JsonValue(true));
         report.setConfig("best_vector",
                          telemetry::JsonValue(result.best.toString()));
         telemetry::JsonValue duel_json = telemetry::JsonValue::array();
@@ -207,14 +244,42 @@ main(int argc, char **argv)
             double secs = g < result.generationSeconds.size()
                               ? result.generationSeconds[g]
                               : 0.0;
-            convergence.rows.push_back({"gen " + std::to_string(g),
-                                        {result.history[g], secs}});
+            convergence.rows.push_back(
+                {"gen " + std::to_string(g),
+                 {result.history[g], deterministic ? 0.0 : secs}});
         }
         report.addTable(std::move(convergence));
-        report.setPhases(timings);
-        report.setMetrics(registry);
+        if (deterministic) {
+            // Wall-clock phases, metrics and the timestamp vary run
+            // to run; pin or drop them so resumed and uninterrupted
+            // runs can be compared byte for byte.
+            report.setTimestamp("1970-01-01T00:00:00Z");
+        } else {
+            report.setPhases(timings);
+            report.setMetrics(registry);
+        }
         report.writeFile(json_path);
         std::printf("wrote JSON artifact: %s\n", json_path.c_str());
     }
+
+    if (result.interrupted) {
+        std::printf("\nrun interrupted; resume with --checkpoint %s "
+                    "--resume\n",
+                    params.checkpoint.path.c_str());
+        return 75; // EX_TEMPFAIL: partial results, resumable
+    }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

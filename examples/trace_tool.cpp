@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <sstream>
 #include <string>
 
@@ -25,8 +26,11 @@
 
 using namespace gippr;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string source = argc > 1 ? argv[1] : "loop_thrash";
     std::string save_path;
@@ -115,4 +119,17 @@ main(int argc, char **argv)
                 "that distance cannot hit under any LRU-like "
                 "policy)\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

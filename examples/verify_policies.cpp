@@ -27,6 +27,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -243,10 +244,8 @@ buildStreams(const CacheConfig &cfg, uint64_t accesses, uint64_t seed)
     return streams;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
     telemetry::RunReport report("verify", "verify_policies");
@@ -336,4 +335,17 @@ main(int argc, char **argv)
     std::printf(all_ok ? "\nverification PASSED\n"
                        : "\nverification FAILED\n");
     return all_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -6,7 +6,9 @@
 #include "ga/genetic.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "ga/ga_checkpoint.hh"
 #include "ga/random_search.hh"
 #include "util/check.hh"
 #include "util/log.hh"
@@ -93,6 +95,38 @@ mutate(Ipv v, double rate, unsigned ways, Rng &rng)
     return Ipv(std::move(entries));
 }
 
+/**
+ * Digest of every parameter that shapes an evolveIpv run's results.
+ * threads is deliberately excluded (the batched evaluation is
+ * value-identical across thread counts); batch width and memo
+ * capacity are included conservatively so a resumed run replays the
+ * exact evaluation schedule of the interrupted one.
+ */
+uint64_t
+evolveConfigDigest(const GaParams &params, IpvFamily family,
+                   const FitnessEvaluator &fitness)
+{
+    uint64_t d = kDigestBasis;
+    d = digestMix(d, 0x65766f6cULL); // "evol" tag
+    d = digestMix(d, static_cast<uint64_t>(family));
+    d = digestMix(d, params.seed);
+    d = digestMix(d, params.initialPopulation);
+    d = digestMix(d, params.population);
+    d = digestMix(d, params.generations);
+    uint64_t rate_bits;
+    static_assert(sizeof(rate_bits) == sizeof(params.mutationRate));
+    std::memcpy(&rate_bits, &params.mutationRate, sizeof(rate_bits));
+    d = digestMix(d, rate_bits);
+    d = digestMix(d, params.elites);
+    d = digestMix(d, params.tournament);
+    for (const Ipv &seed_ipv : params.seedIpvs)
+        for (uint8_t e : seed_ipv.entries())
+            d = digestMix(d, e);
+    d = digestMix(d, fitness.batchWidth());
+    d = digestMix(d, fitness.memoCapacity());
+    return d;
+}
+
 } // namespace
 
 GaResult
@@ -102,28 +136,85 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
     const unsigned ways = familyArity(family, fitness.llc());
     Rng rng(params.seed);
 
-    // Generation zero: random individuals plus any provided seeds.
-    std::vector<SampledIpv> pop;
-    pop.reserve(params.initialPopulation + params.seedIpvs.size());
-    for (const Ipv &seed_ipv : params.seedIpvs)
-        pop.push_back({seed_ipv, 0.0});
-    while (pop.size() < params.initialPopulation)
-        pop.push_back({randomIpv(ways, rng), 0.0});
-    double gen0_seconds =
-        evaluatePopulation(fitness, family, pop, 0, params);
-    sortByFitnessDesc(pop);
+    const robust::CheckpointOptions &ckpt = params.checkpoint;
+    const uint64_t config_digest =
+        ckpt.enabled() ? evolveConfigDigest(params, family, fitness)
+                       : 0;
 
     GaResult result;
-    result.history.push_back(pop.front().fitness);
-    result.generationSeconds.push_back(gen0_seconds);
-    if (params.progress) {
-        params.progress->onProgress({"evolve", 0,
-                                     params.generations + 1,
-                                     pop.front().fitness,
-                                     gen0_seconds});
+    std::vector<SampledIpv> pop;
+    unsigned done = 0; // generations completed after generation zero
+
+    // A checkpoint captures the full generation-boundary state, so
+    // restoring it and continuing is bit-identical to never having
+    // stopped: the RNG stream, the sorted population (with carried
+    // fitness) and the convergence history all pick up exactly where
+    // the interrupted run left them.
+    const auto save = [&](unsigned completed) {
+        GaCheckpoint ck;
+        ck.configDigest = config_digest;
+        ck.suiteDigest = fitness.traceSetDigest();
+        ck.rngState = rng.state();
+        ck.generation = completed;
+        ck.population = pop;
+        ck.history = result.history;
+        ck.generationSeconds = result.generationSeconds;
+        saveGaCheckpoint(ckpt.path, ck);
+    };
+
+    bool resumed = false;
+    if (ckpt.enabled() && ckpt.resume &&
+        robust::checkpointExists(ckpt.path)) {
+        GaCheckpoint ck = loadGaCheckpoint(ckpt.path, config_digest,
+                                           fitness.traceSetDigest());
+        rng.setState(ck.rngState);
+        pop = std::move(ck.population);
+        result.history = std::move(ck.history);
+        result.generationSeconds = std::move(ck.generationSeconds);
+        done = static_cast<unsigned>(ck.generation);
+        result.resumedGenerations = done;
+        resumed = true;
+        inform("resumed GA run from " + ckpt.path + " at generation " +
+               std::to_string(done) + "/" +
+               std::to_string(params.generations));
     }
 
-    for (unsigned g = 0; g < params.generations; ++g) {
+    if (!resumed) {
+        // Generation zero: random individuals plus provided seeds.
+        pop.reserve(params.initialPopulation + params.seedIpvs.size());
+        for (const Ipv &seed_ipv : params.seedIpvs)
+            pop.push_back({seed_ipv, 0.0});
+        while (pop.size() < params.initialPopulation)
+            pop.push_back({randomIpv(ways, rng), 0.0});
+        double gen0_seconds =
+            evaluatePopulation(fitness, family, pop, 0, params);
+        sortByFitnessDesc(pop);
+
+        result.history.push_back(pop.front().fitness);
+        result.generationSeconds.push_back(gen0_seconds);
+        if (params.progress) {
+            params.progress->onProgress({"evolve", 0,
+                                         params.generations + 1,
+                                         pop.front().fitness,
+                                         gen0_seconds});
+        }
+        if (ckpt.enabled())
+            save(0);
+    }
+
+    for (unsigned g = done; g < params.generations; ++g) {
+        if (ckpt.stopRequested()) {
+            if (ckpt.enabled())
+                save(g);
+            result.interrupted = true;
+            inform("GA run interrupted at generation " +
+                   std::to_string(g) + "/" +
+                   std::to_string(params.generations) +
+                   (ckpt.enabled() ? "; checkpoint saved to " +
+                                         ckpt.path
+                                   : ""));
+            break;
+        }
         std::vector<SampledIpv> next;
         next.reserve(params.population);
         const size_t elites = std::min(params.elites, pop.size());
@@ -161,6 +252,10 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
                                          params.generations + 1,
                                          pop.front().fitness,
                                          gen_seconds});
+        }
+        if (ckpt.enabled() && ((g + 1) % std::max(1u, ckpt.every) == 0 ||
+                               g + 1 == params.generations)) {
+            save(g + 1);
         }
     }
 

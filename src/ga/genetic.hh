@@ -19,6 +19,7 @@
 #include "core/ipv.hh"
 #include "ga/fitness.hh"
 #include "ga/random_search.hh"
+#include "robust/checkpoint.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/timer.hh"
 
@@ -54,6 +55,17 @@ struct GaParams
      */
     telemetry::ProgressSink *progress = nullptr;
     telemetry::PhaseTimings *timings = nullptr;
+    /**
+     * Crash safety: when checkpoint.path is set, the run saves a
+     * versioned, checksummed checkpoint every checkpoint.every
+     * generations (and at the final one); with checkpoint.resume an
+     * existing checkpoint is loaded and the run continues from it,
+     * producing results bit-identical to an uninterrupted run.  The
+     * run also polls for graceful shutdown (robust/shutdown.hh) at
+     * each generation boundary and, when requested, checkpoints and
+     * returns early with GaResult::interrupted set.
+     */
+    robust::CheckpointOptions checkpoint;
 };
 
 /** Outcome of a GA run. */
@@ -67,6 +79,15 @@ struct GaResult
     std::vector<double> generationSeconds;
     /** The final population, best first (for dueling-set selection). */
     std::vector<SampledIpv> finalPopulation;
+    /**
+     * True when the run stopped early at a generation boundary
+     * because shutdown was requested; best/history cover the
+     * completed generations and the checkpoint on disk resumes the
+     * rest.
+     */
+    bool interrupted = false;
+    /** Generations skipped by resuming from a checkpoint. */
+    unsigned resumedGenerations = 0;
 };
 
 /** Evolve an IPV for @p family against @p fitness. */

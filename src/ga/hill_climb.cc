@@ -5,21 +5,94 @@
 
 #include "ga/hill_climb.hh"
 
+#include "ga/ga_checkpoint.hh"
+#include "util/log.hh"
+
 namespace gippr
 {
 
+namespace
+{
+
+/** Digest of every parameter that shapes a hillClimb run. */
+uint64_t
+hillConfigDigest(IpvFamily family, const Ipv &start,
+                 size_t max_evaluations,
+                 const FitnessEvaluator &fitness)
+{
+    uint64_t d = kDigestBasis;
+    d = digestMix(d, 0x68636c62ULL); // "hclb" tag
+    d = digestMix(d, static_cast<uint64_t>(family));
+    for (uint8_t e : start.entries())
+        d = digestMix(d, e);
+    d = digestMix(d, max_evaluations);
+    d = digestMix(d, fitness.batchWidth());
+    d = digestMix(d, fitness.memoCapacity());
+    return d;
+}
+
+} // namespace
+
 HillClimbResult
 hillClimb(const FitnessEvaluator &fitness, IpvFamily family,
-          const Ipv &start, size_t max_evaluations)
+          const Ipv &start, size_t max_evaluations,
+          const robust::CheckpointOptions &ckpt)
 {
     const unsigned ways = familyArity(family, fitness.llc());
     HillClimbResult result;
-    result.best = start;
-    result.bestFitness = fitness.evaluate(start, family);
-    ++result.evaluations;
+
+    const uint64_t config_digest =
+        ckpt.enabled()
+            ? hillConfigDigest(family, start, max_evaluations, fitness)
+            : 0;
+    const uint64_t suite_digest =
+        ckpt.enabled() ? fitness.traceSetDigest() : 0;
+    // The checkpoint captures the full scan-boundary state; the scan
+    // order from a given best vector is deterministic, so a resumed
+    // run replays exactly the scans the interrupted one had left.
+    const auto save = [&]() {
+        HillClimbCheckpoint ck;
+        ck.configDigest = config_digest;
+        ck.suiteDigest = suite_digest;
+        ck.best = result.best.entries();
+        ck.bestFitness = result.bestFitness;
+        ck.evaluations = result.evaluations;
+        ck.steps = result.steps;
+        saveHillClimbCheckpoint(ckpt.path, ck);
+    };
+
+    bool resumed = false;
+    if (ckpt.enabled() && ckpt.resume &&
+        robust::checkpointExists(ckpt.path)) {
+        HillClimbCheckpoint ck = loadHillClimbCheckpoint(
+            ckpt.path, config_digest, suite_digest);
+        result.best = Ipv(std::move(ck.best));
+        result.bestFitness = ck.bestFitness;
+        result.evaluations = ck.evaluations;
+        result.steps = ck.steps;
+        resumed = true;
+        inform("resumed hill climb from " + ckpt.path + " at " +
+               std::to_string(result.steps) + " accepted moves");
+    }
+    if (!resumed) {
+        result.best = start;
+        result.bestFitness = fitness.evaluate(start, family);
+        ++result.evaluations;
+        if (ckpt.enabled())
+            save();
+    }
 
     bool improved = true;
     while (improved) {
+        if (ckpt.stopRequested()) {
+            save();
+            result.interrupted = true;
+            inform("hill climb interrupted after " +
+                   std::to_string(result.steps) +
+                   " accepted moves; checkpoint saved to " +
+                   ckpt.path);
+            return result;
+        }
         improved = false;
         std::vector<uint8_t> entries = result.best.entries();
         for (size_t i = 0; i < entries.size() && !improved; ++i) {
@@ -60,6 +133,8 @@ hillClimb(const FitnessEvaluator &fitness, IpvFamily family,
                 result.evaluations >= max_evaluations)
                 return result;
         }
+        if (improved && ckpt.enabled())
+            save();
     }
     return result;
 }

@@ -19,6 +19,7 @@
 
 #include "core/ipv.hh"
 #include "ga/fitness.hh"
+#include "robust/checkpoint.hh"
 
 namespace gippr
 {
@@ -32,16 +33,27 @@ struct HillClimbResult
     size_t evaluations = 0;
     /** Accepted improving moves. */
     size_t steps = 0;
+    /**
+     * True when the climb stopped at a scan boundary because shutdown
+     * was requested; the checkpoint on disk resumes the rest.
+     */
+    bool interrupted = false;
 };
 
 /**
  * Refine @p start by local search.
  *
+ * With @p ckpt enabled the climb checkpoints at each scan boundary
+ * (after every accepted move); a resumed run re-runs the remaining
+ * scans from the restored state, which is bit-identical to never
+ * having stopped because the scan order is deterministic.
+ *
  * @param max_evaluations  evaluation budget (0 = unlimited)
  */
 HillClimbResult hillClimb(const FitnessEvaluator &fitness,
                           IpvFamily family, const Ipv &start,
-                          size_t max_evaluations = 0);
+                          size_t max_evaluations = 0,
+                          const robust::CheckpointOptions &ckpt = {});
 
 } // namespace gippr
 

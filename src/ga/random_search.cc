@@ -6,9 +6,33 @@
 #include "ga/random_search.hh"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "ga/ga_checkpoint.hh"
+#include "util/log.hh"
 
 namespace gippr
 {
+
+namespace
+{
+
+/** Digest of every parameter that shapes a randomSearch run. */
+uint64_t
+randomConfigDigest(IpvFamily family, size_t count, uint64_t seed,
+                   const FitnessEvaluator &fitness)
+{
+    uint64_t d = kDigestBasis;
+    d = digestMix(d, 0x726e6473ULL); // "rnds" tag
+    d = digestMix(d, static_cast<uint64_t>(family));
+    d = digestMix(d, count);
+    d = digestMix(d, seed);
+    d = digestMix(d, fitness.batchWidth());
+    d = digestMix(d, fitness.memoCapacity());
+    return d;
+}
+
+} // namespace
 
 Ipv
 randomIpv(unsigned ways, Rng &rng)
@@ -21,7 +45,8 @@ randomIpv(unsigned ways, Rng &rng)
 
 std::vector<SampledIpv>
 randomSearch(const FitnessEvaluator &fitness, IpvFamily family,
-             size_t count, uint64_t seed, unsigned threads)
+             size_t count, uint64_t seed, unsigned threads,
+             const robust::CheckpointOptions &ckpt)
 {
     const unsigned ways = familyArity(family, fitness.llc());
     std::vector<SampledIpv> samples(count);
@@ -35,8 +60,66 @@ randomSearch(const FitnessEvaluator &fitness, IpvFamily family,
 
     // Batched evaluation: each trace streams once per genome batch
     // instead of once per sample (FitnessEvaluator::evaluateAll).
-    const std::vector<double> scores =
-        fitness.evaluateAll(ipvs, family, threads);
+    std::vector<double> scores(count, 0.0);
+    if (!ckpt.enabled()) {
+        scores = fitness.evaluateAll(ipvs, family, threads);
+    } else {
+        // Chunked evaluation with a checkpoint after each chunk.  A
+        // sample's score is independent of its batch, so the chunked
+        // scores equal the single-call ones and a resumed run (same
+        // seed, same draw) is bit-identical to an uninterrupted one.
+        const uint64_t config_digest =
+            randomConfigDigest(family, count, seed, fitness);
+        const uint64_t suite_digest = fitness.traceSetDigest();
+        size_t done = 0;
+        if (ckpt.resume && robust::checkpointExists(ckpt.path)) {
+            RandomSearchCheckpoint ck = loadRandomSearchCheckpoint(
+                ckpt.path, config_digest, suite_digest);
+            if (ck.scores.size() != count)
+                fatal("random-search checkpoint " + ckpt.path +
+                      " stores " + std::to_string(ck.scores.size()) +
+                      " scores but the run samples " +
+                      std::to_string(count));
+            scores = std::move(ck.scores);
+            done = ck.done;
+            inform("resumed random search from " + ckpt.path +
+                   " at sample " + std::to_string(done) + "/" +
+                   std::to_string(count));
+        }
+        const auto save = [&](size_t completed) {
+            RandomSearchCheckpoint ck;
+            ck.configDigest = config_digest;
+            ck.suiteDigest = suite_digest;
+            ck.done = completed;
+            ck.scores = scores;
+            saveRandomSearchCheckpoint(ckpt.path, ck);
+        };
+        const size_t chunk = std::max<size_t>(fitness.batchWidth(), 64);
+        if (done == 0)
+            save(0);
+        while (done < count) {
+            if (ckpt.stopRequested()) {
+                save(done);
+                throw robust::Interrupted(
+                    "random search interrupted after " +
+                    std::to_string(done) + "/" +
+                    std::to_string(count) +
+                    " samples; checkpoint saved to " + ckpt.path);
+            }
+            const size_t n = std::min(chunk, count - done);
+            const auto first =
+                ipvs.begin() + static_cast<std::ptrdiff_t>(done);
+            const std::vector<Ipv> batch(
+                first, first + static_cast<std::ptrdiff_t>(n));
+            const std::vector<double> got =
+                fitness.evaluateAll(batch, family, threads);
+            std::copy(got.begin(), got.end(),
+                      scores.begin() +
+                          static_cast<std::ptrdiff_t>(done));
+            done += n;
+            save(done);
+        }
+    }
     for (size_t i = 0; i < samples.size(); ++i)
         samples[i].fitness = scores[i];
 

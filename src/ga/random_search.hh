@@ -14,6 +14,7 @@
 
 #include "core/ipv.hh"
 #include "ga/fitness.hh"
+#include "robust/checkpoint.hh"
 #include "util/rng.hh"
 
 namespace gippr
@@ -33,11 +34,19 @@ Ipv randomIpv(unsigned ways, Rng &rng);
  * Sample @p count random IPVs, evaluate each, and return them sorted
  * by ascending fitness (Figure 1's x-axis ordering).
  *
+ * With @p ckpt enabled the evaluation proceeds in chunks, saving a
+ * checkpoint after each; a resumed run re-draws the same samples
+ * (the draw is a pure function of the seed) and skips the evaluated
+ * prefix, so the returned vector is bit-identical to an
+ * uninterrupted run's.  When shutdown is requested the driver saves
+ * and throws robust::Interrupted.
+ *
  * @param threads  worker threads for fitness evaluation (>= 1)
  */
-std::vector<SampledIpv> randomSearch(const FitnessEvaluator &fitness,
-                                     IpvFamily family, size_t count,
-                                     uint64_t seed, unsigned threads = 1);
+std::vector<SampledIpv>
+randomSearch(const FitnessEvaluator &fitness, IpvFamily family,
+             size_t count, uint64_t seed, unsigned threads = 1,
+             const robust::CheckpointOptions &ckpt = {});
 
 } // namespace gippr
 

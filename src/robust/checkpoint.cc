@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Checkpoint envelope implementation.
+ */
+
+#include "robust/checkpoint.hh"
+
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "robust/atomic_io.hh"
+#include "robust/shutdown.hh"
+#include "util/log.hh"
+
+namespace gippr::robust
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'G', 'P', 'C', 'K'};
+constexpr uint32_t kEnvelopeVersion = 1;
+
+} // namespace
+
+bool
+CheckpointOptions::stopRequested() const
+{
+    if (stopHook)
+        return stopHook();
+    return watchShutdown && ShutdownGuard::requested();
+}
+
+void
+ByteWriter::u8(uint8_t v)
+{
+    buf_.push_back(static_cast<char>(v));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+}
+
+void
+ByteWriter::bytes(const std::vector<uint8_t> &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    buf_.append(reinterpret_cast<const char *>(v.data()), v.size());
+}
+
+ByteReader::ByteReader(std::string_view buf, std::string context)
+    : buf_(buf), context_(std::move(context))
+{
+}
+
+void
+ByteReader::need(size_t n) const
+{
+    if (buf_.size() - pos_ < n)
+        fatal("checkpoint payload truncated: " + context_);
+}
+
+uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return static_cast<uint8_t>(buf_[pos_++]);
+}
+
+uint32_t
+ByteReader::u32()
+{
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(buf_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(buf_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const uint32_t n = u32();
+    need(n);
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+}
+
+std::vector<uint8_t>
+ByteReader::bytes()
+{
+    const uint32_t n = u32();
+    need(n);
+    std::vector<uint8_t> v(n);
+    std::memcpy(v.data(), buf_.data() + pos_, n);
+    pos_ += n;
+    return v;
+}
+
+std::string
+ByteReader::raw(size_t n)
+{
+    need(n);
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+}
+
+void
+ByteReader::expectEnd() const
+{
+    if (!atEnd())
+        fatal("checkpoint payload has trailing bytes: " + context_);
+}
+
+bool
+checkpointExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+void
+writeCheckpointFile(const std::string &path, const std::string &kind,
+                    uint32_t version, std::string_view payload)
+{
+    ByteWriter env;
+    env.u32(kEnvelopeVersion);
+    env.u32(version);
+    env.str(kind);
+    env.u64(payload.size());
+    env.u32(crc32(payload.data(), payload.size()));
+    std::string file(kMagic, sizeof(kMagic));
+    file += env.data();
+    file.append(payload.data(), payload.size());
+    writeFileAtomic(path, file);
+}
+
+std::string
+readCheckpointFile(const std::string &path, const std::string &kind,
+                   uint32_t version)
+{
+    const std::string file = readFileBytes(path);
+    if (file.size() < sizeof(kMagic) ||
+        std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+        fatal("not a GPCK checkpoint file: " + path);
+    }
+    ByteReader env(
+        std::string_view(file).substr(sizeof(kMagic)), path);
+    const uint32_t envelope_version = env.u32();
+    if (envelope_version != kEnvelopeVersion)
+        fatal("unsupported checkpoint envelope version " +
+              std::to_string(envelope_version) + ": " + path);
+    const uint32_t payload_version = env.u32();
+    const std::string file_kind = env.str();
+    if (file_kind != kind)
+        fatal("checkpoint kind mismatch: " + path + " holds a \"" +
+              file_kind + "\" checkpoint, expected \"" + kind + "\"");
+    if (payload_version != version)
+        fatal("unsupported " + kind + " checkpoint version " +
+              std::to_string(payload_version) + " (this build reads " +
+              std::to_string(version) + "): " + path);
+    const uint64_t payload_size = env.u64();
+    const uint32_t expect_crc = env.u32();
+    const std::string payload = env.raw(payload_size);
+    env.expectEnd();
+    if (crc32(payload.data(), payload.size()) != expect_crc)
+        fatal("checkpoint checksum mismatch (corrupt file): " + path);
+    return payload;
+}
+
+} // namespace gippr::robust

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Versioned, checksummed checkpoint files.
+ *
+ * A checkpoint is a binary envelope around an opaque payload:
+ *
+ *   magic   "GPCK"                       4 bytes
+ *   u32     envelope version (1)
+ *   u32     payload format version       producer-defined
+ *   u32     kind length, then kind bytes ("ga-evolve", ...)
+ *   u64     payload length
+ *   u32     CRC-32 of the payload
+ *   payload
+ *
+ * Envelopes are written atomically (robust/atomic_io.hh), so a crash
+ * mid-checkpoint leaves the previous checkpoint intact; loads verify
+ * magic, versions, kind and checksum and reject anything off with a
+ * clear std::runtime_error — a corrupt checkpoint must never crash a
+ * resume or silently restart the run from scratch.
+ *
+ * ByteWriter/ByteReader are the fixed-width little-endian payload
+ * (de)serializers the GA checkpoints build on; doubles travel as
+ * IEEE-754 bit patterns so restored fitness values are bit-identical.
+ */
+
+#ifndef GIPPR_ROBUST_CHECKPOINT_HH_
+#define GIPPR_ROBUST_CHECKPOINT_HH_
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gippr::robust
+{
+
+/**
+ * Thrown when a driver stops at a clean boundary because shutdown
+ * was requested; the checkpoint is already on disk when this leaves
+ * the driver.
+ */
+class Interrupted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Crash-safety knobs shared by all search drivers. */
+struct CheckpointOptions
+{
+    /** Checkpoint file; empty disables checkpointing entirely. */
+    std::string path;
+    /** Generations (or chunks) between periodic checkpoints. */
+    unsigned every = 1;
+    /** Load @p path and continue from it when it exists. */
+    bool resume = false;
+    /** Honour ShutdownGuard::requested() at boundaries. */
+    bool watchShutdown = true;
+    /**
+     * Test hook: when set, polled instead of ShutdownGuard (lets
+     * tests interrupt deterministically at the Nth boundary).
+     */
+    std::function<bool()> stopHook;
+
+    /** True when checkpointing is on. */
+    bool enabled() const { return !path.empty(); }
+    /** Should the driver stop at this boundary? */
+    bool stopRequested() const;
+};
+
+/** Little-endian payload builder. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    /** IEEE-754 bit pattern, exact round trip. */
+    void f64(double v);
+    /** u32 length + raw bytes. */
+    void str(std::string_view s);
+    void bytes(const std::vector<uint8_t> &v);
+
+    const std::string &data() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked little-endian payload reader. */
+class ByteReader
+{
+  public:
+    /** @param context  file path, for error messages */
+    ByteReader(std::string_view buf, std::string context);
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<uint8_t> bytes();
+    /** @p n raw bytes (no length prefix). */
+    std::string raw(size_t n);
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+    /** fatal() unless the whole payload was consumed. */
+    void expectEnd() const;
+
+  private:
+    void need(size_t n) const;
+
+    std::string_view buf_;
+    size_t pos_ = 0;
+    std::string context_;
+};
+
+/** True when @p path exists (resume probe). */
+bool checkpointExists(const std::string &path);
+
+/**
+ * Atomically write @p payload to @p path under the checkpoint
+ * envelope.  fatal() on I/O failure (no torn file remains).
+ */
+void writeCheckpointFile(const std::string &path,
+                         const std::string &kind, uint32_t version,
+                         std::string_view payload);
+
+/**
+ * Read and validate the envelope at @p path; returns the payload.
+ * fatal() with a specific message on: unreadable file, bad magic,
+ * unsupported envelope or payload version, kind mismatch, truncated
+ * payload, or checksum mismatch.
+ */
+std::string readCheckpointFile(const std::string &path,
+                               const std::string &kind,
+                               uint32_t version);
+
+} // namespace gippr::robust
+
+#endif // GIPPR_ROBUST_CHECKPOINT_HH_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shutdown-guard implementation.
+ */
+
+#include "robust/shutdown.hh"
+
+#include <csignal>
+
+#include <unistd.h>
+
+#include "util/check.hh"
+
+namespace gippr::robust
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_requested = 0;
+bool g_installed = false;
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+extern "C" void
+shutdownHandler(int signo)
+{
+    if (g_requested) {
+        // Second signal: the operator means it.  Bypass atexit and
+        // buffered stdio — both unsafe here — and exit with the
+        // conventional killed-by-signal status.
+        _exit(128 + signo);
+    }
+    g_requested = 1;
+    // write(2) is async-signal-safe; stdio is not.
+    const char msg[] =
+        "\nshutdown requested; finishing the current generation and "
+        "checkpointing (signal again to abort)\n";
+    (void)!::write(2, msg, sizeof(msg) - 1);
+}
+
+} // namespace
+
+ShutdownGuard::ShutdownGuard()
+{
+    GIPPR_CHECK(!g_installed);
+    struct sigaction sa{};
+    sa.sa_handler = shutdownHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // interrupt blocking syscalls, don't SA_RESTART
+    sigaction(SIGINT, &sa, &g_prev_int);
+    sigaction(SIGTERM, &sa, &g_prev_term);
+    g_installed = true;
+    installed_ = true;
+}
+
+ShutdownGuard::~ShutdownGuard()
+{
+    if (!installed_)
+        return;
+    sigaction(SIGINT, &g_prev_int, nullptr);
+    sigaction(SIGTERM, &g_prev_term, nullptr);
+    g_installed = false;
+}
+
+bool
+ShutdownGuard::requested()
+{
+    return g_requested != 0;
+}
+
+void
+ShutdownGuard::requestShutdown()
+{
+    g_requested = 1;
+}
+
+void
+ShutdownGuard::clear()
+{
+    g_requested = 0;
+}
+
+} // namespace gippr::robust

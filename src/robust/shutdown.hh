@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Graceful-shutdown signalling for long-running drivers.
+ *
+ * A GA run is minutes-to-hours of work; SIGINT/SIGTERM must not
+ * vaporize it.  ShutdownGuard installs signal handlers that do the
+ * only async-signal-safe thing — set a flag — and the drivers poll
+ * requested() at their generation boundaries: on the first signal
+ * they write a checkpoint, flush a partial RunReport marked
+ * "interrupted": true, and exit cleanly; a second signal aborts
+ * immediately with the conventional 128+signo status (the escape
+ * hatch when the current generation itself hangs).
+ */
+
+#ifndef GIPPR_ROBUST_SHUTDOWN_HH_
+#define GIPPR_ROBUST_SHUTDOWN_HH_
+
+namespace gippr::robust
+{
+
+/** RAII installer for the SIGINT/SIGTERM graceful-shutdown flag. */
+class ShutdownGuard
+{
+  public:
+    /** Install handlers (at most one live guard per process). */
+    ShutdownGuard();
+    /** Restore the previous handlers. */
+    ~ShutdownGuard();
+
+    ShutdownGuard(const ShutdownGuard &) = delete;
+    ShutdownGuard &operator=(const ShutdownGuard &) = delete;
+
+    /** True once a shutdown signal (or requestShutdown) arrived. */
+    static bool requested();
+
+    /** Arm the flag as if a signal arrived (tests, embedders). */
+    static void requestShutdown();
+
+    /** Clear the flag (tests only). */
+    static void clear();
+
+  private:
+    bool installed_ = false;
+};
+
+} // namespace gippr::robust
+
+#endif // GIPPR_ROBUST_SHUTDOWN_HH_

@@ -7,9 +7,8 @@
 
 #include <cstdio>
 #include <ctime>
-#include <fstream>
 
-#include "util/log.hh"
+#include "robust/atomic_io.hh"
 
 namespace gippr::telemetry
 {
@@ -109,13 +108,11 @@ RunReport::toJson() const
 void
 RunReport::writeFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open run report for writing: " + path);
-    toJson().write(out, 2);
-    out << "\n";
-    if (!out)
-        fatal("failed writing run report: " + path);
+    // Atomic replacement (temp + fsync + rename): a crash or full
+    // disk mid-write can never leave a torn RunReport where an
+    // artifact consumer expects valid JSON.  I/O failures surface as
+    // fatal() (std::runtime_error), never silently.
+    robust::writeFileAtomic(path, toJson().dump(2) + "\n");
 }
 
 } // namespace gippr::telemetry

@@ -95,7 +95,11 @@ class RunReport
     /** Assemble the document. */
     JsonValue toJson() const;
 
-    /** Serialize to @p path (pretty-printed); fatal() on I/O error. */
+    /**
+     * Serialize to @p path (pretty-printed) via atomic replacement
+     * (temp + fsync + rename, robust/atomic_io.hh): readers never
+     * observe a torn report.  fatal() on I/O error.
+     */
     void writeFile(const std::string &path) const;
 
     const std::string &kind() const { return kind_; }

@@ -5,10 +5,14 @@
 
 #include "trace/trace_io.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
+#include "robust/atomic_io.hh"
+#include "robust/fault_inject.hh"
 #include "util/log.hh"
 
 namespace gippr
@@ -18,7 +22,10 @@ namespace
 {
 
 constexpr char kMagic[4] = {'G', 'P', 'T', 'R'};
-constexpr uint32_t kVersion = 1;
+/** Current write version: v2 appends a CRC-32 footer. */
+constexpr uint32_t kVersion = 2;
+/** Still readable: the pre-checksum format. */
+constexpr uint32_t kVersionNoCrc = 1;
 
 struct FileCloser
 {
@@ -32,22 +39,69 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-template <typename T>
-void
-writeScalar(std::FILE *f, T v)
+/** Errno values worth retrying a failed open for. */
+bool
+transientOpenError(int err)
 {
-    if (std::fwrite(&v, sizeof(T), 1, f) != 1)
-        fatal("trace write failed");
+    return err == EINTR || err == EAGAIN || err == EMFILE ||
+           err == ENFILE || err == EIO;
+}
+
+/** Base backoff delay (ms); GIPPR_IO_RETRY_BASE_MS overrides. */
+unsigned
+retryBaseMs()
+{
+    const char *env = std::getenv("GIPPR_IO_RETRY_BASE_MS");
+    if (!env || !*env)
+        return 10;
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+/**
+ * fopen with bounded, jittered retry on transient failures (fault-
+ * injector aware, so tests can script the Nth open failing).
+ * Permanent errors (ENOENT, EACCES, ...) return immediately.
+ */
+FilePtr
+openWithRetry(const std::string &path, const char *mode)
+{
+    std::FILE *f = nullptr;
+    robust::RetryPolicy policy;
+    policy.attempts = 3;
+    policy.baseDelayMs = retryBaseMs();
+    robust::retryWithBackoff(policy, [&]() {
+        if (robust::FaultInjector::instance().check(
+                robust::FaultOp::Open) != robust::FaultKind::None) {
+            errno = EIO;
+            return false; // injected failures count as transient
+        }
+        f = std::fopen(path.c_str(), mode);
+        return f != nullptr || !transientOpenError(errno);
+    });
+    return FilePtr(f);
 }
 
 template <typename T>
+void
+appendScalar(std::string &buf, T v)
+{
+    buf.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+/**
+ * fread @p count bytes into @p out, folding them into @p crc.  The
+ * running checksum lets the reader verify the v2 footer without
+ * buffering the whole file.
+ */
+template <typename T>
 T
-readScalar(std::FILE *f, const std::string &path,
+readScalar(std::FILE *f, uint32_t &crc, const std::string &path,
            const std::string &what)
 {
     T v;
     if (std::fread(&v, sizeof(T), 1, f) != 1)
         fatal("trace file truncated reading " + what + ": " + path);
+    crc = robust::crc32(&v, sizeof(T), crc);
     return v;
 }
 
@@ -78,46 +132,55 @@ fileSize(std::FILE *f, const std::string &path)
 void
 writeTrace(const Trace &trace, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot open trace file for writing: " + path);
-    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
-        fatal("trace write failed");
-    writeScalar<uint32_t>(f.get(), kVersion);
-    writeScalar<uint64_t>(f.get(), trace.size());
+    // Serialize into memory, checksum, then atomically replace the
+    // destination: a crash or ENOSPC mid-write leaves either the old
+    // file or the complete new one, never a torn trace.
+    std::string buf;
+    buf.reserve(kHeaderBytes + trace.size() * kRecordBytes + 4);
+    buf.append(kMagic, 4);
+    appendScalar<uint32_t>(buf, kVersion);
+    appendScalar<uint64_t>(buf, trace.size());
     for (const auto &r : trace.records()) {
-        writeScalar<uint32_t>(f.get(), r.instGap);
-        writeScalar<uint64_t>(f.get(), r.addr);
-        writeScalar<uint64_t>(f.get(), r.pc);
-        writeScalar<uint8_t>(f.get(), r.isWrite ? 1 : 0);
+        appendScalar<uint32_t>(buf, r.instGap);
+        appendScalar<uint64_t>(buf, r.addr);
+        appendScalar<uint64_t>(buf, r.pc);
+        appendScalar<uint8_t>(buf, r.isWrite ? 1 : 0);
     }
+    appendScalar<uint32_t>(
+        buf, robust::crc32(buf.data(), buf.size()));
+    robust::writeFileAtomic(path, buf);
 }
 
 Trace
 readTrace(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
+    FilePtr f = openWithRetry(path, "rb");
     if (!f)
         fatal("cannot open trace file for reading: " + path);
+    uint32_t crc = 0;
     char magic[4];
     if (std::fread(magic, 1, 4, f.get()) != 4 ||
         std::memcmp(magic, kMagic, 4) != 0) {
         fatal("not a GPTR trace file: " + path);
     }
-    uint32_t version = readScalar<uint32_t>(f.get(), path, "version");
-    if (version != kVersion)
+    crc = robust::crc32(magic, 4, crc);
+    uint32_t version =
+        readScalar<uint32_t>(f.get(), crc, path, "version");
+    if (version != kVersion && version != kVersionNoCrc)
         fatal("unsupported trace version in " + path);
     uint64_t count =
-        readScalar<uint64_t>(f.get(), path, "record count");
+        readScalar<uint64_t>(f.get(), crc, path, "record count");
+    const uint64_t footer = version == kVersion ? 4 : 0;
 
     // Validate the promised record count against the actual file size
     // before reserving or reading anything: a corrupt header must not
     // drive a multi-gigabyte allocation or a silently partial trace.
-    if (count > (UINT64_MAX - kHeaderBytes) / kRecordBytes)
+    if (count >
+        (UINT64_MAX - kHeaderBytes - footer) / kRecordBytes)
         fatal("trace file header corrupt: record count " +
               std::to_string(count) + " overflows the file size: " +
               path);
-    uint64_t expected = kHeaderBytes + count * kRecordBytes;
+    uint64_t expected = kHeaderBytes + count * kRecordBytes + footer;
     uint64_t actual = fileSize(f.get(), path);
     if (actual < expected)
         fatal("trace file truncated: header promises " +
@@ -133,18 +196,24 @@ readTrace(const std::string &path)
     trace.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
         MemRecord r;
-        uint8_t is_write = 0;
         // Size was validated above, so a short read here is an I/O
-        // error, not routine truncation; keep the check branch-only.
-        if (std::fread(&r.instGap, sizeof(r.instGap), 1, f.get()) != 1 ||
-            std::fread(&r.addr, sizeof(r.addr), 1, f.get()) != 1 ||
-            std::fread(&r.pc, sizeof(r.pc), 1, f.get()) != 1 ||
-            std::fread(&is_write, sizeof(is_write), 1, f.get()) != 1) {
-            fatal("trace read failed at record " + std::to_string(i) +
-                  " of " + std::to_string(count) + ": " + path);
-        }
-        r.isWrite = is_write != 0;
+        // error, not routine truncation.
+        r.instGap =
+            readScalar<uint32_t>(f.get(), crc, path, "record");
+        r.addr = readScalar<uint64_t>(f.get(), crc, path, "record");
+        r.pc = readScalar<uint64_t>(f.get(), crc, path, "record");
+        r.isWrite =
+            readScalar<uint8_t>(f.get(), crc, path, "record") != 0;
         trace.append(r);
+    }
+    if (version == kVersion) {
+        uint32_t body_crc = crc;
+        uint32_t stored = 0;
+        if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1)
+            fatal("trace file truncated reading checksum: " + path);
+        if (stored != body_crc)
+            fatal("trace file checksum mismatch (corrupt contents): " +
+                  path);
     }
     return trace;
 }

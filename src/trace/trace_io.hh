@@ -4,13 +4,17 @@
  *
  * Layout (little-endian):
  *   magic   "GPTR"            4 bytes
- *   version u32               currently 1
+ *   version u32               currently 2 (v1 still readable)
  *   count   u64               number of records
  *   records: per record
  *     instGap u32, addr u64, pc u64, flags u8 (bit0 = write)
+ *   crc     u32               v2 only: CRC-32 of all prior bytes
  *
  * The format exists so that expensive synthetic traces (or externally
  * collected ones) can be cached on disk between experiment runs.
+ * Writes are atomic (temp + fsync + rename, robust/atomic_io.hh) and
+ * checksummed; reads verify size and checksum, and opens retry with
+ * bounded jittered backoff on transient failures.
  */
 
 #ifndef GIPPR_TRACE_TRACE_IO_HH_
@@ -23,7 +27,10 @@
 namespace gippr
 {
 
-/** Serialize @p trace to @p path; throws std::runtime_error on error. */
+/**
+ * Serialize @p trace to @p path atomically (the destination is never
+ * torn); throws std::runtime_error on error.
+ */
 void writeTrace(const Trace &trace, const std::string &path);
 
 /**

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -32,12 +34,25 @@ parallelFor(size_t n, unsigned threads,
         return;
     }
     std::atomic<size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
     auto worker = [&]() {
         for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
             size_t i = cursor.fetch_add(1);
             if (i >= n)
                 return;
-            body(i);
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -47,6 +62,8 @@ parallelFor(size_t n, unsigned threads,
         pool.emplace_back(worker);
     for (auto &t : pool)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace gippr

@@ -26,8 +26,12 @@ unsigned resolveThreads(unsigned requested);
 /**
  * Run @p body(i) for every i in [0, n), distributing indices over at
  * most @p threads workers (capped at n).  threads <= 1 runs inline.
- * Exceptions thrown by @p body terminate the process (the workers
- * have no channel to rethrow); bodies are expected not to throw.
+ *
+ * If a body throws, the first exception is captured, the remaining
+ * work is cancelled (workers stop pulling new indices; in-flight
+ * items finish), every worker is joined, and the exception is
+ * rethrown on the calling thread — one failed worker can neither
+ * hang the pool nor take down the process.
  */
 void parallelFor(size_t n, unsigned threads,
                  const std::function<void(size_t)> &body);

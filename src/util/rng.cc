@@ -118,6 +118,20 @@ Rng::split()
     return Rng(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
 }
 
+std::array<uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<uint64_t, 4> &state)
+{
+    GIPPR_CHECK(state[0] || state[1] || state[2] || state[3]);
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
 ZipfSampler::ZipfSampler(uint64_t n, double theta)
     : n_(n), theta_(theta)
 {

@@ -13,6 +13,7 @@
 #ifndef GIPPR_UTIL_RNG_HH_
 #define GIPPR_UTIL_RNG_HH_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -72,6 +73,14 @@ class Rng
 
     /** Split off an independent child stream (for parallel search). */
     Rng split();
+
+    /**
+     * Raw engine state, for checkpointing: setState(state()) resumes
+     * the stream exactly where it left off.  setState rejects the
+     * all-zero state (invalid for xoshiro256**).
+     */
+    std::array<uint64_t, 4> state() const;
+    void setState(const std::array<uint64_t, 4> &state);
 
   private:
     uint64_t s_[4];

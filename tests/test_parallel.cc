@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -110,6 +111,46 @@ TEST(ParallelFor, SplitRngStreamsAreIndependent)
     for (uint64_t d : draws)
         all_equal = all_equal && d == first;
     EXPECT_FALSE(all_equal);
+}
+
+TEST(ParallelFor, WorkerExceptionReachesCaller)
+{
+    // A fitness evaluation that throws (e.g. an I/O error in a
+    // streamed trace) must surface on the calling thread, not
+    // std::terminate the process.
+    EXPECT_THROW(parallelFor(1000, 8,
+                             [&](size_t i) {
+                                 if (i == 137)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionCancelsRemainingWork)
+{
+    // After a worker throws, the pool stops handing out new indices;
+    // far fewer than all items should run.
+    std::atomic<uint64_t> ran{0};
+    EXPECT_THROW(parallelFor(1'000'000, 4,
+                             [&](size_t) {
+                                 ran.fetch_add(
+                                     1, std::memory_order_relaxed);
+                                 throw std::runtime_error("first");
+                             }),
+                 std::runtime_error);
+    EXPECT_LT(ran.load(), 1'000'000u);
+}
+
+TEST(ParallelFor, InlineExceptionPropagates)
+{
+    // threads <= 1 runs inline; the exception must pass through
+    // unchanged there too.
+    EXPECT_THROW(parallelFor(10, 1,
+                             [&](size_t i) {
+                                 if (i == 3)
+                                     throw std::runtime_error("inline");
+                             }),
+                 std::runtime_error);
 }
 
 TEST(ParallelFor, RepeatedPoolsDontInterfere)

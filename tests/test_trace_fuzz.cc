@@ -145,6 +145,32 @@ TEST(TraceFuzz, BadMagicVersionAndOverflowingCountRejected)
     std::remove(path.c_str());
 }
 
+TEST(TraceFuzz, PayloadBitFlipCaughtByChecksum)
+{
+    // The v2 footer CRC must catch single-byte corruption anywhere in
+    // the record payload — damage the reader's size checks alone
+    // cannot see.
+    const std::string path = tempPath("bitflip.gptr");
+    writeTrace(sampleTrace(16), path);
+    const std::vector<char> good = readAll(path);
+    ASSERT_GT(good.size(), 24u);
+
+    // Flip one bit in a handful of payload offsets (past the 16-byte
+    // header, before the 4-byte footer).
+    for (size_t offset : {size_t(16), size_t(24), good.size() / 2,
+                          good.size() - 5}) {
+        std::vector<char> corrupt = good;
+        corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+        writeAll(path, corrupt);
+        EXPECT_THROW(readTrace(path), std::runtime_error)
+            << "flip at offset " << offset << " was accepted";
+    }
+
+    writeAll(path, good);
+    EXPECT_EQ(readTrace(path).size(), 16u);
+    std::remove(path.c_str());
+}
+
 TEST(TraceFuzz, MissingFileRejected)
 {
     EXPECT_THROW(readTrace(tempPath("does_not_exist.gptr")),
