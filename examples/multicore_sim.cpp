@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Shared-LLC multi-core serving simulator CLI.
+ *
+ * Replays a multi-programmed mix of synthetic workloads (suite or
+ * KV-cache multi-tenant family) through one shared last-level cache
+ * and reports interference and fairness: per-tenant solo vs shared
+ * IPC, slowdown, MPKI, weighted speedup and throughput.
+ *
+ *   multicore_sim --cores 4 --mix kv-serving --policy DGIPPR4 \
+ *                 --partition utility --json report.json
+ *
+ * Knobs:
+ *   --cores N            tenants sharing the LLC (default 4)
+ *   --mix SPEC           preset name or "workload[:weight],..." list
+ *   --policy NAME        LRU|LIP|GIPLR|PLRU|GIPPR|DGIPPR2|DGIPPR4
+ *   --schedule S         rr | weighted (stride by tenant weight)
+ *   --duel S             global | per-core DGIPPR tournaments
+ *   --partition S        none | static:w0,w1,... | utility[:every]
+ *   --backend S          fast (packed) | scalar (reference oracle)
+ *   --accesses N         CPU references per tenant stream
+ *   --seed S             suite base seed
+ *   --json PATH          write a gippr-run-report artifact
+ *   --deterministic      pin the report timestamp (CI diffing)
+ *   --reference-single   1-core gate: replay through the single-core
+ *                        ReplayEngine instead of the shared model
+ *
+ * The CI multicore-equiv job runs `--cores 1 --deterministic` twice —
+ * with and without --reference-single — and byte-compares the two
+ * JSON artifacts: the shared model must be indistinguishable from the
+ * single-core engine.  Nothing written to the report may therefore
+ * depend on which of the two paths produced it.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/hierarchy.hh"
+#include "core/vectors.hh"
+#include "sim/multicore/engine.hh"
+#include "sim/trace_cache.hh"
+#include "telemetry/json.hh"
+#include "telemetry/report.hh"
+#include "util/log.hh"
+#include "workloads/suite.hh"
+
+using namespace gippr;
+using namespace gippr::multicore;
+
+namespace
+{
+
+struct Options
+{
+    unsigned cores = 4;
+    std::string mix = "balanced";
+    std::string policy = "DGIPPR4";
+    std::string schedule = "rr";
+    std::string duel = "global";
+    std::string partition = "none";
+    std::string backend = "fast";
+    uint64_t accesses = 200'000;
+    uint64_t seed = 0x5eed;
+    double warmupFraction = 1.0 / 3.0;
+    std::string jsonPath;
+    bool deterministic = false;
+    bool referenceSingle = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: multicore_sim [--cores N] [--mix SPEC]\n"
+        "                     [--policy NAME] [--schedule rr|weighted]\n"
+        "                     [--duel global|per-core]\n"
+        "                     [--partition none|static:W,..|utility[:N]]\n"
+        "                     [--backend fast|scalar] [--accesses N]\n"
+        "                     [--seed S] [--json PATH]\n"
+        "                     [--deterministic] [--reference-single]\n"
+        "\n"
+        "Mix presets: thrash-heavy, balanced, reuse-heavy,\n"
+        "stream-polluted, kv-serving; or any comma-separated\n"
+        "\"workload[:weight]\" list over the suite and the KV-cache\n"
+        "family.  Policies: LRU, LIP, GIPLR, PLRU, GIPPR, DGIPPR2,\n"
+        "DGIPPR4.\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal(std::string(flag) + " requires an argument");
+            return argv[++i];
+        };
+        if (arg == "--cores")
+            opts.cores = static_cast<unsigned>(
+                std::stoul(value("--cores")));
+        else if (arg == "--mix")
+            opts.mix = value("--mix");
+        else if (arg == "--policy")
+            opts.policy = value("--policy");
+        else if (arg == "--schedule")
+            opts.schedule = value("--schedule");
+        else if (arg == "--duel")
+            opts.duel = value("--duel");
+        else if (arg == "--partition")
+            opts.partition = value("--partition");
+        else if (arg == "--backend")
+            opts.backend = value("--backend");
+        else if (arg == "--accesses")
+            opts.accesses = std::stoull(value("--accesses"));
+        else if (arg == "--seed")
+            opts.seed = std::stoull(value("--seed"));
+        else if (arg == "--json")
+            opts.jsonPath = value("--json");
+        else if (arg == "--deterministic")
+            opts.deterministic = true;
+        else if (arg == "--reference-single")
+            opts.referenceSingle = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("unknown argument: " + arg);
+        }
+    }
+    if (opts.cores == 0)
+        fatal("--cores must be >= 1");
+    if (opts.referenceSingle && opts.cores != 1)
+        fatal("--reference-single requires --cores 1");
+    return opts;
+}
+
+/** The seven replayable core policies by display name. */
+fastpath::ReplaySpec
+specByName(const std::string &name)
+{
+    if (name == "LRU")
+        return fastpath::lruSpec();
+    if (name == "LIP")
+        return fastpath::lipSpec();
+    if (name == "GIPLR")
+        return fastpath::giplrSpec(local_vectors::giplr());
+    if (name == "PLRU")
+        return fastpath::plruSpec();
+    if (name == "GIPPR")
+        return fastpath::gipprSpec(local_vectors::gippr());
+    if (name == "DGIPPR2")
+        return fastpath::dgipprSpec(local_vectors::dgippr2());
+    if (name == "DGIPPR4")
+        return fastpath::dgipprSpec(local_vectors::dgippr4());
+    fatal("unknown policy (want LRU|LIP|GIPLR|PLRU|GIPPR|DGIPPR2|"
+          "DGIPPR4): " +
+          name);
+}
+
+/** Row label "c<idx>:<workload>" — unique even when the mix cycles. */
+std::string
+coreLabel(unsigned core, const CoreResult &cr)
+{
+    return "c" + std::to_string(core) + ":" + cr.workload;
+}
+
+telemetry::RunReport
+buildReport(const Options &opts, const MixSpec &mix,
+            const RunParams &params, const RunResult &res)
+{
+    using telemetry::JsonValue;
+    telemetry::RunReport report("multicore", "multicore_sim");
+    if (opts.deterministic)
+        report.setTimestamp("1970-01-01T00:00:00Z");
+
+    report.setConfig("cores", static_cast<uint64_t>(res.cores.size()));
+    report.setConfig("mix", mix.name);
+    JsonValue tenants = JsonValue::array();
+    for (const CoreResult &cr : res.cores) {
+        JsonValue t = JsonValue::object();
+        t.set("workload", cr.workload);
+        t.set("weight", cr.weight);
+        tenants.push(t);
+    }
+    report.setConfig("tenants", tenants);
+    report.setConfig("policy", opts.policy);
+    report.setConfig("schedule", scheduleName(params.schedule));
+    report.setConfig("duel_scope", duelScopeName(params.duelScope));
+    // The backend is deliberately not recorded: the CI equivalence
+    // job byte-compares fast-vs-scalar (and shared-vs-single-core)
+    // artifacts, which is only meaningful if the report carries no
+    // trace of which implementation produced it.
+    report.setConfig("partition",
+                     partitionModeName(params.partition.mode));
+    JsonValue llc = JsonValue::object();
+    llc.set("size_bytes", params.llc.sizeBytes);
+    llc.set("assoc", static_cast<uint64_t>(params.llc.assoc));
+    llc.set("block_bytes", static_cast<uint64_t>(params.llc.blockBytes));
+    report.setConfig("llc", llc);
+    report.setConfig("accesses_per_core", opts.accesses);
+    report.setConfig("seed", opts.seed);
+    report.setConfig("warmup_fraction", params.warmupFraction);
+
+    telemetry::ResultTable fairness;
+    fairness.title = "fairness";
+    fairness.metric = "per-core";
+    fairness.columns = {"weight",   "solo_ipc", "shared_ipc",
+                        "slowdown", "mpki",     "demand_misses"};
+    for (size_t c = 0; c < res.cores.size(); ++c) {
+        const CoreResult &cr = res.cores[c];
+        const CoreFairness &f = res.fairness.cores[c];
+        fairness.rows.push_back(
+            {coreLabel(static_cast<unsigned>(c), cr),
+             {static_cast<double>(cr.weight), f.soloIpc, f.sharedIpc,
+              f.slowdown, f.mpki,
+              static_cast<double>(cr.stats.measured.demandMisses)}});
+    }
+    report.addTable(fairness);
+
+    telemetry::ResultTable summary;
+    summary.title = "summary";
+    summary.metric = "mix";
+    summary.columns = {"weighted_speedup", "throughput",
+                       "max_slowdown",     "mean_slowdown",
+                       "miss_rate",        "repartitions"};
+    const double miss_rate =
+        res.measured.accesses > 0
+            ? static_cast<double>(res.measured.misses) /
+                  static_cast<double>(res.measured.accesses)
+            : 0.0;
+    summary.rows.push_back(
+        {mix.name,
+         {res.fairness.weightedSpeedup, res.fairness.throughput,
+          res.fairness.maxSlowdown, res.fairness.meanSlowdown,
+          miss_rate, static_cast<double>(res.repartitions)}});
+    report.addTable(summary);
+
+    if (!res.wayCounts.empty()) {
+        JsonValue ways = JsonValue::array();
+        for (unsigned w : res.wayCounts)
+            ways.push(static_cast<uint64_t>(w));
+        report.setConfig("way_counts", ways);
+    }
+    return report;
+}
+
+void
+printResult(const MixSpec &mix, const RunParams &params,
+            const RunResult &res)
+{
+    std::printf("mix %s: %zu cores, policy %s, schedule %s, duel %s, "
+                "partition %s, backend %s\n",
+                mix.name.c_str(), res.cores.size(),
+                params.policy.name().c_str(),
+                scheduleName(params.schedule),
+                duelScopeName(params.duelScope),
+                partitionModeName(params.partition.mode),
+                backendName(params.backend));
+    std::printf("%-24s %6s %10s %10s %9s %8s\n", "core:workload",
+                "weight", "solo_ipc", "shared_ipc", "slowdown",
+                "mpki");
+    for (size_t c = 0; c < res.cores.size(); ++c) {
+        const CoreResult &cr = res.cores[c];
+        const CoreFairness &f = res.fairness.cores[c];
+        std::printf("%-24s %6llu %10.4f %10.4f %9.4f %8.2f\n",
+                    coreLabel(static_cast<unsigned>(c), cr).c_str(),
+                    static_cast<unsigned long long>(cr.weight),
+                    f.soloIpc, f.sharedIpc, f.slowdown, f.mpki);
+    }
+    std::printf("weighted speedup %.4f | throughput %.4f | "
+                "max slowdown %.4f | mean slowdown %.4f\n",
+                res.fairness.weightedSpeedup, res.fairness.throughput,
+                res.fairness.maxSlowdown, res.fairness.meanSlowdown);
+    if (!res.wayCounts.empty()) {
+        std::printf("way counts:");
+        for (unsigned w : res.wayCounts)
+            std::printf(" %u", w);
+        std::printf(" (repartitions: %llu)\n",
+                    static_cast<unsigned long long>(res.repartitions));
+    }
+}
+
+int
+run(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    SuiteParams sp;
+    sp.llcBlocks = 16384; // the 1MB bench LLC
+    sp.accessesPerSimpoint = opts.accesses;
+    sp.baseSeed = opts.seed;
+    SyntheticSuite suite(sp);
+
+    HierarchyConfig hier;
+    hier.l1 = CacheConfig::paperL1d();
+    hier.l2 = CacheConfig::paperL2();
+    hier.llc = CacheConfig::benchLlc();
+
+    const MixSpec mix = parseMixSpec(opts.mix, opts.cores);
+    LlcTraceCache cache;
+    const std::vector<CoreStream> streams =
+        buildCoreStreams(mix, suite, hier, &cache);
+
+    RunParams params;
+    params.llc = hier.llc;
+    params.policy = specByName(opts.policy);
+    params.schedule = parseSchedule(opts.schedule);
+    params.duelScope = parseDuelScope(opts.duel);
+    params.partition = parsePartition(opts.partition, opts.cores);
+    params.warmupFraction = opts.warmupFraction;
+    params.backend = parseBackend(opts.backend);
+
+    const RunResult res = opts.referenceSingle
+                              ? runSingleCoreReference(streams[0], params)
+                              : runSharedLlc(streams, params);
+
+    printResult(mix, params, res);
+    if (!opts.jsonPath.empty()) {
+        buildReport(opts, mix, params, res).writeFile(opts.jsonPath);
+        std::printf("report written to %s\n", opts.jsonPath.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "multicore_sim: %s\n", e.what());
+        return 1;
+    }
+}

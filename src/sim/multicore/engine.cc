@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Shared-LLC run driver.
+ */
+
+#include "sim/multicore/engine.hh"
+
+#include "cache/replay.hh"
+#include "sim/fastpath/engine.hh"
+#include "sim/multicore/reference_model.hh"
+#include "util/check.hh"
+#include "util/log.hh"
+
+namespace gippr::multicore
+{
+
+namespace
+{
+
+/** Instructions covered by the post-warmup window of a stream. */
+uint64_t
+measuredInstructionsOf(uint64_t instructions, size_t length,
+                       size_t warmup)
+{
+    if (length == 0)
+        return 0;
+    const auto span = static_cast<unsigned __int128>(instructions) *
+                      (length - warmup);
+    return static_cast<uint64_t>(span / length);
+}
+
+/**
+ * The shared replay loop, templated over the two model backends
+ * (identical interface, disjoint implementations).
+ */
+template <class Model>
+void
+runLoop(Model &model, const std::vector<CoreStream> &streams,
+        const RunParams &params, const std::vector<size_t> &warmups,
+        UtilityMonitor *monitor, RunResult &result)
+{
+    const unsigned cores = static_cast<unsigned>(streams.size());
+    std::vector<uint64_t> lengths(cores);
+    std::vector<uint64_t> weights(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        lengths[c] = streams[c].trace->size();
+        weights[c] = streams[c].weight;
+    }
+
+    Interleaver il(params.schedule, lengths, weights);
+    std::vector<size_t> cursor(cores, 0);
+    uint64_t tick = 0;
+    int c;
+    while ((c = il.next()) >= 0) {
+        const auto core = static_cast<unsigned>(c);
+        const size_t i = cursor[core]++;
+        if (i == warmups[core])
+            model.markWarmup(core);
+        const MemRecord &r = (*streams[core].trace)[i];
+        const AccessType type = recordType(r);
+        model.access(core, r.addr, type);
+
+        if (monitor != nullptr) {
+            if (type != AccessType::Writeback) {
+                const uint64_t set = model.setIndex(r.addr);
+                if (monitor->sampled(set))
+                    monitor->observe(core, set, model.tagOf(r.addr));
+            }
+            if (++tick % params.partition.repartitionEvery == 0) {
+                const std::vector<unsigned> counts =
+                    monitor->allocate();
+                const std::vector<uint64_t> masks =
+                    masksFromCounts(counts, model.assoc());
+                for (unsigned k = 0; k < cores; ++k)
+                    model.setWayMask(k, masks[k]);
+                monitor->decay();
+                result.wayCounts = counts;
+                ++result.repartitions;
+            }
+        }
+    }
+    // Streams fully consumed as warmup never snapped in the loop
+    // (warmup == length), matching the single-core engines.
+    for (unsigned k = 0; k < cores; ++k)
+        if (warmups[k] == lengths[k])
+            model.markWarmup(k);
+
+    for (unsigned k = 0; k < cores; ++k)
+        result.cores[k].stats = model.coreStats(k);
+}
+
+template <class Model>
+void
+runBackend(const std::vector<CoreStream> &streams,
+           const RunParams &params, const std::vector<size_t> &warmups,
+           RunResult &result)
+{
+    const unsigned cores = static_cast<unsigned>(streams.size());
+    Model model(params.policy, params.llc, cores, params.duelScope);
+
+    UtilityMonitor monitor(model.sets(), model.assoc(), cores,
+                           params.partition.sampleEvery);
+    UtilityMonitor *active = nullptr;
+    switch (params.partition.mode) {
+      case PartitionMode::None:
+        break;
+      case PartitionMode::Static: {
+        const std::vector<uint64_t> masks =
+            masksFromCounts(params.partition.staticWays, model.assoc());
+        for (unsigned c = 0; c < cores; ++c)
+            model.setWayMask(c, masks[c]);
+        result.wayCounts = params.partition.staticWays;
+        break;
+      }
+      case PartitionMode::Utility: {
+        // Start from an even split; the monitor refines it.
+        const std::vector<unsigned> counts =
+            evenSplit(cores, model.assoc());
+        const std::vector<uint64_t> masks =
+            masksFromCounts(counts, model.assoc());
+        for (unsigned c = 0; c < cores; ++c)
+            model.setWayMask(c, masks[c]);
+        result.wayCounts = counts;
+        active = &monitor;
+        break;
+      }
+    }
+
+    runLoop(model, streams, params, warmups, active, result);
+}
+
+} // namespace
+
+Backend
+parseBackend(const std::string &text)
+{
+    if (text == "fast")
+        return Backend::Fast;
+    if (text == "scalar")
+        return Backend::Scalar;
+    fatal("unknown multicore backend (want fast|scalar): " + text);
+}
+
+const char *
+backendName(Backend backend)
+{
+    return backend == Backend::Scalar ? "scalar" : "fast";
+}
+
+RunResult
+runSharedLlc(const std::vector<CoreStream> &streams,
+             const RunParams &params)
+{
+    GIPPR_CHECK(!streams.empty());
+    GIPPR_CHECK(params.warmupFraction >= 0.0 &&
+                params.warmupFraction <= 1.0);
+    GIPPR_CHECK(SharedLlcModel::supports(params.policy, params.llc));
+    for (const CoreStream &s : streams)
+        GIPPR_CHECK(s.trace != nullptr);
+
+    const unsigned cores = static_cast<unsigned>(streams.size());
+    std::vector<size_t> warmups(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        warmups[c] = static_cast<size_t>(
+            static_cast<double>(streams[c].trace->size()) *
+            params.warmupFraction);
+
+    RunResult result;
+    result.cores.resize(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        CoreResult &cr = result.cores[c];
+        cr.workload = streams[c].workload;
+        cr.weight = streams[c].weight;
+        cr.instructions = streams[c].instructions;
+        cr.measuredInstructions = measuredInstructionsOf(
+            streams[c].instructions, streams[c].trace->size(),
+            warmups[c]);
+    }
+
+    if (params.backend == Backend::Fast)
+        runBackend<SharedLlcModel>(streams, params, warmups, result);
+    else
+        runBackend<ScalarSharedLlc>(streams, params, warmups, result);
+
+    for (const CoreResult &cr : result.cores) {
+        result.measured += cr.stats.measured;
+        result.total += cr.stats.total;
+    }
+
+    if (params.computeSolo) {
+        // Solo baselines: the identical trace and warmup boundary
+        // through the existing single-core engines, using the same
+        // backend family so oracle runs stay backend-pure.
+        const fastpath::FastReplayEngine fast_engine(1);
+        const fastpath::ScalarReplayEngine scalar_engine;
+        const fastpath::ReplayEngine &engine =
+            params.backend == Backend::Fast
+                ? static_cast<const fastpath::ReplayEngine &>(
+                      fast_engine)
+                : scalar_engine;
+        std::vector<uint64_t> instructions(cores);
+        std::vector<fastpath::CounterBank> shared_banks(cores);
+        std::vector<fastpath::CounterBank> solo_banks(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            CoreResult &cr = result.cores[c];
+            cr.solo = engine.replay(params.policy, params.llc,
+                                    *streams[c].trace, warmups[c]);
+            instructions[c] = cr.measuredInstructions;
+            shared_banks[c] = cr.stats.measured;
+            solo_banks[c] = cr.solo.measured;
+        }
+        result.fairness = computeFairness(params.latency, instructions,
+                                          shared_banks, solo_banks);
+    }
+
+    return result;
+}
+
+RunResult
+runSingleCoreReference(const CoreStream &stream,
+                       const RunParams &params)
+{
+    GIPPR_CHECK(stream.trace != nullptr);
+    GIPPR_CHECK(params.partition.mode == PartitionMode::None);
+
+    const size_t length = stream.trace->size();
+    const auto warmup = static_cast<size_t>(
+        static_cast<double>(length) * params.warmupFraction);
+
+    RunResult result;
+    result.cores.resize(1);
+    CoreResult &cr = result.cores[0];
+    cr.workload = stream.workload;
+    cr.weight = stream.weight;
+    cr.instructions = stream.instructions;
+    cr.measuredInstructions =
+        measuredInstructionsOf(stream.instructions, length, warmup);
+
+    const fastpath::FastReplayEngine fast_engine(1);
+    const fastpath::ScalarReplayEngine scalar_engine;
+    const fastpath::ReplayEngine &engine =
+        params.backend == Backend::Fast
+            ? static_cast<const fastpath::ReplayEngine &>(fast_engine)
+            : scalar_engine;
+    cr.stats = engine.replay(params.policy, params.llc, *stream.trace,
+                             warmup);
+    cr.solo = cr.stats;
+    result.measured += cr.stats.measured;
+    result.total += cr.stats.total;
+    if (params.computeSolo)
+        result.fairness = computeFairness(
+            params.latency, {cr.measuredInstructions},
+            {cr.stats.measured}, {cr.solo.measured});
+    return result;
+}
+
+} // namespace gippr::multicore

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fairness metric implementation.
+ */
+
+#include "sim/multicore/fairness.hh"
+
+#include <algorithm>
+
+#include "util/check.hh"
+
+namespace gippr::multicore
+{
+
+double
+modelCycles(const LatencyModel &model, uint64_t instructions,
+            const fastpath::CounterBank &bank)
+{
+    GIPPR_DCHECK(bank.demandMisses <= bank.demandAccesses);
+    const uint64_t demand_hits = bank.demandAccesses - bank.demandMisses;
+    return static_cast<double>(instructions) * model.baseCpi +
+           static_cast<double>(demand_hits) * model.hitCycles +
+           static_cast<double>(bank.demandMisses) * model.missCycles;
+}
+
+double
+modelIpc(const LatencyModel &model, uint64_t instructions,
+         const fastpath::CounterBank &bank)
+{
+    const double cycles = modelCycles(model, instructions, bank);
+    return cycles > 0.0 ? static_cast<double>(instructions) / cycles
+                        : 0.0;
+}
+
+FairnessReport
+computeFairness(const LatencyModel &model,
+                const std::vector<uint64_t> &instructions,
+                const std::vector<fastpath::CounterBank> &shared_banks,
+                const std::vector<fastpath::CounterBank> &solo_banks)
+{
+    GIPPR_CHECK(instructions.size() == shared_banks.size());
+    GIPPR_CHECK(instructions.size() == solo_banks.size());
+    GIPPR_CHECK(!instructions.empty());
+
+    FairnessReport report;
+    double speedup_sum = 0.0;
+    double slowdown_sum = 0.0;
+    for (size_t c = 0; c < instructions.size(); ++c) {
+        CoreFairness f;
+        f.soloIpc = modelIpc(model, instructions[c], solo_banks[c]);
+        f.sharedIpc =
+            modelIpc(model, instructions[c], shared_banks[c]);
+        f.slowdown =
+            f.sharedIpc > 0.0 ? f.soloIpc / f.sharedIpc : 0.0;
+        f.mpki = instructions[c] > 0
+                     ? 1000.0 *
+                           static_cast<double>(
+                               shared_banks[c].demandMisses) /
+                           static_cast<double>(instructions[c])
+                     : 0.0;
+        speedup_sum += f.soloIpc > 0.0 ? f.sharedIpc / f.soloIpc : 0.0;
+        slowdown_sum += f.slowdown;
+        report.maxSlowdown = std::max(report.maxSlowdown, f.slowdown);
+        report.throughput += f.sharedIpc;
+        report.cores.push_back(f);
+    }
+    const double n = static_cast<double>(instructions.size());
+    report.weightedSpeedup = speedup_sum / n;
+    report.meanSlowdown = slowdown_sum / n;
+    return report;
+}
+
+} // namespace gippr::multicore

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interference and fairness metrics for shared-LLC runs.
+ *
+ * Multi-programmed LLC studies report how much each tenant suffers
+ * from sharing relative to running alone.  The multicore engine
+ * replays LLC-level traces (no full CPU model in the loop), so
+ * per-core performance comes from the standard analytic latency
+ * model:
+ *
+ *   cycles = instructions * baseCpi
+ *          + demandHits   * hitCycles
+ *          + demandMisses * missCycles
+ *
+ * with constants mirroring sim/cpu_model.hh's CpuParams (width 4 ->
+ * baseCpi 0.25, LLC hit 35 cycles, memory 200 cycles).  Because the
+ * solo and shared runs replay the identical per-core trace with the
+ * identical warmup boundary, every stream-determined quantity
+ * (instructions, demand accesses) cancels in the ratios and the
+ * metrics isolate the one thing sharing changes: demand misses.
+ *
+ * Conventions (matching sim/multicore's legacy system simulator):
+ *  - weighted speedup = mean over cores of sharedIpc / soloIpc;
+ *  - throughput       = sum of shared IPCs;
+ *  - slowdown_i       = soloIpc_i / sharedIpc_i (>= 1 when sharing
+ *                       hurts), maxSlowdown = max over cores;
+ *  - MPKI_i           = 1000 * demandMisses_i / instructions_i.
+ */
+
+#ifndef GIPPR_SIM_MULTICORE_FAIRNESS_HH_
+#define GIPPR_SIM_MULTICORE_FAIRNESS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fastpath/replay_spec.hh"
+
+namespace gippr::multicore
+{
+
+/** Analytic per-core latency model (CpuParams' constants). */
+struct LatencyModel
+{
+    /** Base cycles per instruction absent LLC activity (1/width). */
+    double baseCpi = 0.25;
+    /** Cycles per LLC demand hit. */
+    double hitCycles = 35.0;
+    /** Cycles per LLC demand miss (memory access). */
+    double missCycles = 200.0;
+};
+
+/** Model cycles for @p instructions covered by @p bank's window. */
+double modelCycles(const LatencyModel &model, uint64_t instructions,
+                   const fastpath::CounterBank &bank);
+
+/** Model IPC (instructions / modelCycles). */
+double modelIpc(const LatencyModel &model, uint64_t instructions,
+                const fastpath::CounterBank &bank);
+
+/** One core's fairness figures. */
+struct CoreFairness
+{
+    double soloIpc = 0.0;
+    double sharedIpc = 0.0;
+    /** soloIpc / sharedIpc (>= 1 when sharing hurts). */
+    double slowdown = 0.0;
+    /** Demand misses per kilo-instruction in the shared run. */
+    double mpki = 0.0;
+};
+
+/** Whole-mix fairness figures. */
+struct FairnessReport
+{
+    std::vector<CoreFairness> cores;
+    /** Mean over cores of sharedIpc / soloIpc. */
+    double weightedSpeedup = 0.0;
+    /** Sum of shared IPCs. */
+    double throughput = 0.0;
+    double maxSlowdown = 0.0;
+    double meanSlowdown = 0.0;
+};
+
+/**
+ * Compute fairness from aligned per-core vectors: measured-window
+ * instruction counts plus the measured banks of the shared and solo
+ * runs (same trace, same warmup boundary).
+ */
+FairnessReport
+computeFairness(const LatencyModel &model,
+                const std::vector<uint64_t> &instructions,
+                const std::vector<fastpath::CounterBank> &shared_banks,
+                const std::vector<fastpath::CounterBank> &solo_banks);
+
+} // namespace gippr::multicore
+
+#endif // GIPPR_SIM_MULTICORE_FAIRNESS_HH_

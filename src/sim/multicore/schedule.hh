@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic interleaving schedules for multi-programmed replay.
+ *
+ * The shared-LLC engine merges N per-core LLC streams into one global
+ * access order.  That order must be a pure function of the schedule
+ * and the stream lengths — no randomness, no timing — so scalar and
+ * fastpath backends replay the identical interleaving and the
+ * differential oracle can compare them bit-for-bit.
+ *
+ * Two schedules:
+ *
+ *  - RoundRobin: cores take strict turns, finished cores are skipped;
+ *  - Weighted:   stride scheduling — each issue goes to the live core
+ *                with the smallest virtual time (issued+1)/weight,
+ *                compared exactly via integer cross-multiplication,
+ *                ties broken by lowest core id.
+ *
+ * With one core both schedules degenerate to the single-core replay
+ * order, which is what the 1-core bit-identity gate relies on.
+ */
+
+#ifndef GIPPR_SIM_MULTICORE_SCHEDULE_HH_
+#define GIPPR_SIM_MULTICORE_SCHEDULE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gippr::multicore
+{
+
+/** Interleaving discipline. */
+enum class Schedule
+{
+    RoundRobin,
+    Weighted,
+};
+
+/** Parse "rr"/"round-robin" or "weighted"; fatal otherwise. */
+Schedule parseSchedule(const std::string &text);
+
+/** Stable display name. */
+const char *scheduleName(Schedule sched);
+
+/**
+ * Stateful merge of N finite streams into one deterministic order.
+ * next() returns the core issuing the next reference (advancing its
+ * issue count), or -1 once every stream is exhausted.
+ */
+class Interleaver
+{
+  public:
+    /**
+     * @param sched    the discipline
+     * @param lengths  per-core stream lengths
+     * @param weights  per-core arrival weights (>= 1; only consulted
+     *                 by the Weighted schedule)
+     */
+    Interleaver(Schedule sched, std::vector<uint64_t> lengths,
+                std::vector<uint64_t> weights);
+
+    /** Core id of the next issue, or -1 when all streams are done. */
+    int next();
+
+    /** References issued so far by @p core. */
+    uint64_t issued(unsigned core) const { return issued_[core]; }
+
+  private:
+    Schedule sched_;
+    std::vector<uint64_t> lengths_;
+    std::vector<uint64_t> weights_;
+    std::vector<uint64_t> issued_;
+    unsigned cursor_ = 0; ///< round-robin position
+};
+
+} // namespace gippr::multicore
+
+#endif // GIPPR_SIM_MULTICORE_SCHEDULE_HH_

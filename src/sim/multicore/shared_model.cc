@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Shared-LLC packed model implementation.
+ *
+ * The access transition transcribes SoaCacheModel::accessImpl (the
+ * reference, non-batched path) onto per-core counters, per-scope duel
+ * domains and per-core way masks.  Where that model fuses table
+ * lookups (promoDeposit_/insertDeposit_) this one composes the same
+ * two loads — deposit_[way * assoc + promotion/insertion] — which is
+ * the identical value by construction.
+ */
+
+#include "sim/multicore/shared_model.hh"
+
+#include "util/bitops.hh"
+#include "util/check.hh"
+#include "util/log.hh"
+
+namespace gippr::multicore
+{
+
+namespace
+{
+
+/** RecencyStack::moveTo on a packed position row. */
+void
+moveToPos(uint8_t *pos, unsigned assoc, unsigned way, unsigned to)
+{
+    const unsigned from = pos[way];
+    if (to < from) {
+        for (unsigned w = 0; w < assoc; ++w)
+            pos[w] = static_cast<uint8_t>(
+                pos[w] + ((pos[w] >= to) & (pos[w] < from)));
+    } else if (to > from) {
+        for (unsigned w = 0; w < assoc; ++w)
+            pos[w] = static_cast<uint8_t>(
+                pos[w] - ((pos[w] > from) & (pos[w] <= to)));
+    }
+    pos[way] = static_cast<uint8_t>(to);
+}
+
+} // namespace
+
+std::vector<Ipv>
+effectiveReplayIpvs(const fastpath::ReplaySpec &spec, unsigned ways)
+{
+    switch (spec.kind) {
+      case fastpath::FastPolicyKind::Lru:
+        return {Ipv::lru(ways)};
+      case fastpath::FastPolicyKind::Lip:
+        return {Ipv::lruInsertion(ways)};
+      case fastpath::FastPolicyKind::Plru:
+        return {}; // promote-to-MRU needs no vector
+      case fastpath::FastPolicyKind::Giplr:
+      case fastpath::FastPolicyKind::Gippr:
+      case fastpath::FastPolicyKind::Dgippr:
+        return spec.ipvs;
+    }
+    return {};
+}
+
+DuelScope
+parseDuelScope(const std::string &text)
+{
+    if (text == "global")
+        return DuelScope::Global;
+    if (text == "per-core" || text == "percore")
+        return DuelScope::PerCore;
+    fatal("unknown duel scope (want global|per-core): " + text);
+}
+
+const char *
+duelScopeName(DuelScope scope)
+{
+    return scope == DuelScope::PerCore ? "per-core" : "global";
+}
+
+SharedLlcModel::SharedLlcModel(const fastpath::ReplaySpec &spec,
+                               const CacheConfig &config, unsigned cores,
+                               DuelScope scope)
+    : sets_(config.sets()), assoc_(config.assoc),
+      blockShift_(config.blockShift()), setShift_(config.setShift()),
+      wayMask_(config.assoc == 64 ? ~uint64_t{0}
+                                  : (uint64_t{1} << config.assoc) - 1),
+      scope_(scope)
+{
+    GIPPR_CHECK(supports(spec, config));
+    GIPPR_CHECK(cores >= 1);
+
+    switch (spec.kind) {
+      case fastpath::FastPolicyKind::Lru:
+      case fastpath::FastPolicyKind::Lip:
+      case fastpath::FastPolicyKind::Giplr:
+        family_ = Family::Recency;
+        break;
+      case fastpath::FastPolicyKind::Plru:
+        family_ = Family::Plru;
+        break;
+      case fastpath::FastPolicyKind::Gippr:
+        family_ = Family::TreeIpv;
+        break;
+      case fastpath::FastPolicyKind::Dgippr:
+        family_ = Family::TreeIpv;
+        duel_ = true;
+        break;
+    }
+
+    for (const Ipv &v : effectiveReplayIpvs(spec, assoc_)) {
+        std::vector<uint8_t> row(assoc_);
+        for (unsigned i = 0; i < assoc_; ++i)
+            row[i] = static_cast<uint8_t>(v.promotion(i));
+        promo_.push_back(std::move(row));
+        insert_.push_back(static_cast<uint8_t>(v.insertion()));
+    }
+
+    tags_.assign(sets_ * assoc_, 0);
+    sig_.assign(sets_ * assoc_, 0);
+    valid_.assign(sets_, 0);
+    dirty_.assign(sets_, 0);
+    if (family_ == Family::Recency) {
+        pos_.resize(sets_ * assoc_);
+        for (uint64_t s = 0; s < sets_; ++s)
+            for (unsigned w = 0; w < assoc_; ++w)
+                pos_[s * assoc_ + w] = static_cast<uint8_t>(w);
+    } else {
+        tree_.assign(sets_, 0);
+        tables_ = fastpath::TreeTables::forAssoc(assoc_);
+        clearMask_ = tables_->clearMask.data();
+        deposit_ = tables_->deposit.data();
+        victimLut_ = tables_->victimLut.empty()
+                         ? nullptr
+                         : tables_->victimLut.data();
+    }
+
+    if (duel_) {
+        const auto nvec = static_cast<unsigned>(spec.ipvs.size());
+        const unsigned leaders =
+            clampLeaders(sets_, nvec, spec.leaders);
+        LeaderSets base(sets_, nvec, leaders);
+        const unsigned domains =
+            scope_ == DuelScope::PerCore ? cores : 1;
+        owners_.resize(domains);
+        winner_.resize(domains);
+        leaderMisses_.assign(domains,
+                             std::vector<uint64_t>(nvec, 0));
+        selectors_.reserve(domains);
+        for (unsigned d = 0; d < domains; ++d) {
+            owners_[d].resize(sets_);
+            for (uint64_t s = 0; s < sets_; ++s)
+                owners_[d][s] = static_cast<int8_t>(
+                    base.owner((s + d * kLeaderSetRotate) % sets_));
+            selectors_.emplace_back(nvec, spec.counterBits);
+            winner_[d] = selectors_[d].winner();
+        }
+    }
+
+    masks_.assign(cores, wayMask_);
+    counters_.assign(cores, {});
+    warmupBase_.assign(cores, {});
+}
+
+unsigned
+SharedLlcModel::ipvIndexFor(unsigned core, uint64_t set) const
+{
+    if (!duel_)
+        return 0;
+    const unsigned d = duelIndexOf(core);
+    const int owner = owners_[d][set];
+    return owner != LeaderSets::kFollower ? static_cast<unsigned>(owner)
+                                          : winner_[d];
+}
+
+int
+SharedLlcModel::findWay(uint64_t base, uint64_t tag,
+                        uint64_t valid) const
+{
+    const uint64_t *tags = &tags_[base];
+    uint64_t match = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        match |= uint64_t{tags[w] == tag} << w;
+    match &= valid;
+    return match != 0 ? static_cast<int>(countTrailingZeros(match))
+                      : -1;
+}
+
+unsigned
+SharedLlcModel::unmaskedVictim(uint64_t set, uint64_t base) const
+{
+    if (family_ == Family::Recency) {
+        const uint8_t last = static_cast<uint8_t>(assoc_ - 1);
+        const uint8_t *pos = &pos_[base];
+        uint64_t match = 0;
+        for (unsigned w = 0; w < assoc_; ++w)
+            match |= uint64_t{pos[w] == last} << w;
+        GIPPR_DCHECK(match != 0);
+        return static_cast<unsigned>(countTrailingZeros(match));
+    }
+    return victimLut_ != nullptr
+               ? victimLut_[tree_[set]]
+               : fastpath::packedFindPlru(tree_[set], assoc_);
+}
+
+unsigned
+SharedLlcModel::maskedVictim(uint64_t set, uint64_t base,
+                             uint64_t mask) const
+{
+    // The way occupying the highest recency position within the mask;
+    // positions are a permutation, so with a full mask this is
+    // exactly the unmasked victim (position assoc-1 is both the LRU
+    // slot and the leaf every PLRU bit points toward).
+    unsigned best = 0;
+    unsigned best_pos = 0;
+    bool found = false;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (((mask >> w) & 1) == 0)
+            continue;
+        const unsigned p =
+            family_ == Family::Recency
+                ? pos_[base + w]
+                : fastpath::packedPosition(tree_[set], assoc_, w);
+        if (!found || p > best_pos) {
+            best = w;
+            best_pos = p;
+            found = true;
+        }
+    }
+    GIPPR_DCHECK(found);
+    return best;
+}
+
+void
+SharedLlcModel::access(unsigned core, uint64_t byte_addr,
+                       AccessType type)
+{
+    GIPPR_DCHECK(core < counters_.size());
+    const uint64_t set = setIndex(byte_addr);
+    const uint64_t tag = tagOf(byte_addr);
+    const bool demand = type != AccessType::Writeback;
+    const uint64_t base = set * assoc_;
+    const uint64_t valid = valid_[set];
+    fastpath::CounterBank &bank = counters_[core];
+
+    ++bank.accesses;
+    bank.demandAccesses += demand;
+
+    const int hit_way = findWay(base, tag, valid);
+    if (hit_way >= 0) {
+        const unsigned way = static_cast<unsigned>(hit_way);
+        ++bank.hits;
+        if (type != AccessType::Load)
+            dirty_[set] |= uint64_t{1} << way;
+        if (demand) {
+            // Promotion (writeback hits never touch recency state).
+            switch (family_) {
+              case Family::Recency: {
+                uint8_t *pos = &pos_[base];
+                moveToPos(pos, assoc_, way, promo_[0][pos[way]]);
+                break;
+              }
+              case Family::Plru:
+                tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                             deposit_[way * assoc_];
+                break;
+              case Family::TreeIpv: {
+                const unsigned v = ipvIndexFor(core, set);
+                const unsigned i = fastpath::packedPosition(
+                    tree_[set], assoc_, way);
+                tree_[set] =
+                    (tree_[set] & ~clearMask_[way]) |
+                    deposit_[way * assoc_ + promo_[v][i]];
+                break;
+              }
+            }
+        }
+        return;
+    }
+
+    // Miss: duel bookkeeping before victim selection, exactly like
+    // the single-core models.
+    bank.demandMisses += demand;
+    if (duel_ && demand) {
+        const unsigned d = duelIndexOf(core);
+        const int owner = owners_[d][set];
+        if (owner != LeaderSets::kFollower) {
+            ++leaderMisses_[d][static_cast<unsigned>(owner)];
+            selectors_[d].recordMiss(static_cast<unsigned>(owner));
+            winner_[d] = selectors_[d].winner();
+        }
+    }
+
+    // Fill: first invalid way (within the core's mask) in way order,
+    // else the policy victim restricted to the mask.
+    const uint64_t mask = masks_[core];
+    const uint64_t free = ~valid & mask;
+    unsigned way;
+    if (free != 0) {
+        way = static_cast<unsigned>(countTrailingZeros(free));
+    } else {
+        way = partitioned_ ? maskedVictim(set, base, mask)
+                           : unmaskedVictim(set, base);
+        ++bank.evictions;
+        const bool evicted_dirty = (dirty_[set] >> way) & 1;
+        bank.writebacks += evicted_dirty;
+    }
+
+    tags_[base + way] = tag;
+    sig_[base + way] = static_cast<uint8_t>(tag);
+    valid_[set] = valid | (uint64_t{1} << way);
+    if (type != AccessType::Load)
+        dirty_[set] |= uint64_t{1} << way;
+    else
+        dirty_[set] &= ~(uint64_t{1} << way);
+
+    // Insertion.
+    switch (family_) {
+      case Family::Recency: {
+        // Normalize through the LRU position, then move to V[k]
+        // (GiplrPolicy::onInsert; identical to LruPolicy's direct
+        // moveTo(way, 0) when the vector is all-zero).
+        uint8_t *pos = &pos_[base];
+        moveToPos(pos, assoc_, way, assoc_ - 1);
+        moveToPos(pos, assoc_, way, insert_[0]);
+        break;
+      }
+      case Family::Plru:
+        tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                     deposit_[way * assoc_];
+        break;
+      case Family::TreeIpv: {
+        const unsigned v = ipvIndexFor(core, set);
+        tree_[set] = (tree_[set] & ~clearMask_[way]) |
+                     deposit_[way * assoc_ + insert_[v]];
+        break;
+      }
+    }
+}
+
+void
+SharedLlcModel::markWarmup(unsigned core)
+{
+    warmupBase_[core] = counters_[core];
+}
+
+void
+SharedLlcModel::setWayMask(unsigned core, uint64_t mask)
+{
+    GIPPR_CHECK(core < masks_.size());
+    GIPPR_CHECK(mask != 0 && (mask & ~wayMask_) == 0);
+    masks_[core] = mask;
+    partitioned_ = false;
+    for (uint64_t m : masks_)
+        partitioned_ |= m != wayMask_;
+}
+
+bool
+SharedLlcModel::wouldMiss(unsigned core, uint64_t set,
+                          uint64_t tag) const
+{
+    (void)core;
+    return findWay(set * assoc_, tag, valid_[set]) < 0;
+}
+
+fastpath::ReplayStats
+SharedLlcModel::coreStats(unsigned core) const
+{
+    const fastpath::CounterBank &c = counters_[core];
+    const fastpath::CounterBank &w = warmupBase_[core];
+    fastpath::ReplayStats s;
+    s.total = c;
+    s.total.misses = c.accesses - c.hits;
+    s.measured.accesses = c.accesses - w.accesses;
+    s.measured.hits = c.hits - w.hits;
+    s.measured.misses = s.measured.accesses - s.measured.hits;
+    s.measured.evictions = c.evictions - w.evictions;
+    s.measured.writebacks = c.writebacks - w.writebacks;
+    s.measured.demandAccesses = c.demandAccesses - w.demandAccesses;
+    s.measured.demandMisses = c.demandMisses - w.demandMisses;
+    if (duel_) {
+        const unsigned d = duelIndexOf(core);
+        s.finalWinner = selectors_[d].winner();
+        s.duelCounters = selectors_[d].counterValues();
+        s.leaderMisses = leaderMisses_[d];
+    }
+    return s;
+}
+
+} // namespace gippr::multicore

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Packed shared-LLC model for multi-programmed replay.
+ *
+ * SharedLlcModel is the fastpath backend of the multi-core engine:
+ * one packed cache (flat tag/signature arrays, valid/dirty bitmasks,
+ * one uint64 of PseudoLRU tree bits per set — the same layout as
+ * fastpath::SoaCacheModel) shared by N cores, each of which carries
+ * its own CounterBank and warmup snapshot.
+ *
+ * The per-access transition is a line-for-line mirror of
+ * SoaCacheModel::accessImpl — same event order (counters, duel update
+ * before victim selection, invalid-way fill in way order, writeback
+ * conventions), same promotion/insertion deposits — extended along
+ * two axes the single-core model cannot express:
+ *
+ *  - DuelScope: Global keeps one DGIPPR tournament exactly like the
+ *    single-core model; PerCore gives every core its own rotated
+ *    leader-set table and selector, so each tenant's duel bookkeeping
+ *    votes on its own sampled sets and applies its own winner.
+ *  - Way partitioning: per-core way masks restrict victim selection
+ *    (QoS / UCP-style).  While every mask is full the model takes the
+ *    exact unmasked victim path.
+ *
+ * With one core, no partitioning, and either duel scope (the PerCore
+ * rotation is the identity for core 0), the transition reduces
+ * bit-for-bit to SoaCacheModel — the 1-core identity gate
+ * tests/test_multicore_sim.cc enforces against ReplayEngine::replay.
+ */
+
+#ifndef GIPPR_SIM_MULTICORE_SHARED_MODEL_HH_
+#define GIPPR_SIM_MULTICORE_SHARED_MODEL_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "policies/set_dueling.hh"
+#include "sim/fastpath/replay_spec.hh"
+#include "sim/fastpath/soa_cache.hh"
+
+namespace gippr::multicore
+{
+
+/** Where DGIPPR duel bookkeeping lives in a shared cache. */
+enum class DuelScope
+{
+    Global,  ///< one tournament over all cores (single-core semantics)
+    PerCore, ///< per-core leader tables, selectors and winners
+};
+
+/** Parse "global" or "per-core"; fatal otherwise. */
+DuelScope parseDuelScope(const std::string &text);
+
+/** Stable display name. */
+const char *duelScopeName(DuelScope scope);
+
+/**
+ * Promotion/insertion vectors a spec's policy family applies —
+ * SoaCacheModel's mapping (Lru/Lip synthesize their fixed vectors,
+ * Plru needs none, IPV families use the spec's own).  Shared by the
+ * packed and scalar shared-LLC backends.
+ */
+std::vector<Ipv> effectiveReplayIpvs(const fastpath::ReplaySpec &spec,
+                                     unsigned ways);
+
+/**
+ * Rotation stride between per-core leader-set tables (PerCore scope):
+ * core c's table is the base LeaderSets map evaluated at
+ * (set + c * kLeaderSetRotate) mod sets.  Any odd constant
+ * decorrelates the cores' sampled sets; core 0's rotation is zero so
+ * a 1-core PerCore run matches the Global (and single-core) tables
+ * exactly.  Both shared-LLC backends must use this same constant.
+ */
+constexpr uint64_t kLeaderSetRotate = 97;
+
+/** N-core shared LLC over the packed fastpath state. */
+class SharedLlcModel
+{
+  public:
+    SharedLlcModel(const fastpath::ReplaySpec &spec,
+                   const CacheConfig &config, unsigned cores,
+                   DuelScope scope);
+
+    /** Same coverage as the single-core packed model. */
+    static bool supports(const fastpath::ReplaySpec &spec,
+                         const CacheConfig &config)
+    {
+        return fastpath::SoaCacheModel::supports(spec, config);
+    }
+
+    /** Perform one access on behalf of @p core. */
+    void access(unsigned core, uint64_t byte_addr, AccessType type);
+
+    /** Snapshot @p core's counters (the warmup convention). */
+    void markWarmup(unsigned core);
+
+    /**
+     * Restrict @p core's victim selection to the ways of @p mask
+     * (must be a non-empty subset of the geometry's ways).  Lines
+     * outside a core's mask persist until their owners evict them —
+     * the standard way-partitioning discipline.
+     */
+    void setWayMask(unsigned core, uint64_t mask);
+
+    uint64_t wayMask(unsigned core) const { return masks_[core]; }
+
+    /**
+     * @p core's statistics; duel fields mirror SoaCacheModel::stats()
+     * (Global scope reports the shared tournament to every core).
+     */
+    fastpath::ReplayStats coreStats(unsigned core) const;
+
+    unsigned cores() const { return static_cast<unsigned>(counters_.size()); }
+    uint64_t sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+    DuelScope duelScope() const { return scope_; }
+
+    uint64_t setIndex(uint64_t byte_addr) const
+    {
+        return (byte_addr >> blockShift_) & (sets_ - 1);
+    }
+
+    uint64_t tagOf(uint64_t byte_addr) const
+    {
+        return byte_addr >> (blockShift_ + setShift_);
+    }
+
+    /** True when an access by @p core to @p set is a demand miss the
+     *  shadow monitors should sample (line absent). */
+    bool wouldMiss(unsigned core, uint64_t set, uint64_t tag) const;
+
+  private:
+    enum class Family : uint8_t
+    {
+        Recency,
+        Plru,
+        TreeIpv,
+    };
+
+    unsigned duelIndexOf(unsigned core) const
+    {
+        return scope_ == DuelScope::PerCore ? core : 0;
+    }
+
+    unsigned ipvIndexFor(unsigned core, uint64_t set) const;
+    int findWay(uint64_t base, uint64_t tag, uint64_t valid) const;
+    unsigned unmaskedVictim(uint64_t set, uint64_t base) const;
+    unsigned maskedVictim(uint64_t set, uint64_t base,
+                          uint64_t mask) const;
+
+    // Geometry.
+    uint64_t sets_;
+    unsigned assoc_;
+    unsigned blockShift_;
+    unsigned setShift_;
+    uint64_t wayMask_;
+
+    // Policy.
+    Family family_;
+    bool duel_ = false;
+    DuelScope scope_;
+    std::vector<std::vector<uint8_t>> promo_;
+    std::vector<uint8_t> insert_;
+
+    // Packed state (SoaCacheModel layout).
+    std::vector<uint64_t> tags_;
+    std::vector<uint8_t> sig_;
+    std::vector<uint64_t> valid_;
+    std::vector<uint64_t> dirty_;
+    std::vector<uint64_t> tree_;
+    std::vector<uint8_t> pos_;
+
+    std::shared_ptr<const fastpath::TreeTables> tables_;
+    const uint64_t *clearMask_ = nullptr;
+    const uint64_t *deposit_ = nullptr;
+    const uint8_t *victimLut_ = nullptr;
+
+    /**
+     * Duel state, one slot for Global scope, one per core for
+     * PerCore.  owners_[d][set] is the leading vector of @p set in
+     * duel domain d (PerCore domains use the base leader map rotated
+     * by a per-core offset; domain 0's rotation is the identity).
+     */
+    std::vector<std::vector<int8_t>> owners_;
+    std::vector<TournamentSelector> selectors_;
+    std::vector<unsigned> winner_;
+    std::vector<std::vector<uint64_t>> leaderMisses_;
+
+    // QoS way masks.
+    std::vector<uint64_t> masks_;
+    bool partitioned_ = false;
+
+    // Per-core counters + warmup snapshots.
+    std::vector<fastpath::CounterBank> counters_;
+    std::vector<fastpath::CounterBank> warmupBase_;
+};
+
+} // namespace gippr::multicore
+
+#endif // GIPPR_SIM_MULTICORE_SHARED_MODEL_HH_

@@ -3,7 +3,7 @@
  * Multicore simulation implementation.
  */
 
-#include "sim/multicore.hh"
+#include "sim/multicore/system_sim.hh"
 
 #include "policies/lru.hh"
 #include "util/check.hh"

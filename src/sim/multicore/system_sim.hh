@@ -17,8 +17,8 @@
  * speedup (mean of per-core IPC ratios against a baseline run).
  */
 
-#ifndef GIPPR_SIM_MULTICORE_HH_
-#define GIPPR_SIM_MULTICORE_HH_
+#ifndef GIPPR_SIM_MULTICORE_SYSTEM_SIM_HH_
+#define GIPPR_SIM_MULTICORE_SYSTEM_SIM_HH_
 
 #include <memory>
 #include <vector>
@@ -80,4 +80,4 @@ simulateMulticore(const std::vector<const Trace *> &traces,
 
 } // namespace gippr
 
-#endif // GIPPR_SIM_MULTICORE_HH_
+#endif // GIPPR_SIM_MULTICORE_SYSTEM_SIM_HH_

@@ -310,6 +310,51 @@ PhasedGenerator::next(Rng &rng)
     return phases_[current_].gen->next(rng);
 }
 
+KvCacheGenerator::KvCacheGenerator(const GenParams &params,
+                                   std::vector<Tenant> tenants,
+                                   uint64_t seed, uint64_t churn_every)
+    : params_(params), seed_(seed), churnEvery_(churn_every)
+{
+    GIPPR_CHECK(!tenants.empty());
+    double cum = 0.0;
+    uint64_t base = params_.regionBase;
+    for (const Tenant &t : tenants) {
+        GIPPR_CHECK(t.keys >= 1);
+        GIPPR_CHECK(t.weight > 0.0);
+        tenants_.push_back({ZipfSampler(t.keys, t.theta), base,
+                            t.writeFrac});
+        cum += t.weight;
+        cumWeight_.push_back(cum);
+        // Disjoint per-tenant ranges, padded so neighbouring tenants
+        // never alias even after the scatter hash's modulo.
+        base += t.keys + 4096;
+    }
+}
+
+MemRecord
+KvCacheGenerator::next(Rng &rng)
+{
+    double pick = rng.nextDouble() * cumWeight_.back();
+    size_t t = 0;
+    while (t + 1 < tenants_.size() && pick >= cumWeight_[t])
+        ++t;
+    const TenantState &ts = tenants_[t];
+    uint64_t rank = ts.sampler.sample(rng);
+    // Epoch-salted scatter: with churn enabled each epoch maps ranks
+    // to a fresh block set, so the previous epoch's keys go cold.
+    uint64_t epoch = churnEvery_ ? emitted_ / churnEvery_ : 0;
+    ++emitted_;
+    uint64_t block =
+        ts.base + mix64(rank ^ seed_ ^
+                        (epoch * 0x9e3779b97f4a7c15ULL)) %
+                      ts.sampler.n();
+    // Stable per-tenant PCs, split by hot/cold rank band so signature
+    // policies can tell tenants and popularity classes apart.
+    uint64_t pc = params_.pcBase + t * 64 + (rank % 8) * 4;
+    return makeRecord(block, pc, sampleGap(rng, params_.meanGap),
+                      rng.nextBool(ts.writeFrac));
+}
+
 MixGenerator::MixGenerator(std::vector<Component> components)
     : components_(std::move(components))
 {

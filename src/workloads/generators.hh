@@ -271,6 +271,62 @@ class PhasedGenerator : public AccessGenerator
     uint64_t emitted_ = 0;
 };
 
+/**
+ * Multi-tenant KV-cache traffic: several user populations share one
+ * cache, each issuing GET/SET requests for Zipf-popular keys.
+ *
+ * Every reference first picks a tenant by arrival weight, then draws a
+ * key rank from that tenant's own Zipf sampler and scatters it over
+ * the tenant's disjoint block range with a seeded hash — so streams
+ * are fully determined by (tenants, seed, rng seed).  Optional key
+ * churn re-salts the rank->block map every @p churn_every references,
+ * modelling TTL expiry / key-set rotation: old keys go dead and the
+ * new epoch's keys arrive cold.
+ */
+class KvCacheGenerator : public AccessGenerator
+{
+  public:
+    /** One user population. */
+    struct Tenant
+    {
+        /** Key population size, in blocks. */
+        uint64_t keys;
+        /** Zipf skew of the tenant's key popularity. */
+        double theta;
+        /** Relative share of arriving requests. */
+        double weight;
+        /** SET (store) fraction of the tenant's requests. */
+        double writeFrac;
+    };
+
+    /**
+     * @param tenants      populations sharing the cache (>= 1)
+     * @param seed         key-scatter hash seed
+     * @param churn_every  references between key-set rotations
+     *                     (0 = keys never churn)
+     */
+    KvCacheGenerator(const GenParams &params, std::vector<Tenant> tenants,
+                     uint64_t seed, uint64_t churn_every = 0);
+
+    MemRecord next(Rng &rng) override;
+    std::string name() const override { return "kvcache"; }
+
+  private:
+    struct TenantState
+    {
+        ZipfSampler sampler;
+        uint64_t base;     ///< first block of the tenant's range
+        double writeFrac;
+    };
+
+    GenParams params_;
+    std::vector<TenantState> tenants_;
+    std::vector<double> cumWeight_; ///< running arrival-weight sums
+    uint64_t seed_;
+    uint64_t churnEvery_;
+    uint64_t emitted_ = 0;
+};
+
 /** Statistical interleaving of child generators. */
 class MixGenerator : public AccessGenerator
 {

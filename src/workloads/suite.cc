@@ -378,4 +378,71 @@ SyntheticSuite::names() const
     return out;
 }
 
+std::vector<WorkloadSpec>
+kvCacheFamily(SuiteParams params)
+{
+    const uint64_t C = params.llcBlocks;
+    const uint64_t N = params.accessesPerSimpoint;
+    const uint64_t seed0 = params.baseSeed;
+    using Tenant = KvCacheGenerator::Tenant;
+
+    std::vector<WorkloadSpec> specs;
+    unsigned widx = 64; // region indices clear of the 30-suite range
+
+    auto add = [&](const std::string &name,
+                   std::function<std::unique_ptr<AccessGenerator>(
+                       GenParams, uint64_t)> maker) {
+        GenParams gp;
+        gp.regionBase = regionFor(widx, 0);
+        gp.pcBase = pcFor(widx, 0);
+        SimpointSpec sp;
+        uint64_t seed = seed0 + 0x4b00 + widx * 131;
+        sp.make = [maker, gp, seed]() { return maker(gp, seed); };
+        sp.accesses = N;
+        sp.weight = 1.0;
+        sp.seed = seed;
+        WorkloadSpec spec;
+        spec.name = name;
+        spec.capacityBlocks = C;
+        spec.simpoints.push_back(std::move(sp));
+        specs.push_back(std::move(spec));
+        ++widx;
+    };
+
+    // Four tenants with YCSB-style skews and unequal request shares.
+    add("kv_zipf_4t", [C](GenParams gp, uint64_t seed) {
+        std::vector<Tenant> t = {{C / 2, 0.99, 4.0, 0.10},
+                                 {C, 0.80, 2.0, 0.20},
+                                 {2 * C, 0.70, 1.0, 0.30},
+                                 {4 * C, 0.50, 1.0, 0.05}};
+        return std::make_unique<KvCacheGenerator>(gp, std::move(t),
+                                                  seed);
+    });
+    // One dominant hot tenant against three cold long-tail tenants.
+    add("kv_hot_tenant", [C](GenParams gp, uint64_t seed) {
+        std::vector<Tenant> t = {{C / 2, 0.99, 8.0, 0.10},
+                                 {4 * C, 0.20, 1.0, 0.20},
+                                 {4 * C, 0.20, 1.0, 0.20},
+                                 {4 * C, 0.20, 1.0, 0.20}};
+        return std::make_unique<KvCacheGenerator>(gp, std::move(t),
+                                                  seed);
+    });
+    // TTL-style key churn: the rank->block map rotates 8 times.
+    add("kv_churn", [C, N](GenParams gp, uint64_t seed) {
+        std::vector<Tenant> t = {{C, 0.90, 3.0, 0.15},
+                                 {2 * C, 0.60, 1.0, 0.25}};
+        return std::make_unique<KvCacheGenerator>(gp, std::move(t),
+                                                  seed, N / 8);
+    });
+    // A small hot tenant polluted by a near-uniform huge tenant.
+    add("kv_scan_victim", [C](GenParams gp, uint64_t seed) {
+        std::vector<Tenant> t = {{C / 4, 0.95, 2.0, 0.10},
+                                 {16 * C, 0.05, 1.0, 0.00}};
+        return std::make_unique<KvCacheGenerator>(gp, std::move(t),
+                                                  seed);
+    });
+
+    return specs;
+}
+
 } // namespace gippr

@@ -86,6 +86,17 @@ class SyntheticSuite
     std::vector<WorkloadSpec> specs_;
 };
 
+/**
+ * The Zipf KV-cache multi-tenant serving family: four workloads whose
+ * streams model user populations sharing one cache (skewed tenant
+ * mixes, a dominant hot tenant, TTL-style key churn, and a scan
+ * victim).  Deliberately kept OUT of the 30-workload suite so the
+ * suite's golden digests and sweep results stay stable; the
+ * multi-core mixes resolve names against the suite first and then
+ * against this family.
+ */
+std::vector<WorkloadSpec> kvCacheFamily(SuiteParams params = {});
+
 } // namespace gippr
 
 #endif // GIPPR_WORKLOADS_SUITE_HH_

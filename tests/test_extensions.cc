@@ -12,7 +12,7 @@
 #include "cache/cache.hh"
 #include "core/bypass_gippr.hh"
 #include "core/rrip_ipv.hh"
-#include "sim/multicore.hh"
+#include "sim/multicore/system_sim.hh"
 #include "sim/policy_zoo.hh"
 #include "util/rng.hh"
 #include "workloads/generators.hh"

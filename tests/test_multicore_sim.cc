@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Tests for the shared-LLC multi-core serving simulator.
+ *
+ * Four layers:
+ *
+ *  1. Unit tests of the deterministic plumbing — interleaving
+ *     schedules, mix parsing, way-mask construction, the UCP utility
+ *     monitor and the analytic fairness metrics (hand-computed
+ *     expectations).
+ *  2. The 1-core bit-identity gate: a 1-core mix replayed through the
+ *     shared model (either backend, either duel scope, either
+ *     schedule) must return per-core ReplayStats bit-identical to the
+ *     existing single-core ReplayEngine on the same trace and warmup
+ *     boundary.  This is what makes the multicore mode a strict
+ *     generalization of the single-core experiments.
+ *  3. The scalar-vs-fast differential oracle on real 2- and 4-core
+ *     mixes: the packed SharedLlcModel and the scalar ScalarSharedLlc
+ *     replay the identical interleaved stream and must agree on every
+ *     core's full statistics (counters, duel state) across policies,
+ *     schedules, duel scopes and partitioning modes.
+ *  4. End-to-end properties: run-to-run determinism, utility
+ *     repartitioning activity, and full way masks degenerating to the
+ *     unpartitioned transition.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/config.hh"
+#include "cache/hierarchy.hh"
+#include "core/vectors.hh"
+#include "sim/fastpath/engine.hh"
+#include "sim/multicore/engine.hh"
+#include "sim/multicore/fairness.hh"
+#include "sim/multicore/mix.hh"
+#include "sim/multicore/partition.hh"
+#include "sim/multicore/schedule.hh"
+#include "sim/multicore/shared_model.hh"
+#include "sim/trace_cache.hh"
+#include "util/rng.hh"
+#include "workloads/suite.hh"
+
+namespace gippr
+{
+namespace
+{
+
+using namespace gippr::multicore;
+
+/** Small LLC so streams wrap the set space and evict constantly. */
+CacheConfig
+smallLlc()
+{
+    CacheConfig cfg;
+    cfg.name = "llc";
+    cfg.sizeBytes = 64 * 1024; // 64 sets at 16 ways
+    cfg.assoc = 16;
+    cfg.blockBytes = 64;
+    return cfg;
+}
+
+/** The seven replayable core policies at 16 ways. */
+std::vector<std::pair<std::string, fastpath::ReplaySpec>>
+allSpecs()
+{
+    return {{"LRU", fastpath::lruSpec()},
+            {"LIP", fastpath::lipSpec()},
+            {"GIPLR", fastpath::giplrSpec(local_vectors::giplr())},
+            {"PLRU", fastpath::plruSpec()},
+            {"GIPPR", fastpath::gipprSpec(local_vectors::gippr())},
+            {"DGIPPR2", fastpath::dgipprSpec(local_vectors::dgippr2())},
+            {"DGIPPR4", fastpath::dgipprSpec(local_vectors::dgippr4())}};
+}
+
+/** Shared suite + trace memo so every test reuses filtered traces. */
+const SyntheticSuite &
+testSuite()
+{
+    static SyntheticSuite suite([] {
+        SuiteParams p;
+        p.llcBlocks = 16384;
+        p.accessesPerSimpoint = 60'000;
+        p.baseSeed = 0x5eed;
+        return p;
+    }());
+    return suite;
+}
+
+std::vector<CoreStream>
+streamsFor(const std::string &mix_text, unsigned cores)
+{
+    static LlcTraceCache cache;
+    HierarchyConfig hier;
+    hier.llc = CacheConfig::benchLlc();
+    return buildCoreStreams(parseMixSpec(mix_text, cores), testSuite(),
+                            hier, &cache);
+}
+
+RunParams
+baseParams(const fastpath::ReplaySpec &spec)
+{
+    RunParams params;
+    params.llc = smallLlc();
+    params.policy = spec;
+    return params;
+}
+
+// ---------------------------------------------------------------- 1.
+
+TEST(MulticoreSchedule, RoundRobinSkipsFinishedStreams)
+{
+    Interleaver il(Schedule::RoundRobin, {3, 1, 2}, {1, 1, 1});
+    std::vector<int> order;
+    for (int c; (c = il.next()) >= 0;)
+        order.push_back(c);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 2, 0}));
+    EXPECT_EQ(il.next(), -1);
+}
+
+TEST(MulticoreSchedule, WeightedStrideFavorsHeavyCores)
+{
+    // Virtual times (issued+1)/weight with weights {2, 1}: core 0
+    // issues twice per core-1 issue, ties to the lower core id.
+    Interleaver il(Schedule::Weighted, {4, 2}, {2, 1});
+    std::vector<int> order;
+    for (int c; (c = il.next()) >= 0;)
+        order.push_back(c);
+    EXPECT_EQ(order, (std::vector<int>{0, 0, 1, 0, 0, 1}));
+    EXPECT_EQ(il.issued(0), 4u);
+    EXPECT_EQ(il.issued(1), 2u);
+}
+
+TEST(MulticoreSchedule, SingleCoreDegeneratesToSequential)
+{
+    for (Schedule s : {Schedule::RoundRobin, Schedule::Weighted}) {
+        Interleaver il(s, {5}, {3});
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(il.next(), 0);
+        EXPECT_EQ(il.next(), -1);
+    }
+}
+
+TEST(MulticoreSchedule, ParseNames)
+{
+    EXPECT_EQ(parseSchedule("rr"), Schedule::RoundRobin);
+    EXPECT_EQ(parseSchedule("round-robin"), Schedule::RoundRobin);
+    EXPECT_EQ(parseSchedule("weighted"), Schedule::Weighted);
+    EXPECT_THROW(parseSchedule("fifo"), std::runtime_error);
+}
+
+TEST(MulticoreMix, PresetsHaveFourTenants)
+{
+    const std::vector<MixSpec> &presets = presetMixes();
+    ASSERT_EQ(presets.size(), 5u);
+    for (const MixSpec &m : presets)
+        EXPECT_EQ(m.tenants.size(), 4u) << m.name;
+    const MixSpec kv = parseMixSpec("kv-serving", 4);
+    ASSERT_EQ(kv.tenants.size(), 4u);
+    EXPECT_EQ(kv.tenants[0].workload, "kv_zipf_4t");
+    EXPECT_EQ(kv.tenants[0].weight, 2u);
+    EXPECT_EQ(kv.tenants[1].weight, 4u);
+}
+
+TEST(MulticoreMix, CustomListsCycleAndTruncate)
+{
+    const MixSpec cycled = parseMixSpec("loop_thrash:2,zipf_hot", 3);
+    ASSERT_EQ(cycled.tenants.size(), 3u);
+    EXPECT_EQ(cycled.tenants[0].workload, "loop_thrash");
+    EXPECT_EQ(cycled.tenants[0].weight, 2u);
+    EXPECT_EQ(cycled.tenants[1].workload, "zipf_hot");
+    EXPECT_EQ(cycled.tenants[2].workload, "loop_thrash");
+    EXPECT_EQ(cycled.tenants[2].weight, 2u);
+
+    const MixSpec truncated = parseMixSpec("balanced", 2);
+    EXPECT_EQ(truncated.tenants.size(), 2u);
+
+    EXPECT_THROW(parseMixSpec("", 2), std::runtime_error);
+    EXPECT_THROW(parseMixSpec("loop_thrash:0", 2), std::runtime_error);
+}
+
+TEST(MulticoreMix, UnknownWorkloadIsFatal)
+{
+    EXPECT_THROW(streamsFor("no_such_workload", 1), std::runtime_error);
+}
+
+TEST(MulticoreMix, ResolvesSuiteAndKvFamily)
+{
+    const std::vector<CoreStream> streams =
+        streamsFor("zipf_hot,kv_zipf_4t", 2);
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].workload, "zipf_hot");
+    EXPECT_EQ(streams[1].workload, "kv_zipf_4t");
+    for (const CoreStream &s : streams) {
+        ASSERT_NE(s.trace, nullptr);
+        EXPECT_GT(s.trace->size(), 0u);
+        EXPECT_GT(s.instructions, 0u);
+    }
+}
+
+TEST(MulticorePartition, MasksFromCountsAreContiguousAndDisjoint)
+{
+    const std::vector<uint64_t> masks = masksFromCounts({8, 4, 2, 2}, 16);
+    ASSERT_EQ(masks.size(), 4u);
+    EXPECT_EQ(masks[0], 0x00FFull);
+    EXPECT_EQ(masks[1], 0x0F00ull);
+    EXPECT_EQ(masks[2], 0x3000ull);
+    EXPECT_EQ(masks[3], 0xC000ull);
+
+    // Leftover ways join the last core so the cache stays allocatable.
+    const std::vector<uint64_t> slack = masksFromCounts({8, 4}, 16);
+    EXPECT_EQ(slack[0], 0x00FFull);
+    EXPECT_EQ(slack[1], 0xFF00ull);
+
+    // Overcommitted or degenerate counts are hard errors even in
+    // builds without GIPPR_CHECK (the sum would wrap the leftover
+    // arithmetic otherwise).
+    EXPECT_THROW(masksFromCounts({9, 9}, 16), std::runtime_error);
+    EXPECT_THROW(masksFromCounts({0, 4}, 16), std::runtime_error);
+    EXPECT_THROW(masksFromCounts({}, 16), std::runtime_error);
+}
+
+TEST(MulticorePartition, EvenSplitCoversAllWays)
+{
+    EXPECT_EQ(evenSplit(4, 16), (std::vector<unsigned>{4, 4, 4, 4}));
+    EXPECT_EQ(evenSplit(3, 16), (std::vector<unsigned>{6, 5, 5}));
+}
+
+TEST(MulticorePartition, ParseSpecs)
+{
+    EXPECT_EQ(parsePartition("none", 4).mode, PartitionMode::None);
+    const PartitionConfig st = parsePartition("static:8,4,2,2", 4);
+    EXPECT_EQ(st.mode, PartitionMode::Static);
+    EXPECT_EQ(st.staticWays, (std::vector<unsigned>{8, 4, 2, 2}));
+    const PartitionConfig ut = parsePartition("utility:4096", 4);
+    EXPECT_EQ(ut.mode, PartitionMode::Utility);
+    EXPECT_EQ(ut.repartitionEvery, 4096u);
+    EXPECT_THROW(parsePartition("static:8,4", 4), std::runtime_error);
+    EXPECT_THROW(parsePartition("bogus", 4), std::runtime_error);
+}
+
+TEST(MulticorePartition, UtilityMonitorHistogramsAndAllocation)
+{
+    UtilityMonitor monitor(/*sets=*/64, /*assoc=*/4, /*cores=*/2,
+                           /*sample_every=*/32);
+    EXPECT_TRUE(monitor.sampled(0));
+    EXPECT_FALSE(monitor.sampled(1));
+    EXPECT_TRUE(monitor.sampled(32));
+
+    // Core 0: tags 1, 2, 1 -> miss, miss, hit at stack position 1.
+    monitor.observe(0, 0, 1);
+    monitor.observe(0, 0, 2);
+    monitor.observe(0, 0, 1);
+    EXPECT_EQ(monitor.shadowMisses(0), 2u);
+    EXPECT_EQ(monitor.hitHistogram(0)[1], 1u);
+
+    // Core 0 has all the utility, so it gets every contested way.
+    const std::vector<unsigned> counts = monitor.allocate();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0] + counts[1], 4u);
+    EXPECT_GE(counts[0], counts[1]);
+    EXPECT_GE(counts[1], 1u);
+
+    // With 1 way core 0 still misses the position-1 hit; with 2 it
+    // captures it.
+    EXPECT_EQ(monitor.missesAt(0, 1), 3u);
+    EXPECT_EQ(monitor.missesAt(0, 2), 2u);
+
+    monitor.decay();
+    EXPECT_EQ(monitor.shadowMisses(0), 1u);
+    EXPECT_EQ(monitor.hitHistogram(0)[1], 0u);
+}
+
+TEST(MulticoreFairness, HandComputedMetrics)
+{
+    const LatencyModel model; // 0.25 CPI, 35-cycle hit, 200-cycle miss
+    fastpath::CounterBank solo;
+    solo.demandAccesses = 100;
+    solo.demandMisses = 10;
+    fastpath::CounterBank shared = solo;
+    shared.demandMisses = 20;
+
+    // solo: 1000*0.25 + 90*35 + 10*200 = 5400 cycles
+    // shared: 1000*0.25 + 80*35 + 20*200 = 7050 cycles
+    EXPECT_DOUBLE_EQ(modelCycles(model, 1000, solo), 5400.0);
+    EXPECT_DOUBLE_EQ(modelCycles(model, 1000, shared), 7050.0);
+
+    const FairnessReport report =
+        computeFairness(model, {1000}, {shared}, {solo});
+    ASSERT_EQ(report.cores.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.cores[0].soloIpc, 1000.0 / 5400.0);
+    EXPECT_DOUBLE_EQ(report.cores[0].sharedIpc, 1000.0 / 7050.0);
+    EXPECT_DOUBLE_EQ(report.cores[0].slowdown, 7050.0 / 5400.0);
+    EXPECT_DOUBLE_EQ(report.cores[0].mpki, 20.0);
+    EXPECT_DOUBLE_EQ(report.weightedSpeedup, 5400.0 / 7050.0);
+    EXPECT_DOUBLE_EQ(report.maxSlowdown, 7050.0 / 5400.0);
+    EXPECT_DOUBLE_EQ(report.throughput, 1000.0 / 7050.0);
+}
+
+// ---------------------------------------------------------------- 2.
+
+TEST(MulticoreIdentity, SharedModelMatchesReplayEngine)
+{
+    const std::vector<CoreStream> streams = streamsFor("zipf_hot", 1);
+    ASSERT_EQ(streams.size(), 1u);
+    const size_t warmup = static_cast<size_t>(
+        static_cast<double>(streams[0].trace->size()) * (1.0 / 3.0));
+
+    for (const auto &[name, spec] : allSpecs()) {
+        const fastpath::FastReplayEngine fast(1);
+        const fastpath::ScalarReplayEngine scalar;
+        const fastpath::ReplayStats fast_ref =
+            fast.replay(spec, smallLlc(), *streams[0].trace, warmup);
+        const fastpath::ReplayStats scalar_ref =
+            scalar.replay(spec, smallLlc(), *streams[0].trace, warmup);
+
+        for (Backend backend : {Backend::Fast, Backend::Scalar}) {
+            const fastpath::ReplayStats &ref =
+                backend == Backend::Fast ? fast_ref : scalar_ref;
+            for (DuelScope scope :
+                 {DuelScope::Global, DuelScope::PerCore}) {
+                for (Schedule sched :
+                     {Schedule::RoundRobin, Schedule::Weighted}) {
+                    RunParams params = baseParams(spec);
+                    params.backend = backend;
+                    params.duelScope = scope;
+                    params.schedule = sched;
+                    const RunResult res =
+                        runSharedLlc(streams, params);
+                    ASSERT_EQ(res.cores.size(), 1u);
+                    EXPECT_EQ(res.cores[0].stats, ref)
+                        << name << " backend=" << backendName(backend)
+                        << " duel=" << duelScopeName(scope)
+                        << " sched=" << scheduleName(sched);
+                    // Solo baseline replays the same trace: identical.
+                    EXPECT_EQ(res.cores[0].solo, ref) << name;
+                    EXPECT_DOUBLE_EQ(res.fairness.weightedSpeedup, 1.0)
+                        << name;
+                    EXPECT_DOUBLE_EQ(res.fairness.maxSlowdown, 1.0)
+                        << name;
+                }
+            }
+            // The CLI's --reference-single path must sit exactly on
+            // the ReplayEngine result too.
+            RunParams params = baseParams(spec);
+            params.backend = backend;
+            const RunResult ref_res =
+                runSingleCoreReference(streams[0], params);
+            EXPECT_EQ(ref_res.cores[0].stats, ref) << name;
+            EXPECT_EQ(ref_res.cores[0].solo, ref) << name;
+        }
+    }
+}
+
+TEST(MulticoreIdentity, MeasuredInstructionWindow)
+{
+    const std::vector<CoreStream> streams = streamsFor("loop_fit", 1);
+    RunParams params = baseParams(fastpath::lruSpec());
+    const RunResult res = runSharedLlc(streams, params);
+    const uint64_t len = streams[0].trace->size();
+    const auto warm = static_cast<uint64_t>(
+        static_cast<double>(len) * params.warmupFraction);
+    const uint64_t expect = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(streams[0].instructions) *
+        (len - warm) / len);
+    EXPECT_EQ(res.cores[0].measuredInstructions, expect);
+    EXPECT_EQ(res.cores[0].instructions, streams[0].instructions);
+}
+
+// ---------------------------------------------------------------- 3.
+
+void
+expectBackendsAgree(const std::vector<CoreStream> &streams,
+                    RunParams params, const std::string &label)
+{
+    params.computeSolo = false; // solo paths are covered elsewhere
+    params.backend = Backend::Fast;
+    const RunResult fast = runSharedLlc(streams, params);
+    params.backend = Backend::Scalar;
+    const RunResult scalar = runSharedLlc(streams, params);
+    ASSERT_EQ(fast.cores.size(), scalar.cores.size());
+    for (size_t c = 0; c < fast.cores.size(); ++c)
+        EXPECT_EQ(fast.cores[c].stats, scalar.cores[c].stats)
+            << label << " core " << c;
+    EXPECT_EQ(fast.wayCounts, scalar.wayCounts) << label;
+    EXPECT_EQ(fast.repartitions, scalar.repartitions) << label;
+}
+
+TEST(MulticoreOracle, ScalarVsFastOnMultiCoreMixes)
+{
+    const std::vector<std::pair<std::string, unsigned>> mixes = {
+        {"balanced", 2}, {"kv-serving", 4}};
+    for (const auto &[mix, cores] : mixes) {
+        const std::vector<CoreStream> streams = streamsFor(mix, cores);
+        for (const auto &[name, spec] : allSpecs()) {
+            const std::string label = mix + "/" + name;
+            // Free-for-all, strict round-robin, one global duel.
+            expectBackendsAgree(streams, baseParams(spec),
+                                label + "/rr-global-none");
+
+            // Weighted arrivals, per-core duels, static partition.
+            RunParams contended = baseParams(spec);
+            contended.schedule = Schedule::Weighted;
+            contended.duelScope = DuelScope::PerCore;
+            contended.partition.mode = PartitionMode::Static;
+            contended.partition.staticWays =
+                evenSplit(cores, contended.llc.assoc);
+            expectBackendsAgree(streams, contended,
+                                label + "/weighted-percore-static");
+        }
+        // Utility repartitioning exercises the monitor + mask flips
+        // on both backends at the same ticks.
+        RunParams utility =
+            baseParams(fastpath::dgipprSpec(local_vectors::dgippr2()));
+        utility.duelScope = DuelScope::PerCore;
+        utility.partition.mode = PartitionMode::Utility;
+        utility.partition.repartitionEvery = 8192;
+        expectBackendsAgree(streams, utility, mix + "/utility");
+    }
+}
+
+// ---------------------------------------------------------------- 4.
+
+TEST(MulticoreEndToEnd, RunToRunDeterminism)
+{
+    const std::vector<CoreStream> streams = streamsFor("kv-serving", 4);
+    RunParams params =
+        baseParams(fastpath::dgipprSpec(local_vectors::dgippr4()));
+    params.schedule = Schedule::Weighted;
+    params.duelScope = DuelScope::PerCore;
+    const RunResult a = runSharedLlc(streams, params);
+    const RunResult b = runSharedLlc(streams, params);
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].stats, b.cores[c].stats);
+        EXPECT_EQ(a.cores[c].solo, b.cores[c].solo);
+        EXPECT_EQ(a.cores[c].measuredInstructions,
+                  b.cores[c].measuredInstructions);
+    }
+    EXPECT_EQ(a.fairness.weightedSpeedup, b.fairness.weightedSpeedup);
+    EXPECT_EQ(a.fairness.maxSlowdown, b.fairness.maxSlowdown);
+}
+
+TEST(MulticoreEndToEnd, UtilityRepartitioningActivates)
+{
+    const std::vector<CoreStream> streams = streamsFor("balanced", 4);
+    RunParams params = baseParams(fastpath::lruSpec());
+    params.computeSolo = false;
+    params.partition.mode = PartitionMode::Utility;
+    params.partition.repartitionEvery = 4096;
+    const RunResult res = runSharedLlc(streams, params);
+    EXPECT_GT(res.repartitions, 0u);
+    ASSERT_EQ(res.wayCounts.size(), 4u);
+    unsigned total = 0;
+    for (unsigned w : res.wayCounts) {
+        EXPECT_GE(w, 1u);
+        total += w;
+    }
+    EXPECT_LE(total, params.llc.assoc);
+}
+
+TEST(MulticoreEndToEnd, FullMasksMatchUnpartitionedTransition)
+{
+    const fastpath::ReplaySpec spec =
+        fastpath::gipprSpec(local_vectors::gippr());
+    const CacheConfig llc = smallLlc();
+    SharedLlcModel plain(spec, llc, 2, DuelScope::Global);
+    SharedLlcModel masked(spec, llc, 2, DuelScope::Global);
+    const uint64_t full = (1ull << llc.assoc) - 1;
+    masked.setWayMask(0, full);
+    masked.setWayMask(1, full);
+
+    Rng rng(0xfeed);
+    for (int i = 0; i < 200'000; ++i) {
+        const auto core = static_cast<unsigned>(rng.nextBounded(2));
+        const uint64_t addr = rng.nextBounded(1 << 20) * 64ull;
+        const AccessType type = rng.nextBool(0.2) ? AccessType::Store
+                                                  : AccessType::Load;
+        plain.access(core, addr, type);
+        masked.access(core, addr, type);
+    }
+    for (unsigned core = 0; core < 2; ++core)
+        EXPECT_EQ(plain.coreStats(core), masked.coreStats(core))
+            << "core " << core;
+}
+
+} // namespace
+} // namespace gippr

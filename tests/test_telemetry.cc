@@ -387,7 +387,13 @@ validTraceBytes(uint64_t records)
     Trace t;
     for (uint64_t i = 0; i < records; ++i)
         t.append({1, 0x1000 + 64 * i, 0x400000, false});
-    std::string path = ::testing::TempDir() + "gippr_valid.gptr";
+    // Unique per test: ctest runs each discovered test as its own
+    // process in parallel, and a shared scratch name races (one
+    // process removes the file while another is reading it back).
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string path = ::testing::TempDir() + "gippr_valid_" +
+                       info->name() + ".gptr";
     writeTrace(t, path);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     EXPECT_NE(f, nullptr);

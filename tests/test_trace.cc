@@ -103,7 +103,12 @@ class TraceIoTest : public ::testing::Test
     std::string
     tempPath()
     {
-        return ::testing::TempDir() + "gippr_trace_test.bin";
+        // Unique per test: ctest runs each discovered test as its own
+        // process in parallel, so a shared file name races.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return ::testing::TempDir() + "gippr_trace_test_" +
+               info->name() + ".bin";
     }
 
     void TearDown() override { std::remove(tempPath().c_str()); }
