@@ -27,6 +27,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/hot.hh"
+
 namespace gippr::robust
 {
 
@@ -34,7 +36,8 @@ namespace gippr::robust
  * CRC-32 (IEEE 802.3 polynomial, as in zlib) of @p len bytes at
  * @p data, continuing from @p crc (pass 0 to start a new checksum).
  */
-uint32_t crc32(const void *data, size_t len, uint32_t crc = 0);
+GIPPR_HOT uint32_t crc32(const void *data, size_t len,
+                         uint32_t crc = 0);
 
 /** Retry knobs for transient-failure paths. */
 struct RetryPolicy

@@ -49,12 +49,13 @@
 #include "sim/fastpath/replay_spec.hh"
 #include "util/bitops.hh"
 #include "util/check.hh"
+#include "util/hot.hh"
 
 namespace gippr::fastpath
 {
 
 /** PLRU victim: walk the packed bits from the root (Fig. 5). */
-inline unsigned
+GIPPR_HOT inline unsigned
 packedFindPlru(uint64_t word, unsigned ways)
 {
     unsigned p = 0;
@@ -64,7 +65,7 @@ packedFindPlru(uint64_t word, unsigned ways)
 }
 
 /** Recency-stack position of @p way in the packed tree (Fig. 7). */
-inline unsigned
+GIPPR_HOT inline unsigned
 packedPosition(uint64_t word, unsigned ways, unsigned way)
 {
     unsigned x = 0;
@@ -83,7 +84,7 @@ packedPosition(uint64_t word, unsigned ways, unsigned way)
 }
 
 /** Write path bits so @p way occupies position @p x (Fig. 9). */
-inline uint64_t
+GIPPR_HOT inline uint64_t
 packedSetPosition(uint64_t word, unsigned ways, unsigned way, unsigned x)
 {
     unsigned i = 0;
@@ -100,7 +101,7 @@ packedSetPosition(uint64_t word, unsigned ways, unsigned way, unsigned x)
 }
 
 /** Classic PLRU promotion: point every path bit away (Fig. 6). */
-inline uint64_t
+GIPPR_HOT inline uint64_t
 packedPromoteMru(uint64_t word, unsigned ways, unsigned way)
 {
     unsigned q = ways - 1 + way;
@@ -185,7 +186,7 @@ class SoaCacheModel
     };
 
     /** Perform one access (defined inline: the replay hot path). */
-    Step access(uint64_t set, uint64_t tag, AccessType type);
+    GIPPR_HOT Step access(uint64_t set, uint64_t tag, AccessType type);
 
     /**
      * Batched hot path: the same transition as access() — the
@@ -197,7 +198,8 @@ class SoaCacheModel
      * per-genome replay is the oracle the batched kernel is validated
      * against.
      */
-    Step accessBatched(uint64_t set, uint64_t tag, AccessType type)
+    GIPPR_HOT Step accessBatched(uint64_t set, uint64_t tag,
+                                 AccessType type)
     {
         return accessImpl<true>(set, tag, type);
     }
@@ -217,13 +219,13 @@ class SoaCacheModel
      * gather.  Bit-identical to access() by the same argument as the
      * generic batched path; tests/test_batched_equiv.cc enforces it.
      */
-    __attribute__((target("bmi2"))) Step
+    GIPPR_HOT __attribute__((target("bmi2"))) Step
     accessBatched16(uint64_t set, uint64_t tag, AccessType type);
 #endif
 
     /** Credit @p accesses records (@p demand of them demand) to the
      *  counters; pairs with accessBatched(). */
-    void addStreamCounters(uint64_t accesses, uint64_t demand)
+    GIPPR_HOT void addStreamCounters(uint64_t accesses, uint64_t demand)
     {
         counters_.accesses += accesses;
         counters_.demandAccesses += demand;
@@ -232,7 +234,8 @@ class SoaCacheModel
     /** Credit outcome counters accumulated in the chunk loop's
      *  registers; pairs with accessBatched16(), which leaves them to
      *  the caller. */
-    void addOutcomeCounters(uint64_t hits, uint64_t demand_misses,
+    GIPPR_HOT void addOutcomeCounters(uint64_t hits,
+                            uint64_t demand_misses,
                             uint64_t evictions, uint64_t writebacks)
     {
         counters_.hits += hits;
@@ -242,7 +245,7 @@ class SoaCacheModel
     }
 
     /** Access by byte address (set/tag split per the geometry). */
-    Step accessAddr(uint64_t byte_addr, AccessType type);
+    GIPPR_HOT Step accessAddr(uint64_t byte_addr, AccessType type);
 
     /**
      * Snapshot the counters: stats().measured reports everything
@@ -257,7 +260,7 @@ class SoaCacheModel
      * effectively random, so the tag/state rows miss L1 otherwise and
      * the lookahead hides that latency behind the in-flight accesses.
      */
-    void prefetchSet(uint64_t set) const
+    GIPPR_HOT void prefetchSet(uint64_t set) const
     {
         const uint64_t base = set * assoc_;
         __builtin_prefetch(&sig_[base]);

@@ -40,6 +40,7 @@
 #include "policies/set_dueling.hh"
 #include "sim/fastpath/replay_spec.hh"
 #include "sim/fastpath/soa_cache.hh"
+#include "util/hot.hh"
 
 namespace gippr::multicore
 {
@@ -92,7 +93,8 @@ class SharedLlcModel
     }
 
     /** Perform one access on behalf of @p core. */
-    void access(unsigned core, uint64_t byte_addr, AccessType type);
+    GIPPR_HOT void access(unsigned core, uint64_t byte_addr,
+                          AccessType type);
 
     /** Snapshot @p core's counters (the warmup convention). */
     void markWarmup(unsigned core);
@@ -130,7 +132,8 @@ class SharedLlcModel
 
     /** True when an access by @p core to @p set is a demand miss the
      *  shadow monitors should sample (line absent). */
-    bool wouldMiss(unsigned core, uint64_t set, uint64_t tag) const;
+    GIPPR_HOT bool wouldMiss(unsigned core, uint64_t set,
+                             uint64_t tag) const;
 
   private:
     enum class Family : uint8_t

@@ -54,7 +54,8 @@ randomDef(uint64_t seed)
     return {"Random", [seed](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<RandomPolicy>(cfg, seed));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -63,7 +64,8 @@ fifoDef()
     return {"FIFO", [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<FifoPolicy>(cfg));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -72,7 +74,8 @@ dipDef(uint64_t seed)
     return {"DIP", [seed](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<DipPolicy>(cfg, 32, 32, seed));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -81,7 +84,8 @@ srripDef()
     return {"SRRIP", [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     makeSrrip(cfg));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -90,7 +94,8 @@ brripDef(uint64_t seed)
     return {"BRRIP", [seed](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     makeBrrip(cfg, 2, seed));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -99,7 +104,8 @@ drripDef(uint64_t seed)
     return {"DRRIP", [seed](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     makeDrrip(cfg, 2, 32, seed));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -108,7 +114,8 @@ pdpDef()
     return {"PDP", [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<PdpPolicy>(cfg));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -117,7 +124,8 @@ shipDef()
     return {"SHiP", [](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<ShipPolicy>(cfg));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -161,7 +169,8 @@ bypassGipprDef(const std::string &name, const Ipv &ipv, uint64_t seed)
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<BypassGipprPolicy>(cfg, ipv, 32,
                                                         32, 11, seed));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef
@@ -170,7 +179,8 @@ rripIpvDef(const std::string &name, const Ipv &ipv)
     return {name, [ipv](const CacheConfig &cfg) {
                 return std::unique_ptr<ReplacementPolicy>(
                     std::make_unique<RripIpvPolicy>(cfg, ipv, 2));
-            }};
+            },
+            std::nullopt};
 }
 
 PolicyDef

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Lint fixture: bare assert() — invariants use GIPPR_CHECK /
+ * GIPPR_DCHECK so sanitizer CI can force them on in NDEBUG builds.
+ */
+// gippr-lint: as=src/core/fixture_assert.cc
+// expect-lint: no-bare-assert
+#include <cassert>
+
+namespace gippr {
+
+int
+half(int x) {
+  assert(x % 2 == 0);
+  return x / 2;
+}
+
+}  // namespace gippr

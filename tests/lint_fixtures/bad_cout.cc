@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Lint fixture: std::cout/std::cerr in library code — reporting goes
+ * through util/log.hh so callers control the stream.
+ */
+// gippr-lint: as=src/telemetry/fixture_cout.cc
+// expect-lint: no-cout
+#include <iostream>
+
+namespace gippr {
+
+void
+reportProgress(int pct) {
+  std::cout << "progress: " << pct << "%\n";
+  std::cerr << "still going\n";
+}
+
+}  // namespace gippr

@@ -1,0 +1,9 @@
+// gippr-lint: as=src/core/fixture_doxygen.cc
+// expect-lint: doxygen-file
+// (intentionally no leading /** ... @file ... */ comment)
+
+namespace gippr {
+
+inline int answer() { return 42; }
+
+}  // namespace gippr

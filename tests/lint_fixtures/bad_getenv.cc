@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Lint fixture: getenv() outside the audited config-knob allowlist —
+ * an environment variable seeding an experiment makes runs
+ * irreproducible without anyone noticing.
+ */
+// gippr-lint: as=src/ga/fixture_getenv.cc
+// expect-lint: determinism
+#include <cstdlib>
+
+namespace gippr {
+
+unsigned
+pickSeed() {
+  if (const char *s = std::getenv("GIPPR_SECRET_SEED"))
+    return static_cast<unsigned>(std::atoi(s));
+  return 1u;
+}
+
+}  // namespace gippr

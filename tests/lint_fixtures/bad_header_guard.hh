@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Lint fixture: the guard name does not match the canonical
+ * GIPPR_<DIR>_<FILE>_HH_ derived from the (virtual) path.
+ */
+// gippr-lint: as=src/core/fixture_guard.hh
+// expect-lint: header-guard
+
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace gippr {
+inline int answer() { return 42; }
+}  // namespace gippr
+
+#endif // WRONG_GUARD_NAME_H

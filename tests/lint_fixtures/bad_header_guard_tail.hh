@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Lint fixture: correct guard open, but the file does not end with
+ * the matching "#endif // <guard>" comment.
+ */
+// gippr-lint: as=src/core/fixture_guard_tail.hh
+// expect-lint: header-guard
+
+#ifndef GIPPR_CORE_FIXTURE_GUARD_TAIL_HH_
+#define GIPPR_CORE_FIXTURE_GUARD_TAIL_HH_
+
+namespace gippr {
+inline int answer() { return 42; }
+}  // namespace gippr
+
+#endif

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Lint fixture: libc rand()/time(nullptr) outside src/util/rng — the
+ * replay gates require all randomness to flow through the seeded Rng.
+ */
+// gippr-lint: as=src/ga/fixture_rand.cc
+// expect-lint: determinism
+#include <cstdlib>
+#include <ctime>
+
+namespace gippr {
+
+unsigned
+rollDice() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return static_cast<unsigned>(rand() % 6u) + 1u;
+}
+
+}  // namespace gippr

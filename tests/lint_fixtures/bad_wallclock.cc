@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lint fixture: std::chrono::system_clock and clock_gettime() read
+ * the wall clock — results that fold them in differ per run.
+ */
+// gippr-lint: as=src/sim/fixture_wallclock.cc
+// expect-lint: determinism
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace gippr {
+
+uint64_t
+stampResult(uint64_t value) {
+  auto now = std::chrono::system_clock::now();
+  timespec ts = {};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return value ^ static_cast<uint64_t>(
+      now.time_since_epoch().count() + ts.tv_nsec);
+}
+
+}  // namespace gippr

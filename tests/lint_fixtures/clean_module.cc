@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lint fixture (clean): seeded randomness, steady_clock durations,
+ * GIPPR_DCHECK invariants — the compliant twin of the bad fixtures.
+ */
+// gippr-lint: as=src/core/fixture_clean.cc
+#include <chrono>
+#include <cstdint>
+
+#define GIPPR_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr {
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  GIPPR_DCHECK(now >= start);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+          .count());
+}
+
+}  // namespace gippr

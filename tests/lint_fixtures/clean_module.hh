@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Lint fixture (clean): canonical guard, doxygen header, no banned
+ * constructs — every rule must stay silent on this file.
+ */
+// gippr-lint: as=src/core/fixture_clean.hh
+
+#ifndef GIPPR_CORE_FIXTURE_CLEAN_HH_
+#define GIPPR_CORE_FIXTURE_CLEAN_HH_
+
+#include <cstdint>
+
+namespace gippr {
+
+/// Mixes a tag into a set index, deterministically.
+inline uint64_t mixTag(uint64_t set, uint64_t tag) {
+  return set ^ (tag * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace gippr
+
+#endif // GIPPR_CORE_FIXTURE_CLEAN_HH_

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py: every rule must catch its fixture.
+
+Each bad_*.{hh,cc} in this directory declares the rule it must trip
+via an "// expect-lint: <rule>" directive and carries a "// gippr-lint:
+as=<virtual-path>" directive so src-scoped rules apply despite the
+file living under tests/.  Every clean_* file must lint clean.
+Registered in ctest as lint_selftest.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINT = REPO / "tools" / "lint.py"
+
+_EXPECT = re.compile(r"//\s*expect-lint:\s*(\S+)")
+
+
+def lint(path):
+    proc = subprocess.run(
+        [sys.executable, str(LINT), str(path)],
+        capture_output=True, text=True, cwd=str(REPO))
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+    bad = sorted(HERE.glob("bad_*.hh")) + sorted(HERE.glob("bad_*.cc"))
+    clean = sorted(HERE.glob("clean_*.hh")) \
+        + sorted(HERE.glob("clean_*.cc"))
+
+    for path in bad:
+        m = _EXPECT.search(path.read_text())
+        if not m:
+            failures.append(f"{path.name}: missing "
+                            f"'// expect-lint:' directive")
+            continue
+        rule = m.group(1)
+        rc, out = lint(path)
+        if rc == 0:
+            failures.append(f"{path.name}: expected [{rule}] error, "
+                            f"got a clean run")
+        elif f"[{rule}]" not in out:
+            failures.append(f"{path.name}: exited {rc} but no "
+                            f"[{rule}] error:\n{out}")
+        else:
+            print(f"ok   {path.name} -> {rule}")
+
+    for path in clean:
+        rc, out = lint(path)
+        if rc != 0:
+            failures.append(f"{path.name}: clean fixture should pass "
+                            f"but exited {rc}:\n{out}")
+        else:
+            print(f"ok   {path.name} -> clean")
+
+    # The linter must also still pass on the real tree.
+    rc, out = lint_tree()
+    if rc != 0:
+        failures.append(f"tree lint should be clean but exited "
+                        f"{rc}:\n{out}")
+    else:
+        print("ok   tree lint clean")
+
+    if failures:
+        print(f"\nlint selftest: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"FAIL {f}")
+        return 1
+    print(f"\nlint selftest: {len(bad)} bad + {len(clean)} clean "
+          f"fixtures + tree lint — all ok")
+    return 0
+
+
+def lint_tree():
+    proc = subprocess.run(
+        [sys.executable, str(LINT)],
+        capture_output=True, text=True, cwd=str(REPO))
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,8 +178,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "DGIPPR4", "DGIPPR8", "BGIPPR", "RRIPIPV",
                       "GIPPR:0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13",
                       "GIPLR:0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13"),
-    [](const ::testing::TestParamInfo<const char *> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<const char *> &param_info) {
+        std::string name = param_info.param;
         auto colon = name.find(':');
         if (colon != std::string::npos)
             name = name.substr(0, colon) + "Vec";

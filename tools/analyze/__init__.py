@@ -1,0 +1,1 @@
+"""gippr-analyze: semantic invariant checks (see run.py)."""

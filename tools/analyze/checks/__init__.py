@@ -1,0 +1,34 @@
+"""Check registry for gippr-analyze.
+
+Each check module exposes CHECK_ID, a one-line DESCRIPTION, and
+run(model, config) -> list[Finding].  run.py imports ALL_CHECKS and
+filters findings through the baseline.
+"""
+
+import dataclasses
+
+from . import atomic_io
+from . import dcheck_side_effects
+from . import determinism_order
+from . import hot_path_purity
+from . import signal_safety
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    check: str
+    file: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+
+ALL_CHECKS = [
+    determinism_order,
+    hot_path_purity,
+    signal_safety,
+    atomic_io,
+    dcheck_side_effects,
+]

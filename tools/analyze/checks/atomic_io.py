@@ -1,0 +1,108 @@
+"""atomic-io-only: persistent writes flow through writeFileAtomic.
+
+The crash-safety guarantees (PR 5: kill-at-any-point + resume,
+fault-injection sweep with no torn files) hold only while every
+persistent artifact is produced by robust::writeFileAtomic's
+temp + fsync + rename + dir-fsync sequence.  A raw std::ofstream or
+write-mode fopen() anywhere else reintroduces torn-file windows that
+the fault injector cannot see.  Direct file-writing APIs are
+therefore banned in src/ outside src/robust/:
+
+  * std::ofstream / std::fstream construction or .open();
+  * fopen()/freopen() with a write or append mode — a non-literal
+    mode argument is flagged too, since the analyzer cannot prove it
+    read-only (baseline it with a justification if it is);
+  * ::open() with O_WRONLY/O_RDWR/O_CREAT/O_TRUNC/O_APPEND, and
+    creat().
+
+Read-side APIs (ifstream, fopen "rb", O_RDONLY open) stay legal.
+"""
+
+CHECK_ID = "atomic-io-only"
+DESCRIPTION = ("direct file writes outside src/robust; use "
+               "robust::writeFileAtomic")
+
+_WRITE_OPEN_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC",
+                     "O_APPEND"}
+
+
+def run(model, config):
+    from .. import model as M
+    from . import Finding
+    findings = []
+    scope = config.get("atomic_io_scope", "src/")
+    exempt = config.get("atomic_io_exempt", ("src/robust/",))
+    for path, sf in model.files.items():
+        if not path.startswith(scope) or path.startswith(tuple(exempt)):
+            continue
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text in ("ofstream", "fstream"):
+                findings.append(Finding(
+                    CHECK_ID, path, t.line,
+                    f"std::{t.text} writes in place; persistent "
+                    f"artifacts must go through "
+                    f"robust::writeFileAtomic"))
+                continue
+            if t.text in ("fopen", "freopen") and i + 1 < n \
+                    and toks[i + 1].text == "(":
+                close = M.match_paren(toks, i + 1)
+                mode = _mode_argument(toks, i + 1, close)
+                if mode is None:
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"{t.text}() with a non-literal mode: cannot "
+                        f"prove it read-only; writes must go through "
+                        f"robust::writeFileAtomic"))
+                elif any(c in mode for c in "wa+"):
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"{t.text}(..., \"{mode}\") writes in place; "
+                        f"use robust::writeFileAtomic"))
+                continue
+            if t.text in ("open", "open64", "creat") and i + 1 < n \
+                    and toks[i + 1].text == "(" \
+                    and (i == 0 or toks[i - 1].text
+                         not in (".", "->")):
+                if t.text == "creat":
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        "creat() truncates in place; use "
+                        "robust::writeFileAtomic"))
+                    continue
+                close = M.match_paren(toks, i + 1)
+                flags = {x.text for x in toks[i + 2:close]
+                         if x.kind == "id"}
+                hit = sorted(flags & _WRITE_OPEN_FLAGS)
+                if hit:
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"open() with {'|'.join(hit)} writes in "
+                        f"place; use robust::writeFileAtomic"))
+    return findings
+
+
+def _mode_argument(toks, op, close):
+    """The second top-level argument of fopen when it is a string
+    literal, else None."""
+    depth = 0
+    commas = []
+    for k in range(op + 1, close):
+        x = toks[k].text
+        if x in "([{":
+            depth += 1
+        elif x in ")]}":
+            depth -= 1
+        elif depth == 0 and x == ",":
+            commas.append(k)
+    if not commas:
+        return None
+    lo = commas[0] + 1
+    hi = commas[1] if len(commas) > 1 else close
+    args = [toks[k] for k in range(lo, hi)]
+    if len(args) == 1 and args[0].kind == "str":
+        return args[0].text.strip('"')
+    return None

@@ -1,0 +1,60 @@
+"""Shared helpers for gippr-analyze checks: call-graph closure and
+body-token scanning that understands the repo's check macros."""
+
+from .. import model as M
+
+#: Invariant macros whose argument compiles out in release builds.
+CHECK_MACROS = {"GIPPR_CHECK", "GIPPR_DCHECK"}
+
+
+def check_macro_extents(toks):
+    """[(open, close)] token index ranges of every CHECK_MACROS(...)
+    argument list in @p toks (a tuple/list of tokens)."""
+    extents = []
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text in CHECK_MACROS \
+                and i + 1 < len(toks) and toks[i + 1].text == "(":
+            extents.append((i + 1, M.match_paren(toks, i + 1)))
+    return extents
+
+
+def outside_check_macros(toks):
+    """Indices of @p toks not inside a check-macro argument: the
+    macro body is compiled out (or aborts the process), so its
+    argument never executes on the measured path."""
+    extents = check_macro_extents(toks)
+    out = []
+    for i in range(len(toks)):
+        if any(a <= i <= b for a, b in extents):
+            continue
+        out.append(i)
+    return out
+
+
+def reachable(model, roots):
+    """Transitive closure of repo-defined functions from @p roots
+    (a set of Function definitions), resolving calls by name with
+    same-class preference (Model.resolve)."""
+    seen = {}
+    work = list(roots)
+    for f in work:
+        seen[id(f)] = f
+    while work:
+        fn = work.pop()
+        for call in fn.calls:
+            for target in model.resolve(fn, call):
+                if id(target) not in seen:
+                    seen[id(target)] = target
+                    work.append(target)
+    return list(seen.values())
+
+
+def defs_for_symbols(model, symbols):
+    """Function definitions whose qualified name is in @p symbols.
+    A symbol with no definition (declaration-only in the analyzed
+    set) resolves to every same-named definition as a fallback."""
+    out = []
+    for f in model.definitions():
+        if f.qname in symbols or f.name in symbols:
+            out.append(f)
+    return out

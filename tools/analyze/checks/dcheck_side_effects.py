@@ -1,0 +1,69 @@
+"""dcheck-side-effects: check-macro arguments must be pure.
+
+GIPPR_CHECK / GIPPR_DCHECK compile to `sizeof` probes in release
+builds (util/check.hh): the condition is parsed but never evaluated.
+Any side effect inside the argument therefore runs in debug builds
+and vanishes in release builds — the exact class of heisenbug the
+deterministic-replay gates cannot localize, because the two builds
+legitimately diverge.  Flagged inside the macro argument:
+
+  * assignment and compound assignment (= += -= *= /= %= &= |= ^=
+    <<= >>=) at any nesting depth — `==`-family comparisons are fine;
+  * increment / decrement (++ / --);
+  * calls to known-mutating members (push_back, insert, erase, clear,
+    reset, pop_back, emplace, resize, ...).
+"""
+
+from . import common
+
+CHECK_ID = "dcheck-side-effects"
+DESCRIPTION = ("side effects inside GIPPR_CHECK/GIPPR_DCHECK "
+               "arguments (compiled out in release)")
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_MUTATING_MEMBERS = {
+    "push_back", "pop_back", "emplace_back", "insert", "emplace",
+    "erase", "clear", "reset", "release", "resize", "reserve",
+    "assign", "swap", "push", "pop", "push_front", "pop_front",
+}
+
+
+def run(model, config):
+    from . import Finding
+    findings = []
+    for path, sf in model.files.items():
+        if not path.startswith("src/"):
+            continue
+        toks = sf.tokens
+        for op, close in common.check_macro_extents(toks):
+            macro = toks[op - 1].text
+            for k in range(op + 1, close):
+                t = toks[k]
+                prev = toks[k - 1]
+                nxt = toks[k + 1] if k + 1 < close else None
+                if t.kind == "punct" and t.text in _ASSIGN_OPS:
+                    # `=` inside a lambda intro `[=]` is a capture.
+                    if t.text == "=" and prev.text == "[" \
+                            and nxt is not None and nxt.text == "]":
+                        continue
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"assignment ('{t.text}') inside {macro}: the "
+                        f"argument is not evaluated in release "
+                        f"builds; hoist the side effect out"))
+                elif t.kind == "punct" and t.text in ("++", "--"):
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"'{t.text}' inside {macro}: the argument is "
+                        f"not evaluated in release builds; hoist the "
+                        f"side effect out"))
+                elif t.kind == "id" and t.text in _MUTATING_MEMBERS \
+                        and prev.text in (".", "->") \
+                        and nxt is not None and nxt.text == "(":
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"mutating call (.{t.text}()) inside {macro}:"
+                        f" the argument is not evaluated in release "
+                        f"builds; hoist the side effect out"))
+    return findings

@@ -1,0 +1,202 @@
+"""determinism-order: no iteration order leaks from hash containers.
+
+Replay results must be bit-identical across runs and build modes
+(ROADMAP: the scalar-vs-fast oracles, checkpoint --resume, CI
+byte-compares).  Two C++ idioms silently break that:
+
+  * iterating a std::unordered_* container — bucket order depends on
+    libstdc++ version, insertion history, and (for pointer keys) ASLR;
+  * ordering by raw pointer value — `std::sort` over pointers or a
+    comparator that compares the pointers themselves orders by
+    allocator layout.
+
+Both are flagged in the result-affecting modules (src/core, src/sim,
+src/ga, src/policies by default).  Lookups (.find/.count/operator[])
+on unordered containers stay legal — only ordering escapes are not.
+"""
+
+CHECK_ID = "determinism-order"
+DESCRIPTION = ("iteration over std::unordered_* or pointer-value "
+               "ordering in result-affecting modules")
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+_ITER_HEADS = {"begin", "cbegin", "rbegin", "crbegin"}
+_SORT_HEADS = {"sort", "stable_sort", "partial_sort", "nth_element",
+               "min_element", "max_element", "minmax_element"}
+
+
+def _declared_names(toks, type_names, pointer_element=False):
+    """Names declared in @p toks with a type in @p type_names; when
+    @p pointer_element, only container types whose template argument
+    list contains a '*' (e.g. std::vector<Node *>)."""
+    from .. import model as M
+    names = set()
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text in type_names and i + 1 < n \
+                and toks[i + 1].text == "<":
+            close = M.match_paren(toks, i + 1)
+            if pointer_element:
+                inner = toks[i + 2:close]
+                if not any(x.text == "*" for x in inner):
+                    i = close + 1
+                    continue
+            j = close + 1
+            # Skip refs/pointers/cv in the declarator.
+            while j < n and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and toks[j].kind == "id" \
+                    and toks[j].text not in M.KEYWORDS:
+                names.add(toks[j].text)
+            i = close + 1
+            continue
+        i += 1
+    return names
+
+
+def _expr_names(toks, lo, hi):
+    return {t.text for t in toks[lo:hi] if t.kind == "id"}
+
+
+def run(model, config):
+    from .. import model as M
+    from . import Finding
+    findings = []
+    scope = config.get("determinism_scope",
+                       ("src/core/", "src/sim/", "src/ga/",
+                        "src/policies/"))
+    for path, sf in model.files.items():
+        if not path.startswith(tuple(scope)):
+            continue
+        toks = sf.tokens
+        unordered = _declared_names(toks, _UNORDERED)
+        ptr_containers = _declared_names(
+            toks, {"vector", "array", "deque", "span"},
+            pointer_element=True)
+        n = len(toks)
+        i = 0
+        while i < n:
+            t = toks[i]
+            # for ( ... : <expr referencing an unordered name> )
+            if t.kind == "id" and t.text == "for" and i + 1 < n \
+                    and toks[i + 1].text == "(":
+                close = M.match_paren(toks, i + 1)
+                colon = None
+                depth = 0
+                for k in range(i + 2, close):
+                    x = toks[k].text
+                    if x in "([{<":
+                        depth += 1
+                    elif x in ")]}>":
+                        depth -= 1
+                    elif depth == 0 and x == ":" \
+                            and toks[k].kind == "punct":
+                        colon = k
+                        break
+                if colon is not None:
+                    hits = _expr_names(toks, colon + 1, close) \
+                        & unordered
+                    for name in sorted(hits):
+                        findings.append(Finding(
+                            CHECK_ID, path, t.line,
+                            f"range-for over unordered container "
+                            f"'{name}': bucket order is not "
+                            f"deterministic; iterate a sorted copy or "
+                            f"switch to an ordered container"))
+                i = i + 2
+                continue
+            # name.begin() / name->cbegin() on an unordered name, and
+            # std::begin(name).
+            if t.kind == "id" and t.text in _ITER_HEADS \
+                    and i + 1 < n and toks[i + 1].text == "(":
+                prev = toks[i - 1].text if i > 0 else ""
+                if prev in (".", "->") and i >= 2 \
+                        and toks[i - 2].text in unordered:
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"iterator over unordered container "
+                        f"'{toks[i - 2].text}' "
+                        f"({toks[i - 2].text}.{t.text}()): bucket "
+                        f"order is not deterministic"))
+                elif prev == "::" and i + 2 < n \
+                        and toks[i + 2].text in unordered:
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"std::{t.text} over unordered container "
+                        f"'{toks[i + 2].text}': bucket order is not "
+                        f"deterministic"))
+            # std::sort(first, last[, cmp]) over pointer elements.
+            if t.kind == "id" and t.text in _SORT_HEADS \
+                    and i + 1 < n and toks[i + 1].text == "(":
+                close = M.match_paren(toks, i + 1)
+                arg_names = _expr_names(toks, i + 2, close)
+                hit = sorted(arg_names & ptr_containers)
+                has_cmp = _arg_count(toks, i + 1, close) >= 3
+                if hit and not has_cmp:
+                    findings.append(Finding(
+                        CHECK_ID, path, t.line,
+                        f"std::{t.text} over pointer container "
+                        f"'{hit[0]}' without a comparator orders by "
+                        f"address (ASLR/allocator dependent); compare "
+                        f"a stable field instead"))
+                if has_cmp:
+                    findings.extend(_pointer_comparator(
+                        toks, i + 1, close, path))
+            i += 1
+    return findings
+
+
+def _arg_count(toks, op, close):
+    depth = 0
+    args = 1
+    empty = True
+    for k in range(op + 1, close):
+        x = toks[k].text
+        if x in "([{":
+            depth += 1
+        elif x in ")]}":
+            depth -= 1
+        elif depth == 0 and x == ",":
+            args += 1
+        empty = False
+    return 0 if empty else args
+
+
+def _pointer_comparator(toks, op, close, path):
+    """Flag a lambda comparator whose parameters are pointers and
+    whose body compares the parameters directly."""
+    from .. import model as M
+    from . import Finding
+    out = []
+    k = op + 1
+    while k < close:
+        if toks[k].text == "[" and k + 1 < close:
+            cap_close = M.match_paren(toks, k)
+            if cap_close + 1 < close and toks[cap_close + 1].text == "(":
+                pclose = M.match_paren(toks, cap_close + 1)
+                params = toks[cap_close + 2:pclose]
+                # pointer params: `Type *a` patterns.
+                names = []
+                for j in range(len(params) - 1):
+                    if params[j].text == "*" \
+                            and params[j + 1].kind == "id":
+                        names.append(params[j + 1].text)
+                if len(names) >= 2 and pclose + 1 < close \
+                        and toks[pclose + 1].text == "{":
+                    bclose = M.match_paren(toks, pclose + 1)
+                    body = toks[pclose + 2:bclose]
+                    for j in range(1, len(body) - 1):
+                        if body[j].text in ("<", ">", "<=", ">=") \
+                                and body[j - 1].text in names \
+                                and body[j + 1].text in names:
+                            out.append(Finding(
+                                CHECK_ID, path, body[j].line,
+                                "comparator orders by raw pointer "
+                                "value (ASLR/allocator dependent); "
+                                "compare a stable field instead"))
+                    k = bclose
+        k += 1
+    return out

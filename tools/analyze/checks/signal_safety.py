@@ -1,0 +1,111 @@
+"""signal-safety: the shutdown handler calls only async-signal-safe
+functions.
+
+The crash-safety layer (src/robust, PR 5) hinges on the SIGINT/SIGTERM
+handler doing nothing that can deadlock or corrupt state mid-signal:
+no stdio (buffered, takes locks), no malloc (takes the heap lock —
+the classic checkpoint-corrupting deadlock), no C++ streams.  This
+check finds every function installed as a signal handler (assigned to
+a .sa_handler / .sa_sigaction field or registered via signal()/
+sigaction()) and walks its transitive call graph: every live call
+(GIPPR_CHECK arguments are dead code in release and abort anyway)
+must be a repo function that is itself clean, or a member of the
+POSIX async-signal-safe set.
+
+The walk prunes at the allowlist BEFORE resolving names into the
+repo: `::write(2, ...)` is the syscall, never some class's write()
+method — otherwise one global-namespace call would drag half the
+codebase into the "reachable from a handler" set.
+"""
+
+from . import common
+from .. import model as M
+
+CHECK_ID = "signal-safety"
+DESCRIPTION = ("signal handlers may only reach async-signal-safe "
+               "functions")
+
+#: POSIX.1-2017 async-signal-safe functions this codebase could
+#: plausibly reach (subset of the full table, extended on demand).
+ASYNC_SIGNAL_SAFE = {
+    "_exit", "_Exit", "abort", "accept", "alarm", "bind", "close",
+    "connect", "dup", "dup2", "fcntl", "fdatasync", "fork", "fstat",
+    "fsync", "getpid", "getppid", "kill", "link", "listen", "lseek",
+    "mkdir", "open", "pause", "pipe", "poll", "pread", "pwrite",
+    "raise", "read", "recv", "rename", "rmdir", "send", "sigaction",
+    "sigaddset", "sigdelset", "sigemptyset", "sigfillset",
+    "sigprocmask", "signal", "sleep", "socket", "stat", "symlink",
+    "time", "umask", "uname", "unlink", "wait", "waitpid", "write",
+}
+
+#: Compiler-internal or intrinsic prefixes that lower to plain code.
+_INTRINSIC_PREFIXES = ("__builtin", "_mm", "__atomic", "__sync")
+
+
+def handler_names(model):
+    """Simple names of functions installed as signal handlers."""
+    names = set()
+    for sf in model.files.values():
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            # sa.sa_handler = name; / sa.sa_sigaction = name;
+            if t.kind == "id" \
+                    and t.text in ("sa_handler", "sa_sigaction") \
+                    and i + 2 < n and toks[i + 1].text == "=" \
+                    and toks[i + 2].kind == "id":
+                names.add(toks[i + 2].text)
+            # signal(SIG..., name) / std::signal(SIG..., name)
+            if t.kind == "id" and t.text == "signal" and i + 1 < n \
+                    and toks[i + 1].text == "(":
+                close = M.match_paren(toks, i + 1)
+                depth = 0
+                for k in range(i + 2, close):
+                    x = toks[k].text
+                    if x in "([{":
+                        depth += 1
+                    elif x in ")]}":
+                        depth -= 1
+                    elif depth == 0 and x == "," and k + 1 < close \
+                            and toks[k + 1].kind == "id" \
+                            and toks[k + 1].text not in ("SIG_IGN",
+                                                         "SIG_DFL"):
+                        names.add(toks[k + 1].text)
+    return names
+
+
+def _live_calls(fn):
+    """Call sites outside check-macro arguments."""
+    keep = common.outside_check_macros(fn.body)
+    return M.collect_calls([fn.body[i] for i in keep])
+
+
+def run(model, config):
+    from . import Finding
+    findings = []
+    handlers = handler_names(model)
+    if not handlers:
+        return findings
+    work = [f for f in model.definitions()
+            if f.name in handlers or f.qname in handlers]
+    seen = {id(f) for f in work}
+    while work:
+        fn = work.pop()
+        for call in _live_calls(fn):
+            if call.name in ASYNC_SIGNAL_SAFE \
+                    and call.receiver != "member":
+                continue
+            if call.name.startswith(_INTRINSIC_PREFIXES):
+                continue
+            targets = model.resolve(fn, call)
+            if targets:
+                for t in targets:
+                    if id(t) not in seen:
+                        seen.add(id(t))
+                        work.append(t)
+                continue
+            findings.append(Finding(
+                CHECK_ID, fn.file, call.line,
+                f"{fn.qname} (reachable from a signal handler) calls "
+                f"'{call.name}', which is not async-signal-safe"))
+    return findings

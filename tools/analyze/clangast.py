@@ -1,0 +1,176 @@
+"""Optional libclang extraction backend for gippr-analyze.
+
+When the `clang` Python bindings and a loadable libclang are present
+(CI pip-installs `libclang`; the default container image does not
+ship it), this backend replaces the built-in recognizer's function
+and call extraction with real AST facts from compile_commands.json:
+exact function extents, semantic parents, reference-resolved call
+sites, and is_virtual_method().  Bodies are still re-lexed with the
+shared tokenizer so every check consumes the identical Model either
+way.
+
+Everything here is defensive: any import, index-creation, or parse
+failure raises EngineUnavailable and run.py falls back to the
+built-in engine with a note — the gate never depends on libclang
+being installed or healthy.
+"""
+
+import json
+import pathlib
+
+from . import model as M
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex
+    except ImportError as exc:
+        raise EngineUnavailable(f"clang.cindex not importable: {exc}")
+    try:
+        index = cindex.Index.create()
+    except Exception as exc:  # loading libclang.so can fail many ways
+        raise EngineUnavailable(f"libclang not loadable: {exc}")
+    return cindex, index
+
+
+def _compile_args(compdb_dir, path, cindex):
+    """Compiler args for @p path from compile_commands.json, falling
+    back to a generic C++20 invocation with the repo's include root."""
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    fallback = ["-x", "c++", "-std=c++20", f"-I{repo / 'src'}"]
+    db_path = pathlib.Path(compdb_dir) / "compile_commands.json"
+    if not db_path.exists():
+        return fallback
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(compdb_dir))
+        cmds = db.getCompileCommands(str(path))
+        if not cmds:
+            return fallback
+        args = list(cmds[0].arguments)[1:]  # drop the compiler
+        # Strip output/input tokens libclang chokes on.
+        out = []
+        skip = False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == str(path) or a.endswith(pathlib.Path(path).name):
+                continue
+            out.append(a)
+        return out
+    except Exception:
+        return fallback
+
+
+def _body_tokens(cursor):
+    """Re-lex the cursor's extent with the shared tokenizer."""
+    ext = cursor.extent
+    try:
+        text = pathlib.Path(str(ext.start.file)).read_text(
+            errors="replace")
+    except (OSError, TypeError):
+        return ()
+    snippet = text[ext.start.offset:ext.end.offset]
+    toks = M.tokenize(snippet)
+    # Fix up line numbers to absolute positions.
+    base = ext.start.line - 1
+    return tuple(M.Token(t.kind, t.text, t.line + base) for t in toks)
+
+
+def _calls_under(cursor, cindex):
+    calls = []
+    for c in cursor.walk_preorder():
+        if c.kind != cindex.CursorKind.CALL_EXPR:
+            continue
+        ref = c.referenced
+        name = ref.spelling if ref is not None else c.spelling
+        if not name:
+            continue
+        qualifier = ""
+        receiver = "free"
+        if ref is not None and ref.semantic_parent is not None \
+                and ref.semantic_parent.kind in (
+                    cindex.CursorKind.CLASS_DECL,
+                    cindex.CursorKind.STRUCT_DECL,
+                    cindex.CursorKind.CLASS_TEMPLATE):
+            qualifier = ref.semantic_parent.spelling
+            receiver = "member"
+        calls.append(M.CallSite(name, qualifier, receiver,
+                                c.location.line))
+    return calls
+
+
+_FUNC_KINDS = None
+
+
+def build_model(paths, virtual_paths, compdb_dir):
+    cindex, index = _load_cindex()
+    func_kinds = {
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    }
+    model = M.Model()
+    for path in paths:
+        vpath = (virtual_paths or {}).get(str(path)) or str(path)
+        sf = M.SourceFile(path=vpath)
+        try:
+            text = pathlib.Path(path).read_text(errors="replace")
+            sf.tokens = M.tokenize(text)
+            tu = index.parse(str(path),
+                             args=_compile_args(compdb_dir, path,
+                                                cindex))
+        except Exception as exc:
+            raise EngineUnavailable(f"parse failed for {path}: {exc}")
+        this_file = str(pathlib.Path(path).resolve())
+        for c in tu.cursor.walk_preorder():
+            if c.kind not in func_kinds:
+                continue
+            loc = c.location
+            if loc.file is None \
+                    or str(pathlib.Path(str(loc.file)).resolve()) \
+                    != this_file:
+                continue
+            cls = ""
+            parent = c.semantic_parent
+            if parent is not None and parent.kind in (
+                    cindex.CursorKind.CLASS_DECL,
+                    cindex.CursorKind.STRUCT_DECL,
+                    cindex.CursorKind.CLASS_TEMPLATE):
+                cls = parent.spelling
+            toks = _body_tokens(c)
+            head, body = toks, ()
+            if c.is_definition():
+                for i, t in enumerate(toks):
+                    if t.text == "{":
+                        head, body = toks[:i], toks[i:]
+                        break
+            virtual = False
+            try:
+                virtual = c.is_virtual_method()
+            except Exception:
+                pass
+            sf.functions.append(M.Function(
+                name=c.spelling,
+                cls=cls,
+                file=vpath,
+                line=loc.line,
+                head=head,
+                body=body,
+                calls=tuple(_calls_under(c, cindex))
+                if c.is_definition() else (),
+                hot=any(t.text == "GIPPR_HOT" for t in head),
+                virtual=virtual,
+                has_body=c.is_definition() and bool(body),
+            ))
+        model.files[vpath] = sf
+    return model

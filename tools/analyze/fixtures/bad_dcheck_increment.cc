@@ -1,0 +1,19 @@
+// gippr-analyze: as=src/core/fixture_dcheck_increment.cc
+// expect: dcheck-side-effects
+//
+// The cursor advance lives inside the GIPPR_DCHECK argument: debug
+// builds step the cursor, release builds (where the macro is a
+// sizeof probe) do not — the two builds replay different streams.
+#include <cstdint>
+
+#define GIPPR_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr {
+
+uint64_t
+nextRecord(const uint64_t *stream, uint64_t &cursor, uint64_t n) {
+  GIPPR_DCHECK(cursor++ < n);  // side effect compiled out in release
+  return stream[cursor];
+}
+
+}  // namespace gippr

@@ -1,0 +1,19 @@
+// gippr-analyze: as=src/core/fixture_dcheck_mutate.cc
+// expect: dcheck-side-effects
+//
+// The GIPPR_CHECK argument inserts into the set — release builds
+// never perform the insert, so the dedup table silently diverges
+// between build modes.
+#include <cstdint>
+#include <set>
+
+#define GIPPR_CHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr {
+
+void
+recordOnce(std::set<uint64_t> &seen, uint64_t key) {
+  GIPPR_CHECK(seen.insert(key).second);  // mutation compiled out
+}
+
+}  // namespace gippr

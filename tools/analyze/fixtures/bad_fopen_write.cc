@@ -1,0 +1,19 @@
+// gippr-analyze: as=src/trace/fixture_fopen_write.cc
+// expect: atomic-io-only
+//
+// fopen() in append mode writes in place; a crash between the
+// write and the implicit flush tears the log.
+#include <cstdio>
+
+namespace gippr::trace {
+
+void
+appendMarker(const char *path) {
+  FILE *f = std::fopen(path, "ab");  // in-place append
+  if (f != nullptr) {
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace gippr::trace

@@ -1,0 +1,20 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_alloc.cc
+// expect: hot-path-purity
+//
+// A GIPPR_HOT kernel that heap-allocates: constructs a std::vector
+// local and grows it per access.
+#include <cstdint>
+#include <vector>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr) {
+  std::vector<uint64_t> scratch;   // allocating local
+  scratch.push_back(addr >> 6);    // grows on the hot path
+  return scratch.back();
+}
+
+}  // namespace gippr::fastpath

@@ -1,0 +1,19 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_io.cc
+// expect: hot-path-purity
+//
+// Debug printf left inside a GIPPR_HOT kernel: stdio takes the
+// stream lock and formats on every access.
+#include <cstdint>
+#include <cstdio>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr) {
+  printf("access %llx\n", static_cast<unsigned long long>(addr));
+  return addr >> 6;
+}
+
+}  // namespace gippr::fastpath

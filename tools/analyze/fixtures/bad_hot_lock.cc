@@ -1,0 +1,35 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_lock.cc
+// expect: hot-path-purity
+//
+// The GIPPR_HOT entry point looks clean, but a helper it calls takes
+// a mutex — the violation is transitive, two hops from the root.
+#include <cstdint>
+#include <mutex>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+namespace {
+std::mutex g_stats_mu;
+uint64_t g_hits;
+}  // namespace
+
+void
+bumpStats(uint64_t n) {
+  std::lock_guard<std::mutex> lk(g_stats_mu);  // lock on hot path
+  g_hits += n;
+}
+
+uint64_t
+tagOf(uint64_t addr) {
+  bumpStats(1);
+  return addr >> 6;
+}
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr) {
+  return tagOf(addr);
+}
+
+}  // namespace gippr::fastpath

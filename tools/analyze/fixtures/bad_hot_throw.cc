@@ -1,0 +1,26 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_throw.cc
+// expect: hot-path-purity
+//
+// A bounds helper reached from a GIPPR_HOT kernel throws: the
+// violation is transitive, and unwinding machinery has no place on
+// the per-access path.
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+uint64_t
+checkedSet(uint64_t set, uint64_t num_sets) {
+  if (set >= num_sets)
+    throw std::out_of_range("set index");  // unwinding on hot path
+  return set;
+}
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr, uint64_t num_sets) {
+  return checkedSet((addr >> 6) & (num_sets - 1), num_sets);
+}
+
+}  // namespace gippr::fastpath

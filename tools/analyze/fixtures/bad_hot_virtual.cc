@@ -1,0 +1,23 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_virtual.cc
+// expect: hot-path-purity
+//
+// Virtual dispatch inside a GIPPR_HOT kernel: `emit` is only ever
+// declared virtual, and the receiver is not `this`.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void emit(uint64_t addr) = 0;
+};
+
+GIPPR_HOT void
+accessKernel(Sink &sink, uint64_t addr) {
+  sink.emit(addr >> 6);  // vtable dispatch per access
+}
+
+}  // namespace gippr::fastpath

@@ -1,0 +1,17 @@
+// gippr-analyze: as=src/telemetry/fixture_ofstream.cc
+// expect: atomic-io-only
+//
+// A raw std::ofstream writes the report in place: a crash mid-write
+// leaves a torn file that the fault-injection sweep cannot see.
+#include <fstream>
+#include <string>
+
+namespace gippr::telemetry {
+
+void
+dumpReport(const std::string &path, const std::string &body) {
+  std::ofstream out(path);  // in-place write, torn on crash
+  out << body;
+}
+
+}  // namespace gippr::telemetry

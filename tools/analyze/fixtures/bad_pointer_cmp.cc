@@ -1,0 +1,23 @@
+// gippr-analyze: as=src/ga/fixture_pointer_cmp.cc
+// expect: determinism-order
+//
+// A comparator is supplied, but it compares the raw pointers
+// themselves — exactly as address-dependent as no comparator.
+#include <algorithm>
+#include <vector>
+
+namespace gippr {
+
+struct Genome {
+  double fitness;
+};
+
+void
+rankPopulation(std::vector<Genome *> &pop) {
+  std::sort(pop.begin(), pop.end(),
+            [](const Genome *a, const Genome *b) {
+              return a < b;  // pointer-value order!
+            });
+}
+
+}  // namespace gippr

@@ -1,0 +1,20 @@
+// gippr-analyze: as=src/ga/fixture_pointer_sort.cc
+// expect: determinism-order
+//
+// std::sort over a vector of raw pointers without a comparator
+// orders by address — allocator layout and ASLR decide the result.
+#include <algorithm>
+#include <vector>
+
+namespace gippr {
+
+struct Genome {
+  double fitness;
+};
+
+void
+rankPopulation(std::vector<Genome *> &pop) {
+  std::sort(pop.begin(), pop.end());  // address order!
+}
+
+}  // namespace gippr

@@ -1,0 +1,31 @@
+// gippr-analyze: as=src/robust/fixture_signal_malloc.cc
+// expect: signal-safety
+//
+// The handler itself looks innocent, but the helper it calls
+// allocates — malloc takes the heap lock, the classic
+// checkpoint-corrupting signal deadlock.  The violation is one hop
+// down the call graph.
+#include <csignal>
+#include <cstdlib>
+
+namespace gippr::robust {
+
+char *
+formatDeathNote(int signo) {
+  char *buf = static_cast<char *>(malloc(64));  // heap lock!
+  buf[0] = static_cast<char>('0' + (signo % 10));
+  buf[1] = '\0';
+  return buf;
+}
+
+extern "C" void
+onShutdownSignal(int signo) {
+  formatDeathNote(signo);
+}
+
+void
+installHandlers() {
+  signal(SIGINT, onShutdownSignal);
+}
+
+}  // namespace gippr::robust

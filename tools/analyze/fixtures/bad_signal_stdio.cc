@@ -1,0 +1,24 @@
+// gippr-analyze: as=src/robust/fixture_signal_stdio.cc
+// expect: signal-safety
+//
+// The installed SIGTERM handler calls fprintf — buffered stdio takes
+// an internal lock, and a signal landing mid-printf deadlocks or
+// corrupts the stream.
+#include <csignal>
+#include <cstdio>
+
+namespace gippr::robust {
+
+extern "C" void
+onShutdownSignal(int signo) {
+  fprintf(stderr, "caught signal %d\n", signo);  // not signal-safe
+}
+
+void
+installHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = onShutdownSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace gippr::robust

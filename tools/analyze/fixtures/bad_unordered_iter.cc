@@ -1,0 +1,24 @@
+// gippr-analyze: as=src/core/fixture_unordered_iter.cc
+// expect: determinism-order
+//
+// Range-for over a std::unordered_map in a result-affecting module:
+// bucket order depends on libstdc++ version and insertion history,
+// so any result folded from this loop differs across toolchains.
+#include <cstdint>
+#include <unordered_map>
+
+namespace gippr {
+
+uint64_t
+sumHitCounters() {
+  std::unordered_map<uint64_t, uint64_t> hits;
+  hits[0x40] = 3;
+  hits[0x80] = 5;
+  uint64_t acc = 0;
+  for (const auto &kv : hits) {
+    acc = acc * 31 + kv.second;  // order-sensitive fold
+  }
+  return acc;
+}
+
+}  // namespace gippr

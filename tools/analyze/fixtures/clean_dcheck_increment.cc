@@ -1,0 +1,18 @@
+// gippr-analyze: as=src/core/fixture_dcheck_increment_clean.cc
+//
+// Clean twin of bad_dcheck_increment.cc: the side effect is hoisted
+// out; the macro argument is a pure comparison.
+#include <cstdint>
+
+#define GIPPR_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr {
+
+uint64_t
+nextRecord(const uint64_t *stream, uint64_t &cursor, uint64_t n) {
+  GIPPR_DCHECK(cursor < n);  // pure: identical in both builds
+  cursor += 1;
+  return stream[cursor];
+}
+
+}  // namespace gippr

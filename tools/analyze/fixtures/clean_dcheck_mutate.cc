@@ -1,0 +1,18 @@
+// gippr-analyze: as=src/core/fixture_dcheck_mutate_clean.cc
+//
+// Clean twin of bad_dcheck_mutate.cc: the insert runs
+// unconditionally; only its (pure) result is asserted.
+#include <cstdint>
+#include <set>
+
+#define GIPPR_CHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr {
+
+void
+recordOnce(std::set<uint64_t> &seen, uint64_t key) {
+  const bool inserted = seen.insert(key).second;
+  GIPPR_CHECK(inserted);  // pure: identical in both builds
+}
+
+}  // namespace gippr

@@ -1,0 +1,19 @@
+// gippr-analyze: as=src/trace/fixture_fopen_read_clean.cc
+//
+// Clean twin of bad_fopen_write.cc: read-mode fopen is legal — only
+// write paths must go through robust::writeFileAtomic.
+#include <cstdio>
+
+namespace gippr::trace {
+
+int
+peekMarker(const char *path) {
+  FILE *f = std::fopen(path, "rb");  // read-only: fine
+  if (f == nullptr)
+    return -1;
+  int c = std::fgetc(f);
+  std::fclose(f);
+  return c;
+}
+
+}  // namespace gippr::trace

@@ -1,0 +1,18 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_alloc_clean.cc
+//
+// Clean twin of bad_hot_alloc.cc: fixed-size stack storage, no
+// allocation anywhere on the hot path.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr) {
+  uint64_t scratch[4] = {0, 0, 0, 0};
+  scratch[addr & 3] = addr >> 6;
+  return scratch[addr & 3];
+}
+
+}  // namespace gippr::fastpath

@@ -1,0 +1,23 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_io_clean.cc
+//
+// Clean twin of bad_hot_io.cc: the kernel records what happened in a
+// counter struct; any printing happens outside the hot call graph.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+struct Trace {
+  uint64_t last_set = 0;
+  uint64_t accesses = 0;
+};
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr, Trace &trace) {
+  trace.last_set = addr >> 6;
+  trace.accesses += 1;
+  return trace.last_set;
+}
+
+}  // namespace gippr::fastpath

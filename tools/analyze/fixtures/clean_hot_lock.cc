@@ -1,0 +1,23 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_lock_clean.cc
+//
+// Clean twin of bad_hot_lock.cc: the per-access counter is a plain
+// integer owned by the caller; aggregation into any shared, locked
+// structure happens outside the GIPPR_HOT call graph.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+uint64_t
+tagOf(uint64_t addr, uint64_t &hits) {
+  hits += 1;
+  return addr >> 6;
+}
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr, uint64_t &hits) {
+  return tagOf(addr, hits);
+}
+
+}  // namespace gippr::fastpath

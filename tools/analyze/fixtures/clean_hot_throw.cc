@@ -1,0 +1,25 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_throw_clean.cc
+//
+// Clean twin of bad_hot_throw.cc: the set index is masked into
+// range — a branch-free guarantee, and GIPPR_DCHECK documents the
+// precondition without generating code in release builds.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+#define GIPPR_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+
+namespace gippr::fastpath {
+
+uint64_t
+checkedSet(uint64_t set, uint64_t num_sets) {
+  GIPPR_DCHECK(set < num_sets);
+  return set & (num_sets - 1);
+}
+
+GIPPR_HOT uint64_t
+accessKernel(uint64_t addr, uint64_t num_sets) {
+  return checkedSet((addr >> 6) & (num_sets - 1), num_sets);
+}
+
+}  // namespace gippr::fastpath

@@ -1,0 +1,26 @@
+// gippr-analyze: as=src/sim/fastpath/fixture_hot_virtual_clean.cc
+//
+// Clean twin of bad_hot_virtual.cc: the sink is a template
+// parameter, so emit() is resolved statically and inlined — same
+// flexibility, no vtable on the hot path.
+#include <cstdint>
+
+#include "util/hot.hh"
+
+namespace gippr::fastpath {
+
+struct CountingSink {
+  uint64_t seen = 0;
+  void emit(uint64_t) { seen += 1; }
+};
+
+template <typename SinkT>
+GIPPR_HOT void
+accessKernel(SinkT &sink, uint64_t addr) {
+  sink.emit(addr >> 6);  // static call, inlined
+}
+
+template GIPPR_HOT void accessKernel<CountingSink>(CountingSink &,
+                                                   uint64_t);
+
+}  // namespace gippr::fastpath

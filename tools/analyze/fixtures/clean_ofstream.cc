@@ -1,0 +1,17 @@
+// gippr-analyze: as=src/telemetry/fixture_ofstream_clean.cc
+//
+// Clean twin of bad_ofstream.cc: the report goes through
+// robust::writeFileAtomic (temp + fsync + rename + dir-fsync), so a
+// crash leaves either the old file or the new one, never a mix.
+#include <string>
+
+#include "robust/atomic_io.hh"
+
+namespace gippr::telemetry {
+
+void
+dumpReport(const std::string &path, const std::string &body) {
+  robust::writeFileAtomic(path, body);
+}
+
+}  // namespace gippr::telemetry

@@ -1,0 +1,25 @@
+// gippr-analyze: as=src/ga/fixture_pointer_sort_clean.cc
+//
+// Clean twin of bad_pointer_sort.cc: the comparator orders by a
+// stable field of the pointee, never by the pointer value.
+#include <algorithm>
+#include <vector>
+
+namespace gippr {
+
+struct Genome {
+  double fitness;
+  unsigned id;
+};
+
+void
+rankPopulation(std::vector<Genome *> &pop) {
+  std::sort(pop.begin(), pop.end(),
+            [](const Genome *a, const Genome *b) {
+              if (a->fitness != b->fitness)
+                return a->fitness > b->fitness;
+              return a->id < b->id;  // stable tie-break
+            });
+}
+
+}  // namespace gippr

@@ -1,0 +1,30 @@
+// gippr-analyze: as=src/robust/fixture_signal_malloc_clean.cc
+//
+// Clean twin of bad_signal_malloc.cc: the death note is a static
+// buffer filled with pure arithmetic — the helper stays on the
+// handler's call graph but touches no lock.
+#include <csignal>
+
+namespace gippr::robust {
+
+namespace {
+char g_death_note[2];
+}  // namespace
+
+void
+formatDeathNote(int signo) {
+  g_death_note[0] = static_cast<char>('0' + (signo % 10));
+  g_death_note[1] = '\0';
+}
+
+extern "C" void
+onShutdownSignal(int signo) {
+  formatDeathNote(signo);
+}
+
+void
+installHandlers() {
+  signal(SIGINT, onShutdownSignal);
+}
+
+}  // namespace gippr::robust

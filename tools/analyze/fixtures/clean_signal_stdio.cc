@@ -1,0 +1,24 @@
+// gippr-analyze: as=src/robust/fixture_signal_stdio_clean.cc
+//
+// Clean twin of bad_signal_stdio.cc: the handler uses only the raw
+// write() syscall and _exit(), both async-signal-safe.
+#include <csignal>
+#include <unistd.h>
+
+namespace gippr::robust {
+
+extern "C" void
+onShutdownSignal(int signo) {
+  static const char msg[] = "shutting down\n";
+  ::write(2, msg, sizeof(msg) - 1);
+  _exit(128 + signo);
+}
+
+void
+installHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = onShutdownSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace gippr::robust

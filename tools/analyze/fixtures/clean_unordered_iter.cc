@@ -1,0 +1,27 @@
+// gippr-analyze: as=src/core/fixture_unordered_iter_clean.cc
+//
+// Clean twin of bad_unordered_iter.cc: the unordered map serves
+// point lookups only; the order-sensitive fold walks an ordered
+// container that is populated alongside it.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace gippr {
+
+uint64_t
+sumHitCounters() {
+  std::unordered_map<uint64_t, uint64_t> hits;
+  std::map<uint64_t, uint64_t> ordered;
+  hits[0x40] = 3;
+  ordered[0x40] = 3;
+  hits[0x80] = 5;
+  ordered[0x80] = 5;
+  uint64_t acc = 0;
+  for (const auto &kv : ordered) {
+    acc = acc * 31 + kv.second;
+  }
+  return acc + hits.count(0x40);  // point lookup: fine
+}
+
+}  // namespace gippr

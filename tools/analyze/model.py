@@ -1,0 +1,671 @@
+"""Semantic model of the C++ sources gippr-analyze checks run over.
+
+The model is deliberately engine-agnostic: a backend (the built-in
+lexer below, or the optional libclang backend in clangast.py) produces
+the same dataclasses — token streams per file, function definitions
+with body extents, declarations, a name-resolved call graph, and the
+repo-wide sets of virtual method names and GIPPR_HOT-annotated
+symbols.  The checks consume only this model, so they behave
+identically under either backend; the libclang backend merely sharpens
+extraction where real type information helps.
+
+The built-in backend is a hand-rolled lexer plus a scope-tracking
+recognizer for namespace / class / function braces.  It is not a C++
+parser — it does not need to be: the five invariants gippr-analyze
+encodes (see run.py) are all expressible over declarations, call
+sites, and token neighborhoods, which the recognizer recovers reliably
+for this codebase's style (enforced separately by tools/lint.py and
+clang-format).
+"""
+
+import bisect
+import dataclasses
+import pathlib
+import re
+
+# ---------------------------------------------------------------------------
+# Tokens
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "id", "num", "str", "chr", "punct", "pp"
+    text: str
+    line: int
+
+
+# Longest-match-first multi-character operators the checks care about.
+_PUNCTS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+]
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_BODY = re.compile(r"[A-Za-z0-9_]")
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof",
+    "alignas", "new", "delete", "throw", "try", "catch", "const",
+    "constexpr", "consteval", "constinit", "static", "inline",
+    "extern", "mutable", "volatile", "register", "thread_local",
+    "typedef", "using", "namespace", "class", "struct", "union",
+    "enum", "template", "typename", "public", "private", "protected",
+    "virtual", "override", "final", "noexcept", "operator", "friend",
+    "explicit", "auto", "decltype", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "static_assert", "co_await",
+    "co_yield", "co_return", "requires", "concept", "export", "this",
+    "nullptr", "true", "false", "and", "or", "not",
+}
+
+#: Keyword-like call heads that must never be treated as call sites.
+#: The check macros are modeled separately (checks/common.py) — their
+#: argument compiles out, so it is not a live call.
+NOT_CALLS = KEYWORDS | {
+    "assert", "defined", "__builtin_expect", "__builtin_prefetch",
+    "__builtin_unreachable", "__attribute__", "alignof", "offsetof",
+    "GIPPR_CHECK", "GIPPR_DCHECK",
+}
+
+
+def tokenize(text):
+    """Lex @p text into Tokens; comments vanish, strings survive as
+    single tokens (checks inspect fopen mode literals), preprocessor
+    directives collapse to one "pp" token per (continued) line."""
+    toks = []
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            toks.append(Token("pp", text[start:i], start_line))
+            continue
+        at_line_start = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "R" and text[i:i + 2] == 'R"':
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^()\\ ]*)\(', text[i:])
+            if m:
+                end = text.find(")" + m.group(1) + '"', i + m.end())
+                end = n if end < 0 else end + len(m.group(1)) + 2
+                toks.append(Token("str", text[i:end], line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
+        if c in "\"'":
+            start = i
+            i += 1
+            while i < n and text[i] != c:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 1
+            toks.append(Token("str" if c == '"' else "chr",
+                              text[start:i], line))
+            continue
+        if _ID_START.match(c):
+            start = i
+            while i < n and _ID_BODY.match(text[i]):
+                i += 1
+            toks.append(Token("id", text[start:i], line))
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] in "._'"
+                             or (text[i] in "+-" and text[i - 1] in "eEpP")):
+                i += 1
+            toks.append(Token("num", text[start:i], line))
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            toks.append(Token("punct", c, line))
+            i += 1
+    return toks
+
+
+def match_paren(toks, i):
+    """Index of the token closing the group opened at toks[i]."""
+    opener = toks[i].text
+    closer = {"(": ")", "[": "]", "{": "}", "<": ">"}[opener]
+    depth = 0
+    j = i
+    n = len(toks)
+    while j < n:
+        t = toks[j].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return n - 1
+
+
+# ---------------------------------------------------------------------------
+# Model dataclasses
+
+
+@dataclasses.dataclass
+class CallSite:
+    name: str       # simple name of the callee
+    qualifier: str  # "Class" for Class::name, "" otherwise
+    receiver: str   # "free", "member" (./->) or "qualified" (::name)
+    line: int
+
+
+@dataclasses.dataclass
+class Function:
+    name: str          # simple name
+    cls: str           # enclosing/qualifying class, "" for free
+    file: str          # repo-relative path
+    line: int          # line of the definition (or declaration)
+    head: tuple = ()   # tokens of the declaration head
+    body: tuple = ()   # tokens of the body, () for pure declarations
+    calls: tuple = ()  # CallSites found in the body
+    hot: bool = False  # GIPPR_HOT appeared in the head
+    virtual: bool = False
+    has_body: bool = False
+
+    @property
+    def qname(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: str          # repo-relative (virtual for fixtures)
+    tokens: list = dataclasses.field(default_factory=list)
+    functions: list = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Model:
+    files: dict = dataclasses.field(default_factory=dict)  # path -> SourceFile
+    _ident_cache: dict = dataclasses.field(default_factory=dict)
+
+    def _file_idents(self, path):
+        """Identifiers visible from @p path: its own tokens plus its
+        companion header/source (member types live in the .hh while
+        the calls live in the .cc)."""
+        if path not in self._ident_cache:
+            idents = set()
+            companions = [path]
+            if path.endswith(".cc"):
+                companions.append(path[:-3] + ".hh")
+            elif path.endswith(".hh"):
+                companions.append(path[:-3] + ".cc")
+            for p in companions:
+                sf = self.files.get(p)
+                if sf:
+                    idents |= {t.text for t in sf.tokens
+                               if t.kind == "id"}
+            self._ident_cache[path] = idents
+        return self._ident_cache[path]
+
+    def functions(self):
+        for sf in self.files.values():
+            yield from sf.functions
+
+    def definitions(self):
+        return [f for f in self.functions() if f.has_body]
+
+    def hot_symbols(self):
+        """Qualified names carrying GIPPR_HOT on any decl or def."""
+        return {f.qname for f in self.functions() if f.hot}
+
+    def virtual_only_names(self):
+        """Simple method names declared virtual somewhere and never as
+        a non-virtual member — the safe set for flagging `x->name()`
+        as virtual dispatch without type information."""
+        virt, nonvirt = set(), set()
+        for f in self.functions():
+            if not f.cls:
+                continue
+            (virt if f.virtual else nonvirt).add(f.name)
+        return virt - nonvirt
+
+    def resolve(self, caller, call):
+        """Candidate definitions for @p call from @p caller.
+
+        Same-class members win over global name matches: an
+        unqualified or member call from C::f to a name C also defines
+        binds to C's member, which is both the common case and the one
+        that keeps name collisions across classes from poisoning the
+        transitive closure.
+        """
+        if call.qualifier:
+            exact = [f for f in self.definitions()
+                     if f.name == call.name and f.cls == call.qualifier]
+            if exact:
+                return exact
+            # The qualifier may be a namespace (fastpath::, robust::):
+            # those qualify free functions, not class members.
+            return [f for f in self.definitions()
+                    if f.name == call.name and not f.cls]
+        if call.receiver == "qualified":
+            # `::name(...)` — the global namespace: only free repo
+            # functions can match (a bare `::write` is the syscall,
+            # not some class's write() method).
+            return [f for f in self.definitions()
+                    if f.name == call.name and not f.cls]
+        cands = [f for f in self.definitions() if f.name == call.name]
+        if caller.cls:
+            own = [f for f in cands if f.cls == caller.cls]
+            if own:
+                return own
+        if call.receiver == "free":
+            free = [f for f in cands if not f.cls]
+            if free:
+                return free
+        if call.receiver == "member":
+            # Cross-class member call: the receiver's static type must
+            # be named somewhere in the caller's file or its companion
+            # header.  A class that is never mentioned cannot be the
+            # type of a receiver here — `levels_.size()` on a
+            # std::vector must not bind to some repo class's size().
+            # An empty result means the receiver is a std/external
+            # type: report the call as unresolved, not as every
+            # same-named method in the repo.
+            idents = self._file_idents(caller.file)
+            return [f for f in cands if not f.cls or f.cls in idents]
+        return cands
+
+
+# ---------------------------------------------------------------------------
+# Built-in extraction backend
+
+_SCOPE_KEYWORDS = {"class", "struct", "union"}
+_BLOCK_HEADS = {"if", "for", "while", "switch", "do", "else", "try",
+                "catch"}
+
+
+def _decl_groups(toks, lo, hi):
+    """Split class/namespace-scope tokens [lo, hi) into declaration
+    runs separated by top-level ';' (brace groups are handled by the
+    caller, which never hands us a '{')."""
+    groups = []
+    start = lo
+    depth = 0
+    for i in range(lo, hi):
+        t = toks[i].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif t == ";" and depth == 0:
+            groups.append((start, i))
+            start = i + 1
+    if start < hi:
+        groups.append((start, hi))
+    return groups
+
+
+def _find_param_list(toks, lo, hi):
+    """Locate the parameter list of a function declarator in the
+    head tokens [lo, hi): the last top-level '(...)' group that is
+    immediately preceded by a name (identifier, operator-id, or a
+    qualified chain) — skipping a constructor initializer list if one
+    follows.  Returns (open, close, name, cls) or None."""
+    # Truncate at a ctor-initializer ':' (a top-level ':' directly
+    # after a ')'), so `Ctor() : a_(x)` resolves to Ctor's parens.
+    depth = 0
+    cut = hi
+    prev_close = False
+    for i in range(lo, hi):
+        t = toks[i].text
+        if t in "([":
+            depth += 1
+            prev_close = False
+        elif t in ")]":
+            depth -= 1
+            prev_close = t == ")"
+        elif depth == 0 and t == ":" and toks[i].kind == "punct" \
+                and prev_close:
+            cut = i
+            break
+        elif toks[i].kind != "pp":
+            prev_close = False
+    # Find the last top-level '(' group in [lo, cut).
+    opens = []
+    depth = 0
+    i = lo
+    while i < cut:
+        t = toks[i].text
+        if t == "(":
+            if depth == 0:
+                opens.append(i)
+            depth += 1
+        elif t == ")":
+            depth -= 1
+        i += 1
+    for op in reversed(opens):
+        close = match_paren(toks, op)
+        if close >= cut:
+            continue
+        j = op - 1
+        if j < lo:
+            continue
+        name = None
+        cls = ""
+        if toks[j].kind == "id" and toks[j].text not in KEYWORDS:
+            name = toks[j].text
+            # ~Name destructor / Class::name qualification.
+            if j - 1 >= lo and toks[j - 1].text == "~":
+                name = "~" + name
+                j -= 1
+            if j - 2 >= lo and toks[j - 1].text == "::" \
+                    and toks[j - 2].kind == "id":
+                cls = toks[j - 2].text
+        elif toks[j].text in (")", "]", ">", "<", "=", "*", "&"):
+            # operator(), operator[], operator<, operator=, ...
+            k = j
+            while k >= lo and toks[k].kind == "punct":
+                if toks[k].text == "operator":
+                    break
+                k -= 1
+            if k >= lo and toks[k].text == "operator":
+                name = "operator" + "".join(
+                    t.text for t in toks[k + 1:op])
+                if k - 2 >= lo and toks[k - 1].text == "::" \
+                        and toks[k - 2].kind == "id":
+                    cls = toks[k - 2].text
+        elif toks[j].kind == "id" and toks[j].text == "operator":
+            name = "operator()"
+        if name:
+            return op, close, name, cls
+    return None
+
+
+def _check_macro_spans(toks, lo, hi):
+    """Index ranges of GIPPR_CHECK/GIPPR_DCHECK argument lists: those
+    tokens compile out in release builds, so nothing inside them is a
+    live call for closure purposes."""
+    spans = []
+    for i in range(lo, hi):
+        if toks[i].kind == "id" \
+                and toks[i].text in ("GIPPR_CHECK", "GIPPR_DCHECK") \
+                and i + 1 < hi and toks[i + 1].text == "(":
+            spans.append((i + 1, match_paren(toks, i + 1)))
+    return spans
+
+
+def _collect_calls(toks, lo, hi):
+    """Live call sites in the body token range [lo, hi)."""
+    calls = []
+    spans = _check_macro_spans(toks, lo, hi)
+    i = lo
+    while i < hi:
+        if any(a <= i <= b for a, b in spans):
+            i += 1
+            continue
+        t = toks[i]
+        if t.kind != "id" or t.text in NOT_CALLS:
+            i += 1
+            continue
+        j = i + 1
+        # Template argument list between name and '(': name<...>(
+        if j < hi and toks[j].text == "<":
+            close = match_paren(toks, j)
+            if close < hi and close - j <= 8 \
+                    and close + 1 < hi and toks[close + 1].text == "(":
+                j = close + 1
+        if j >= hi or toks[j].text != "(":
+            i += 1
+            continue
+        qualifier = ""
+        receiver = "free"
+        if i - 1 >= lo:
+            p = toks[i - 1].text
+            if p == "::":
+                receiver = "qualified"
+                if i - 2 >= lo and toks[i - 2].kind == "id":
+                    qualifier = toks[i - 2].text
+            elif p in (".", "->"):
+                receiver = "member"
+        calls.append(CallSite(t.text, qualifier, receiver, t.line))
+        i = j
+    return calls
+
+
+def collect_calls(toks):
+    """Public wrapper: call sites over a full token sequence."""
+    return _collect_calls(toks, 0, len(toks))
+
+
+def _parse_scope(toks, lo, hi, cls, sf, ns_depth):
+    """Recursively walk a namespace/class scope, emitting Functions."""
+    groups = []
+    # First, split [lo, hi) at top-level braces into declaration text
+    # runs and brace groups.  "Top level" means outside parentheses
+    # and brackets too: `~uint64_t{0}` in a constructor initializer
+    # must not open a scope.
+    i = lo
+    run_start = lo
+    depth = 0
+    while i < hi:
+        t = toks[i].text
+        if t in "([":
+            depth += 1
+            i += 1
+        elif t in ")]":
+            depth -= 1
+            i += 1
+        elif t == "{" and depth == 0:
+            close = match_paren(toks, i)
+            groups.append(("run", run_start, i))
+            groups.append(("block", i, close + 1))
+            i = close + 1
+            run_start = i
+        else:
+            i += 1
+    groups.append(("run", run_start, hi))
+
+    pending = run_start = None
+    # Re-walk pairing each block with the declaration run before it.
+    decl_start = lo
+    gi = 0
+    while gi < len(groups):
+        kind, a, b = groups[gi]
+        if kind == "run":
+            # Declarations ending in ';' inside the run.
+            for s, e in _decl_groups(toks, a, b):
+                _emit_declaration(toks, s, e, cls, sf)
+            gi += 1
+            continue
+        # A block: classify by the declaration tokens before it.
+        head_lo = a
+        # Walk back through the preceding run to the last ';' (or the
+        # run start) to get this block's head.
+        prev_kind, pa, pb = groups[gi - 1]
+        s = pa
+        depth = 0
+        for k in range(pa, pb):
+            t = toks[k].text
+            if t in "([":
+                depth += 1
+            elif t in ")]":
+                depth -= 1
+            elif depth == 0 and t == ";":
+                s = k + 1
+            elif depth == 0 and toks[k].kind == "id" \
+                    and t in ("public", "private", "protected") \
+                    and k + 1 < pb and toks[k + 1].text == ":":
+                s = k + 2
+        head = (s, pb)
+        _classify_block(toks, head, a, b, cls, sf, ns_depth)
+        gi += 1
+
+
+def _head_texts(toks, lo, hi):
+    return [toks[k].text for k in range(lo, hi) if toks[k].kind != "pp"]
+
+
+def _classify_block(toks, head, blo, bhi, cls, sf, ns_depth):
+    hlo, hhi = head
+    texts = _head_texts(toks, hlo, hhi)
+    if not texts:
+        return
+    if "namespace" in texts:
+        _parse_scope(toks, blo + 1, bhi - 1, cls, sf, ns_depth + 1)
+        return
+    # enum class Foo { ... } — values, not a scope we model.
+    if "enum" in texts:
+        return
+    # class/struct at top level of the head (not a return type like
+    # `struct tm *f()` — those contain a '(' after the key).
+    for key in _SCOPE_KEYWORDS:
+        if key in texts:
+            ki = texts.index(key)
+            rest = texts[ki + 1:]
+            if "(" not in rest:
+                # Name = first identifier after the key.
+                name = ""
+                for k in range(hlo, hhi):
+                    if toks[k].text == key:
+                        for m in range(k + 1, hhi):
+                            if toks[m].kind == "id" and \
+                                    toks[m].text not in KEYWORDS:
+                                name = toks[m].text
+                                break
+                            if toks[m].text in (":", "{"):
+                                break
+                        break
+                _parse_scope(toks, blo + 1, bhi - 1, name or cls, sf,
+                             ns_depth)
+                return
+    # Variable definition with brace init: `Type x = { ... }` or
+    # lambdas assigned at scope — a top-level '=' before the block.
+    depth = 0
+    for k in range(hlo, hhi):
+        t = toks[k].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif depth == 0 and t == "=":
+            return
+    pl = _find_param_list(toks, hlo, hhi)
+    if pl is None:
+        return
+    op, close, name, qcls = pl
+    fcls = qcls or cls
+    head_toks = tuple(toks[hlo:hhi])
+    body_toks = tuple(toks[blo:bhi])
+    fn = Function(
+        name=name,
+        cls=fcls,
+        file=sf.path,
+        line=toks[hlo].line,
+        head=head_toks,
+        body=body_toks,
+        calls=tuple(_collect_calls(toks, blo + 1, bhi - 1)),
+        hot=any(t.text == "GIPPR_HOT" for t in head_toks),
+        virtual=any(t.text == "virtual" for t in head_toks),
+        has_body=True,
+    )
+    sf.functions.append(fn)
+
+
+def _emit_declaration(toks, lo, hi, cls, sf):
+    """Body-less declaration at class/namespace scope (prototype)."""
+    texts = _head_texts(toks, lo, hi)
+    if not texts or "(" not in texts:
+        return
+    if texts[0] in ("using", "typedef", "friend", "template"):
+        # Pure `template <...>;`-style or alias declarations; real
+        # templated definitions carry their body through the block
+        # path instead.
+        if texts[0] != "template" or ")" not in texts:
+            return
+    if "=" in _top_level_texts(toks, lo, hi):
+        # `int x = f();` — variable, not a prototype.  (Pure-virtual
+        # `= 0` is also fine to skip: the virtual bit still registers
+        # below only if we parse it, so handle it first.)
+        if not ("virtual" in texts and texts[-2:] == ["=", "0"]):
+            return
+    pl = _find_param_list(toks, lo, hi)
+    if pl is None:
+        return
+    op, close, name, qcls = pl
+    head_toks = tuple(toks[lo:hi])
+    sf.functions.append(Function(
+        name=name,
+        cls=qcls or cls,
+        file=sf.path,
+        line=toks[lo].line,
+        head=head_toks,
+        hot=any(t.text == "GIPPR_HOT" for t in head_toks),
+        virtual=any(t.text == "virtual" for t in head_toks),
+        has_body=False,
+    ))
+
+
+def _top_level_texts(toks, lo, hi):
+    out = []
+    depth = 0
+    for k in range(lo, hi):
+        t = toks[k].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif depth == 0:
+            out.append(t)
+    return out
+
+
+def parse_file(path, virtual_path=None):
+    """Lex and extract one file into a SourceFile."""
+    text = pathlib.Path(path).read_text(errors="replace")
+    sf = SourceFile(path=virtual_path or str(path))
+    sf.tokens = tokenize(text)
+    _parse_scope(sf.tokens, 0, len(sf.tokens), "", sf, 0)
+    return sf
+
+
+def build_model(paths, virtual_paths=None):
+    """Built-in backend entry: model for @p paths (repo-relative
+    virtual names taken from @p virtual_paths when given)."""
+    model = Model()
+    for p in paths:
+        vp = (virtual_paths or {}).get(str(p))
+        sf = parse_file(p, vp)
+        model.files[sf.path] = sf
+    return model

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""gippr-analyze: semantic invariant checks for the gippr repo.
+
+Layer three of the static-analysis gate (tools/lint.py regexes ->
+clang-tidy -> gippr-analyze).  Five checks encode the invariants the
+repo's credibility rests on — see the modules under checks/ for the
+full rationale of each:
+
+  determinism-order     no hash-order or pointer-order leaks in
+                        result-affecting modules
+  hot-path-purity       GIPPR_HOT kernels transitively allocation-,
+                        lock-, exception-, virtual- and I/O-free
+  signal-safety         shutdown handler reaches only
+                        async-signal-safe functions
+  atomic-io-only        persistent writes only via writeFileAtomic
+  dcheck-side-effects   pure GIPPR_CHECK/GIPPR_DCHECK arguments
+
+Usage:
+
+    python3 tools/analyze/run.py [paths...]
+        Analyze the tree (default: src/**/*.{hh,cc}).  Exit 1 on any
+        finding not covered by baseline.json.
+
+    python3 tools/analyze/run.py --fixture FILE [FILE...]
+        Analyze fixture files, honoring their "// gippr-analyze:
+        as=<virtual-path>" directive so scoped checks apply.  No
+        baseline.  Used by selftest.py.
+
+Engines: --engine builtin is the dependency-free lexer backend and
+the default gate; --engine clang uses libclang (pip install libclang)
+for sharper extraction over compile_commands.json and is run as an
+advisory cross-check in CI; --engine auto prefers clang when
+importable.  Both feed the same model to the same checks.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from analyze import model as M  # noqa: E402
+from analyze import checks  # noqa: E402
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+_DIRECTIVE = re.compile(r"//\s*gippr-analyze:\s*as=(\S+)")
+
+
+def default_paths():
+    files = []
+    files.extend(sorted((REPO / "src").rglob("*.hh")))
+    files.extend(sorted((REPO / "src").rglob("*.cc")))
+    return files
+
+
+def virtual_path_of(path):
+    """Repo-relative path, or the fixture's as= directive."""
+    p = pathlib.Path(path).resolve()
+    try:
+        text = p.read_text(errors="replace")
+    except OSError:
+        text = ""
+    m = _DIRECTIVE.search(text)
+    if m:
+        return m.group(1)
+    try:
+        return p.relative_to(REPO).as_posix()
+    except ValueError:
+        return p.name
+
+
+def load_baseline(path):
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text())
+    for e in entries:
+        for key in ("check", "file", "contains", "justification"):
+            if key not in e:
+                raise SystemExit(
+                    f"baseline entry missing '{key}': {e}")
+    return entries
+
+
+def apply_baseline(findings, entries):
+    kept, suppressed = [], []
+    used = [0] * len(entries)
+    for f in findings:
+        for i, e in enumerate(entries):
+            if e["check"] == f.check and e["file"] == f.file \
+                    and e["contains"] in f.message:
+                used[i] += 1
+                suppressed.append(f)
+                break
+        else:
+            kept.append(f)
+    unused = [entries[i] for i, u in enumerate(used) if u == 0]
+    return kept, suppressed, unused
+
+
+def build_model(paths, engine, compdb):
+    vpaths = {str(p): virtual_path_of(p) for p in paths}
+    if engine in ("clang", "auto"):
+        try:
+            from analyze import clangast
+            return clangast.build_model(paths, vpaths, compdb), "clang"
+        except clangast.EngineUnavailable as exc:
+            if engine == "clang":
+                raise SystemExit(f"libclang engine unavailable: {exc}")
+            print(f"note: libclang unavailable ({exc}); "
+                  f"using builtin engine", file=sys.stderr)
+        except ImportError as exc:
+            if engine == "clang":
+                raise SystemExit(f"libclang engine unavailable: {exc}")
+    return M.build_model(paths, vpaths), "builtin"
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="gippr-analyze")
+    ap.add_argument("paths", nargs="*", help="files to analyze")
+    ap.add_argument("--engine", choices=("auto", "builtin", "clang"),
+                    default="builtin")
+    ap.add_argument("--compdb", default=str(REPO / "build"),
+                    help="directory holding compile_commands.json "
+                         "(clang engine)")
+    ap.add_argument("--fixture", action="store_true",
+                    help="fixture mode: honor as= directives, skip "
+                         "the baseline and the hot-coverage gate")
+    ap.add_argument("--no-baseline", action="store_true")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--check", action="append", default=None,
+                    help="run only this check id (repeatable)")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for mod in checks.ALL_CHECKS:
+            print(f"{mod.CHECK_ID:22s} {mod.DESCRIPTION}")
+        return 0
+
+    paths = [pathlib.Path(p) for p in args.paths] or default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"no such file: {missing[0]}")
+
+    model, engine = build_model(paths, args.engine, args.compdb)
+
+    config = {
+        # The hot kernels must stay annotated: a tree with zero
+        # GIPPR_HOT functions means the invariant silently lapsed.
+        "require_hot": not args.fixture and not args.paths,
+    }
+    findings = []
+    for mod in checks.ALL_CHECKS:
+        if args.check and mod.CHECK_ID not in args.check:
+            continue
+        findings.extend(mod.run(model, config))
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+
+    suppressed, unused = [], []
+    if not (args.fixture or args.no_baseline):
+        entries = load_baseline(BASELINE)
+        findings, suppressed, unused = apply_baseline(findings, entries)
+
+    for f in findings:
+        print(f.render())
+    for e in unused:
+        print(f"warning: unused baseline entry "
+              f"{e['check']}:{e['file']} ({e['contains']!r})",
+              file=sys.stderr)
+    status = "FAIL" if findings else "clean"
+    print(f"gippr-analyze [{engine}]: {len(findings)} finding(s), "
+          f"{len(suppressed)} baselined — {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""gippr-analyze self-test: the checker must catch what it claims to.
+
+Three assertions, run from ctest (analyze_selftest) and CI:
+
+  1. every fixtures/bad_*.cc declares its expected check via an
+     "// expect: <check-id>" directive, and running the analyzer on
+     it exits nonzero with at least one finding from that check;
+  2. every fixtures/clean_*.cc (the compliant twin of a bad snippet)
+     produces zero findings;
+  3. the real tree (default paths + baseline) is clean — the gate
+     that CI enforces is the gate this test proves still works.
+
+Fixtures carry "// gippr-analyze: as=<virtual-path>" directives so
+path-scoped checks (determinism modules, atomic-io src/ scope) apply
+to files that physically live under tools/.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+RUN = HERE / "run.py"
+FIXTURES = HERE / "fixtures"
+
+_EXPECT = re.compile(r"//\s*expect:\s*(\S+)")
+
+
+def analyze(args):
+    proc = subprocess.run(
+        [sys.executable, str(RUN)] + args,
+        capture_output=True, text=True, cwd=str(REPO))
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+    bad = sorted(FIXTURES.glob("bad_*.cc"))
+    clean = sorted(FIXTURES.glob("clean_*.cc"))
+    if len(bad) < 10:
+        failures.append(f"only {len(bad)} bad fixtures; need >= 10")
+
+    for path in bad:
+        m = _EXPECT.search(path.read_text())
+        if not m:
+            failures.append(f"{path.name}: missing '// expect:' "
+                            f"directive")
+            continue
+        expected = m.group(1)
+        rc, out = analyze(["--fixture", str(path)])
+        if rc == 0:
+            failures.append(f"{path.name}: expected a "
+                            f"[{expected}] finding, got a clean run")
+        elif f"[{expected}]" not in out:
+            failures.append(f"{path.name}: exited {rc} but no "
+                            f"[{expected}] finding:\n{out}")
+        else:
+            print(f"ok   {path.name} -> {expected}")
+
+    for path in clean:
+        rc, out = analyze(["--fixture", str(path)])
+        if rc != 0:
+            failures.append(f"{path.name}: clean twin should pass "
+                            f"but exited {rc}:\n{out}")
+        else:
+            print(f"ok   {path.name} -> clean")
+
+    rc, out = analyze([])
+    if rc != 0:
+        failures.append(f"tree run should be clean (with baseline) "
+                        f"but exited {rc}:\n{out}")
+    else:
+        print("ok   tree run clean (baseline applied)")
+
+    if failures:
+        print(f"\nanalyze selftest: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"FAIL {f}")
+        return 1
+    print(f"\nanalyze selftest: {len(bad)} bad + {len(clean)} clean "
+          f"fixtures + tree run — all ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

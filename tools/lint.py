@@ -19,8 +19,13 @@ Rules:
   determinism    rand()/srand()/time(nullptr) are banned outside
                  src/util/rng.* — all randomness flows through the
                  seeded Rng so experiments replay bit-identically.
-                 (src/telemetry/report.cc is allowlisted: run
-                 timestamps are wall-clock by design and tests pin
+                 Also banned: std::chrono::system_clock and
+                 clock_gettime() (wall-clock reads that leak into
+                 results; steady_clock is fine for durations), and
+                 getenv() outside the allowlisted config-knob sites —
+                 environment-derived values must never feed seeds or
+                 results.  (src/telemetry/report.cc is allowlisted:
+                 run timestamps are wall-clock by design and tests pin
                  them via setTimestamp.)
 
   no-cout        std::cout/std::cerr are banned in src/ — library code
@@ -47,10 +52,28 @@ DETERMINISM_ALLOW = {
     "src/telemetry/report.cc",  # wall-clock run timestamps
 }
 
+# getenv is legal only at these audited config-knob sites: they steer
+# pacing, batching, backend selection, and fault injection — never a
+# seed, an ordering, or a reported result.
+GETENV_ALLOW = {
+    "src/trace/trace_io.cc",        # GIPPR_IO_RETRY_BASE_MS pacing
+    "src/ga/fitness.cc",            # GIPPR_GA_BATCH / GIPPR_GA_MEMO
+    "src/robust/fault_inject.cc",   # GIPPR_FAULT_INJECT test hook
+    "src/sim/fastpath/engine.cc",   # GIPPR_REPLAY_BACKEND / _SHARDS
+}
+
 DETERMINISM_RE = re.compile(
     r"(?<![\w:])(?:rand|srand)\s*\(|time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+WALLCLOCK_RE = re.compile(r"system_clock\b|\bclock_gettime\s*\(")
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
 COUT_RE = re.compile(r"std::c(?:out|err)\b")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+# Fixture files (tests/lint_fixtures/) physically live outside src/;
+# this directive makes them lint as if they were at the given path so
+# the src-scoped rules apply.  Must appear in the first comment block.
+AS_DIRECTIVE = re.compile(r"//\s*gippr-lint:\s*as=(\S+)")
 
 
 def relative(path):
@@ -109,6 +132,9 @@ class Linter:
     def lint(self, path):
         rel = relative(path)
         text = path.read_text()
+        m = AS_DIRECTIVE.search(text)
+        if m:
+            rel = m.group(1)
         in_src = rel.startswith("src/")
         code = strip_comments(text)
 
@@ -149,6 +175,18 @@ class Linter:
             self.error(rel, line_of(code, m.start()), "determinism",
                        "rand()/time(nullptr) outside src/util/rng; "
                        "use the seeded Rng")
+        for m in WALLCLOCK_RE.finditer(code):
+            self.error(rel, line_of(code, m.start()), "determinism",
+                       "wall-clock read (system_clock/clock_gettime) "
+                       "leaks into results; use steady_clock for "
+                       "durations or go through telemetry")
+        if rel not in GETENV_ALLOW:
+            for m in GETENV_RE.finditer(code):
+                self.error(rel, line_of(code, m.start()),
+                           "determinism",
+                           "getenv() outside the audited config-knob "
+                           "allowlist; environment values must not "
+                           "feed seeds or results")
 
     def check_no_cout(self, rel, code):
         for m in COUT_RE.finditer(code):
