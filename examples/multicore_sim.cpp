@@ -25,11 +25,19 @@
  *   --reference-single   1-core gate: replay through the single-core
  *                        ReplayEngine instead of the shared model
  *
+ * Selector mode (sim/select): instead of one static --policy, a
+ * bandit picks the serving policy per epoch from a library:
+ *   --select             enable online policy selection
+ *   --library L1,L2,...  policy_zoo names (default LRU,LIP,PLRU,GIPPR)
+ *   --bandit S           ducb | egreedy
+ *   --epoch N            accesses per decision epoch
+ *
  * The CI multicore-equiv job runs `--cores 1 --deterministic` twice —
  * with and without --reference-single — and byte-compares the two
  * JSON artifacts: the shared model must be indistinguishable from the
- * single-core engine.  Nothing written to the report may therefore
- * depend on which of the two paths produced it.
+ * single-core engine (in selector mode, the shared selector run from
+ * the single-trace selector run).  Nothing written to the report may
+ * therefore depend on which of the two paths produced it.
  */
 
 #include <cstdio>
@@ -41,6 +49,9 @@
 #include "cache/hierarchy.hh"
 #include "core/vectors.hh"
 #include "sim/multicore/engine.hh"
+#include "sim/select/engine.hh"
+#include "sim/select/report.hh"
+#include "sim/select/select.hh"
 #include "sim/trace_cache.hh"
 #include "telemetry/json.hh"
 #include "telemetry/report.hh"
@@ -68,6 +79,10 @@ struct Options
     std::string jsonPath;
     bool deterministic = false;
     bool referenceSingle = false;
+    bool select = false;
+    std::string library = gippr::select::defaultLibrarySpec();
+    std::string bandit = "ducb";
+    uint64_t epoch = gippr::select::SelectConfig{}.epochLength;
 };
 
 void
@@ -81,6 +96,8 @@ usage()
         "                     [--backend fast|scalar] [--accesses N]\n"
         "                     [--seed S] [--json PATH]\n"
         "                     [--deterministic] [--reference-single]\n"
+        "                     [--select] [--library L1,L2,..]\n"
+        "                     [--bandit ducb|egreedy] [--epoch N]\n"
         "\n"
         "Mix presets: thrash-heavy, balanced, reuse-heavy,\n"
         "stream-polluted, kv-serving; or any comma-separated\n"
@@ -125,6 +142,14 @@ parseArgs(int argc, char **argv)
             opts.deterministic = true;
         else if (arg == "--reference-single")
             opts.referenceSingle = true;
+        else if (arg == "--select")
+            opts.select = true;
+        else if (arg == "--library")
+            opts.library = value("--library");
+        else if (arg == "--bandit")
+            opts.bandit = value("--bandit");
+        else if (arg == "--epoch")
+            opts.epoch = std::stoull(value("--epoch"));
         else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -137,6 +162,8 @@ parseArgs(int argc, char **argv)
         fatal("--cores must be >= 1");
     if (opts.referenceSingle && opts.cores != 1)
         fatal("--reference-single requires --cores 1");
+    if (opts.select && opts.epoch == 0)
+        fatal("--epoch must be >= 1");
     return opts;
 }
 
@@ -286,6 +313,96 @@ printResult(const MixSpec &mix, const RunParams &params,
     }
 }
 
+/**
+ * Selector mode: the bandit picks the serving policy per epoch.  The
+ * 1-core --reference-single gate replays the merged trace through the
+ * single-trace selector engine instead of the shared-stream one; the
+ * two must emit byte-identical artifacts.
+ */
+int
+runSelectMode(const Options &opts, const MixSpec &mix,
+              const std::vector<CoreStream> &streams,
+              const CacheConfig &llc, Schedule schedule)
+{
+    namespace sel = gippr::select;
+
+    sel::SelectConfig cfg;
+    cfg.kind = sel::parseBanditKind(opts.bandit);
+    cfg.epochLength = opts.epoch;
+    cfg.seed = opts.seed;
+    const std::vector<PolicyDef> library =
+        sel::parseLibrary(opts.library);
+    const sel::Backend backend = sel::resolveBackend(
+        library, llc, sel::parseBackend(opts.backend));
+
+    sel::SelectResult res;
+    if (opts.referenceSingle) {
+        const Trace merged = sel::mergedTrace(streams, schedule);
+        const size_t warmup = static_cast<size_t>(
+            static_cast<double>(merged.size()) *
+            opts.warmupFraction);
+        res = sel::runSelect(library, cfg, llc, merged, warmup,
+                             backend);
+    } else {
+        res = sel::runSelectShared(streams, schedule, library, cfg,
+                                   llc, opts.warmupFraction, backend);
+    }
+
+    // Static regret baselines over the same merged reference order.
+    const Trace merged = sel::mergedTrace(streams, schedule);
+    size_t oracle_warmup = 0;
+    for (const CoreStream &cs : streams)
+        oracle_warmup += static_cast<size_t>(
+            static_cast<double>(cs.trace->size()) *
+            opts.warmupFraction);
+    const std::vector<sel::StaticOracleRow> oracle =
+        sel::staticOracle(library, llc, merged, oracle_warmup,
+                          backend);
+    const size_t best = sel::bestStaticIndex(oracle);
+
+    std::printf("mix %s: %zu cores, select %s over %s, epoch %llu, "
+                "%zu epochs, %llu switches, %llu drift resets\n",
+                mix.name.c_str(), res.coreMeasured.size(),
+                sel::banditKindName(cfg.kind),
+                sel::libraryName(library).c_str(),
+                static_cast<unsigned long long>(cfg.epochLength),
+                res.timeline.size(),
+                static_cast<unsigned long long>(res.switches),
+                static_cast<unsigned long long>(res.driftResets));
+    for (size_t a = 0; a < res.arms.size(); ++a) {
+        std::printf("  arm %-12s epochs %llu\n", res.arms[a].c_str(),
+                    static_cast<unsigned long long>(
+                        res.epochsChosen[a]));
+    }
+    std::printf("selector measured demand miss rate %.4f | best "
+                "static %s %.4f\n",
+                res.measuredDemandMissRate(),
+                oracle[best].name.c_str(),
+                oracle[best].measured.demandAccesses > 0
+                    ? static_cast<double>(
+                          oracle[best].measured.demandMisses) /
+                          static_cast<double>(
+                              oracle[best].measured.demandAccesses)
+                    : 0.0);
+
+    if (!opts.jsonPath.empty()) {
+        sel::SelectReportInputs in;
+        in.binary = "multicore_sim";
+        in.workload = mix.name;
+        for (const CoreStream &cs : streams)
+            in.coreWorkloads.push_back(cs.workload);
+        in.cfg = cfg;
+        in.llc = llc;
+        in.warmupFraction = opts.warmupFraction;
+        in.result = res;
+        in.oracle = oracle;
+        in.deterministic = opts.deterministic;
+        sel::buildSelectReport(in).writeFile(opts.jsonPath);
+        std::printf("report written to %s\n", opts.jsonPath.c_str());
+    }
+    return 0;
+}
+
 int
 run(int argc, char **argv)
 {
@@ -306,6 +423,11 @@ run(int argc, char **argv)
     LlcTraceCache cache;
     const std::vector<CoreStream> streams =
         buildCoreStreams(mix, suite, hier, &cache);
+
+    if (opts.select) {
+        return runSelectMode(opts, mix, streams, hier.llc,
+                             parseSchedule(opts.schedule));
+    }
 
     RunParams params;
     params.llc = hier.llc;

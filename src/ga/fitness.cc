@@ -116,6 +116,12 @@ FitnessEvaluator::FitnessEvaluator(const CacheConfig &llc,
     uint64_t h = kFnvOffset;
     for (uint64_t d : digests)
         h = foldU64(h, d);
+    // Fold the LLC geometry in too: the same training traces replayed
+    // at a different cache shape yield different miss counts, so two
+    // evaluators differing only in geometry must not share memo hits.
+    h = foldU64(h, llc_.sizeBytes);
+    h = foldU64(h, llc_.assoc);
+    h = foldU64(h, llc_.blockBytes);
     traceDigest_ = h;
 }
 

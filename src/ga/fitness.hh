@@ -141,7 +141,9 @@ class FitnessEvaluator
     void setMemoCapacity(size_t entries);
     size_t memoCapacity() const { return memoCapacity_; }
 
-    /** FNV-1a digest of the training traces (memo-key component). */
+    /** FNV-1a digest of the training traces AND the LLC geometry
+     *  (memo-key component): evaluators over the same traces at a
+     *  different cache shape must not share memo entries. */
     uint64_t traceSetDigest() const { return traceDigest_; }
 
     /** Demand misses of @p ipv on trace @p idx (measured region). */

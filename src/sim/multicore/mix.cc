@@ -132,6 +132,8 @@ buildCoreStreams(const MixSpec &mix, const SyntheticSuite &suite,
 
     std::vector<WorkloadSpec> kv;
     bool kv_built = false;
+    std::vector<WorkloadSpec> ps;
+    bool ps_built = false;
 
     std::vector<CoreStream> streams;
     streams.reserve(mix.tenants.size());
@@ -143,6 +145,13 @@ buildCoreStreams(const MixSpec &mix, const SyntheticSuite &suite,
                 kv_built = true;
             }
             spec = findSpec(kv, t.workload);
+        }
+        if (spec == nullptr) {
+            if (!ps_built) {
+                ps = phaseShiftFamily(suite.params());
+                ps_built = true;
+            }
+            spec = findSpec(ps, t.workload);
         }
         if (spec == nullptr)
             fatal("unknown workload in mix: " + t.workload);

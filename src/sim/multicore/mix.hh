@@ -10,8 +10,9 @@
  *    "stream-polluted", "kv-serving") matching the bench mixes;
  *  - explicit comma-separated workload lists, optionally with
  *    ":<weight>" suffixes ("loop_thrash:2,zipf_hot");
- *  - any workload of the synthetic suite or of the KV-cache
- *    multi-tenant family (workloads/suite.hh's kvCacheFamily).
+ *  - any workload of the synthetic suite, of the KV-cache
+ *    multi-tenant family (workloads/suite.hh's kvCacheFamily) or of
+ *    the phase-shift family (phaseShiftFamily).
  *
  * buildCoreStreams() materializes each member workload, filters it
  * through the private L1+L2 (true LRU, as everywhere) and returns the
@@ -74,9 +75,9 @@ struct CoreStream
 /**
  * Materialize + L1/L2-filter the mix's workloads (first simpoint of
  * each, like the bench mixes) into per-core LLC streams.  Workload
- * names resolve against @p suite first, then against the KV-cache
- * family built from the suite's params.  @p cache, when non-null,
- * memoizes the filtered traces across calls.
+ * names resolve against @p suite first, then against the KV-cache and
+ * phase-shift families built from the suite's params.  @p cache, when
+ * non-null, memoizes the filtered traces across calls.
  */
 std::vector<CoreStream> buildCoreStreams(const MixSpec &mix,
                                          const SyntheticSuite &suite,

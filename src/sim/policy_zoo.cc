@@ -38,6 +38,18 @@ lruDef()
 }
 
 PolicyDef
+lipDef()
+{
+    return {"LIP",
+            [](const CacheConfig &cfg) {
+                return std::unique_ptr<ReplacementPolicy>(
+                    std::make_unique<GiplrPolicy>(
+                        cfg, Ipv::lruInsertion(cfg.assoc)));
+            },
+            fastpath::lipSpec()};
+}
+
+PolicyDef
 plruDef()
 {
     return {"PLRU",
@@ -188,8 +200,14 @@ policyByName(const std::string &text)
 {
     if (text == "LRU")
         return lruDef();
+    if (text == "LIP")
+        return lipDef();
     if (text == "PLRU")
         return plruDef();
+    if (text == "GIPLR")
+        return giplrDef("GIPLR", local_vectors::giplr());
+    if (text == "GIPPR")
+        return gipprDef("GIPPR", local_vectors::gippr());
     if (text == "Random")
         return randomDef();
     if (text == "FIFO")

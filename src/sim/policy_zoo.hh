@@ -37,6 +37,7 @@ struct PolicyDef
 
 /** Baselines. */
 PolicyDef lruDef();
+PolicyDef lipDef();
 PolicyDef plruDef();
 PolicyDef randomDef(uint64_t seed = 1);
 PolicyDef fifoDef();
@@ -60,8 +61,9 @@ PolicyDef rripIpvDef(const std::string &name, const Ipv &ipv);
 
 /**
  * Parse a policy description string:
- *   "LRU", "PLRU", "Random", "FIFO", "DIP", "SRRIP", "BRRIP",
+ *   "LRU", "LIP", "PLRU", "Random", "FIFO", "DIP", "SRRIP", "BRRIP",
  *   "DRRIP", "PDP", "SHiP",
+ *   "GIPLR" / "GIPPR" (locally evolved 16-way vectors),
  *   "GIPLR:<v0 v1 ... vk>", "GIPPR:<...>",
  *   "DGIPPR2", "DGIPPR4", "DGIPPR8" (local vector sets).
  * Throws std::runtime_error for unknown names.

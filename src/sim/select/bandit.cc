@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bandit selector implementation.
+ */
+
+#include "sim/select/bandit.hh"
+
+#include <cmath>
+
+#include "util/check.hh"
+
+namespace gippr::select
+{
+
+BanditSelector::BanditSelector(const SelectConfig &cfg, unsigned arms)
+    : kind_(cfg.kind), arms_(arms), gamma_(cfg.gamma), ucbC_(cfg.ucbC),
+      epsilon_(cfg.epsilon), margin_(cfg.switchMargin),
+      sum_(arms, 0.0), weight_(arms, 0.0), rng_(cfg.seed)
+{
+    GIPPR_CHECK(arms_ >= 1);
+    GIPPR_CHECK(gamma_ > 0.0 && gamma_ <= 1.0);
+    GIPPR_CHECK(epsilon_ >= 0.0 && epsilon_ < 1.0);
+}
+
+void
+BanditSelector::recordEpochRewards(const double *rewards,
+                                   const uint8_t *sampled)
+{
+    totalWeight_ *= gamma_;
+    for (unsigned a = 0; a < arms_; ++a) {
+        sum_[a] *= gamma_;
+        weight_[a] *= gamma_;
+        if (sampled[a] != 0) {
+            sum_[a] += rewards[a];
+            weight_[a] += 1.0;
+            totalWeight_ += 1.0;
+        }
+    }
+}
+
+double
+BanditSelector::scoreOf(unsigned arm) const
+{
+    if (weight_[arm] <= 0.0) {
+        // Never-sampled arm: optimistic score forces one look.
+        return 2.0;
+    }
+    const double mean = sum_[arm] / weight_[arm];
+    if (kind_ == BanditKind::EpsilonGreedy)
+        return mean;
+    const double t = totalWeight_ > 1.0 ? totalWeight_ : 1.0 + 1e-9;
+    return mean + ucbC_ * std::sqrt(std::log(t) / weight_[arm]);
+}
+
+unsigned
+BanditSelector::chooseArm(unsigned incumbent)
+{
+    GIPPR_DCHECK(incumbent < arms_);
+    if (arms_ == 1)
+        return 0;
+    if (kind_ == BanditKind::EpsilonGreedy &&
+        rng_.nextDouble() < epsilon_) {
+        return static_cast<unsigned>(rng_.nextBounded(arms_));
+    }
+    unsigned best = 0;
+    double best_score = scoreOf(0);
+    for (unsigned a = 1; a < arms_; ++a) {
+        const double s = scoreOf(a);
+        // Strict > keeps ties on the lowest arm index.
+        if (s > best_score) {
+            best = a;
+            best_score = s;
+        }
+    }
+    if (best != incumbent && best_score < scoreOf(incumbent) + margin_)
+        return incumbent;
+    return best;
+}
+
+void
+BanditSelector::resetEvidence()
+{
+    for (unsigned a = 0; a < arms_; ++a) {
+        sum_[a] = 0.0;
+        weight_[a] = 0.0;
+    }
+    totalWeight_ = 0.0;
+}
+
+} // namespace gippr::select

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Drift detector implementation.
+ */
+
+#include "sim/select/drift.hh"
+
+#include <bit>
+#include <cmath>
+
+namespace gippr::select
+{
+
+DriftDetector::DriftDetector(const DriftConfig &cfg) : cfg_(cfg) {}
+
+bool
+DriftDetector::epochBoundary(double demand_miss_rate)
+{
+    const bool armed = cfg_.enabled &&
+                       epochsSinceArm_ >= cfg_.warmEpochs;
+    bool drift = false;
+
+    // Working-set signature overlap against the previous epoch.
+    const uint64_t *cur = sig_[cur_];
+    const uint64_t *prev = sig_[cur_ ^ 1];
+    bool have_jaccard = false;
+    double jaccard = 0.0;
+    if (havePrev_) {
+        uint64_t inter = 0;
+        uint64_t uni = 0;
+        uint64_t cur_pop = 0;
+        uint64_t prev_pop = 0;
+        for (uint64_t w = 0; w < kWords; ++w) {
+            inter += std::popcount(cur[w] & prev[w]);
+            uni += std::popcount(cur[w] | prev[w]);
+            cur_pop += std::popcount(cur[w]);
+            prev_pop += std::popcount(prev[w]);
+        }
+        if (cur_pop >= kMinBits && prev_pop >= kMinBits && uni > 0) {
+            jaccard = static_cast<double>(inter) /
+                      static_cast<double>(uni);
+            have_jaccard = true;
+            if (armed && haveOverlap_ &&
+                jaccard < overlapMean_ - cfg_.overlapDrop) {
+                drift = true;
+            }
+        }
+    }
+
+    // Miss-rate change-point against the EWMA of past epochs.
+    if (armed) {
+        const double dev = std::fabs(demand_miss_rate - rateMean_);
+        const double sd = std::sqrt(rateVar_ > 0.0 ? rateVar_ : 0.0);
+        if (dev > cfg_.minDelta && dev > cfg_.zThreshold * sd)
+            drift = true;
+    }
+
+    // Roll the EWMAs (after testing, so an epoch never explains
+    // itself away).  A detection re-seeds them on the new phase.
+    if (drift) {
+        ++detections_;
+        rateMean_ = demand_miss_rate;
+        rateVar_ = 0.0;
+        haveOverlap_ = false;
+        epochsSinceArm_ = 0;
+    } else if (epochsSinceArm_ == 0 && !havePrev_) {
+        rateMean_ = demand_miss_rate;
+        rateVar_ = 0.0;
+    } else {
+        const double d = demand_miss_rate - rateMean_;
+        rateMean_ += cfg_.alpha * d;
+        rateVar_ = (1.0 - cfg_.alpha) * (rateVar_ +
+                                         cfg_.alpha * d * d);
+    }
+    if (have_jaccard && !drift) {
+        if (!haveOverlap_) {
+            overlapMean_ = jaccard;
+            haveOverlap_ = true;
+        } else {
+            overlapMean_ += cfg_.alpha * (jaccard - overlapMean_);
+        }
+    }
+    ++epochsSinceArm_;
+
+    // Roll the signatures: current becomes previous, clear the slot.
+    cur_ ^= 1;
+    uint64_t *next = sig_[cur_];
+    for (uint64_t w = 0; w < kWords; ++w)
+        next[w] = 0;
+    havePrev_ = true;
+    return drift;
+}
+
+} // namespace gippr::select

@@ -445,4 +445,115 @@ kvCacheFamily(SuiteParams params)
     return specs;
 }
 
+std::vector<WorkloadSpec>
+phaseShiftFamily(SuiteParams params)
+{
+    const uint64_t C = params.llcBlocks;
+    const uint64_t N = params.accessesPerSimpoint;
+    const uint64_t seed0 = params.baseSeed;
+    using Phase = PhasedGenerator::Phase;
+
+    std::vector<WorkloadSpec> specs;
+    unsigned widx = 80; // clear of the 30-suite and the KV family
+
+    auto add = [&](const std::string &name,
+                   std::function<std::unique_ptr<AccessGenerator>(
+                       GenParams, uint64_t)> maker) {
+        GenParams gp;
+        gp.regionBase = regionFor(widx, 0);
+        gp.pcBase = pcFor(widx, 0);
+        SimpointSpec sp;
+        uint64_t seed = seed0 + 0x9500 + widx * 131;
+        sp.make = [maker, gp, seed]() { return maker(gp, seed); };
+        sp.accesses = N;
+        sp.weight = 1.0;
+        sp.seed = seed;
+        WorkloadSpec spec;
+        spec.name = name;
+        spec.capacityBlocks = C;
+        spec.simpoints.push_back(std::move(sp));
+        specs.push_back(std::move(spec));
+        ++widx;
+    };
+
+    // Each phase gets its own region and PC base so a regime change is
+    // also an address-space change (the working-set trigger's food).
+    auto phaseParams = [C](GenParams gp, unsigned phase) {
+        gp.regionBase += static_cast<uint64_t>(phase) * 64 * C;
+        gp.pcBase += static_cast<uint64_t>(phase) * 0x100;
+        return gp;
+    };
+
+    // The flagship: scan -> skewed Zipf -> thrashing loop -> scan.
+    // Every regime has a different best-in-library policy (bypass-ish
+    // insertion for the scans, protection for the Zipf core, LIP-like
+    // anti-thrash for the loop), so no static arm wins all four.
+    add("ps_quad", [C, N, phaseParams](GenParams gp, uint64_t seed) {
+        const uint64_t L = N / 4;
+        std::vector<Phase> ph;
+        ph.push_back({std::make_unique<StreamGenerator>(
+                          phaseParams(gp, 0), 1, 64 * C),
+                      L});
+        ph.push_back({std::make_unique<ZipfGenerator>(
+                          phaseParams(gp, 1), 2 * C, 1.05, seed),
+                      L});
+        ph.push_back({std::make_unique<LoopGenerator>(
+                          phaseParams(gp, 2), (C * 5) / 4),
+                      L});
+        ph.push_back({std::make_unique<StreamGenerator>(
+                          phaseParams(gp, 3), 1, 64 * C),
+                      L});
+        return std::make_unique<PhasedGenerator>(std::move(ph));
+    });
+    // Cache-friendly loop against a big skewless-ish Zipf, twice.
+    add("ps_loop_zipf",
+        [C, N, phaseParams](GenParams gp, uint64_t seed) {
+            const uint64_t L = N / 4;
+            std::vector<Phase> ph;
+            ph.push_back({std::make_unique<LoopGenerator>(
+                              phaseParams(gp, 0), (C * 6) / 10),
+                          L});
+            ph.push_back({std::make_unique<ZipfGenerator>(
+                              phaseParams(gp, 1), 4 * C, 0.9, seed),
+                          L});
+            ph.push_back({std::make_unique<LoopGenerator>(
+                              phaseParams(gp, 2), (C * 6) / 10),
+                          L});
+            ph.push_back({std::make_unique<ZipfGenerator>(
+                              phaseParams(gp, 3), 4 * C, 0.9,
+                              seed + 1),
+                          L});
+            return std::make_unique<PhasedGenerator>(std::move(ph));
+        });
+    // Identical access statistics, shifting address regions: the miss
+    // rate barely moves, only the working-set signature sees it.
+    add("ps_zipf_drift",
+        [C, N, phaseParams](GenParams gp, uint64_t seed) {
+            const uint64_t L = N / 4;
+            std::vector<Phase> ph;
+            for (unsigned p = 0; p < 4; ++p) {
+                ph.push_back({std::make_unique<ZipfGenerator>(
+                                  phaseParams(gp, p), 2 * C, 0.9,
+                                  seed + p),
+                              L});
+            }
+            return std::make_unique<PhasedGenerator>(std::move(ph));
+        });
+    // Near-zero LLC demand, then a sudden thrashing storm.
+    add("ps_calm_storm",
+        [C, N, phaseParams](GenParams gp, uint64_t seed) {
+            (void)seed;
+            std::vector<Phase> ph;
+            ph.push_back({std::make_unique<LoopGenerator>(
+                              phaseParams(gp, 0), C / 8),
+                          N / 2});
+            ph.push_back({std::make_unique<LoopGenerator>(
+                              phaseParams(gp, 1), 2 * C),
+                          N / 2});
+            return std::make_unique<PhasedGenerator>(std::move(ph));
+        });
+
+    return specs;
+}
+
 } // namespace gippr

@@ -97,6 +97,18 @@ class SyntheticSuite
  */
 std::vector<WorkloadSpec> kvCacheFamily(SuiteParams params = {});
 
+/**
+ * The phase-shift family: four workloads whose streams switch regime
+ * mid-trace (scan -> Zipf -> thrashing loop -> stream, and friends),
+ * each phase living in its own address region so both the miss-rate
+ * and the working-set drift triggers see real change-points.  Built
+ * for the online policy selector's drift-scenario harness and, like
+ * the KV family, kept OUT of the 30-workload suite so its golden
+ * digests stay stable; workload-name resolution tries the suite, then
+ * the KV family, then this family.
+ */
+std::vector<WorkloadSpec> phaseShiftFamily(SuiteParams params = {});
+
 } // namespace gippr
 
 #endif // GIPPR_WORKLOADS_SUITE_HH_

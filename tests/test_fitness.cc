@@ -128,5 +128,40 @@ TEST(Fitness, RequiresTraces)
                  std::runtime_error);
 }
 
+TEST(Fitness, MemoDigestSeparatesGeometries)
+{
+    // Regression: the memo digest was keyed only by the traces, so
+    // two evaluators sharing training traces but simulating different
+    // LLC shapes could alias each other's memo entries.  The geometry
+    // must be part of the digest.
+    auto traces = [] {
+        std::vector<FitnessTrace> ts;
+        FitnessTrace t;
+        t.name = "thrash/0";
+        t.llcTrace = std::make_shared<Trace>(thrashTrace(1280, 30));
+        t.instructions = t.llcTrace->instructions();
+        ts.push_back(std::move(t));
+        return ts;
+    };
+
+    CacheConfig big = llcCfg();
+    CacheConfig small = llcCfg();
+    small.sizeBytes /= 2; // 32 sets instead of 64
+    CacheConfig narrow = llcCfg();
+    narrow.assoc = 8; // same bytes, different shape
+
+    FitnessEvaluator feBig(big, traces(), {});
+    FitnessEvaluator feSmall(small, traces(), {});
+    FitnessEvaluator feNarrow(narrow, traces(), {});
+    FitnessEvaluator feBig2(big, traces(), {});
+
+    EXPECT_NE(feBig.traceSetDigest(), feSmall.traceSetDigest());
+    EXPECT_NE(feBig.traceSetDigest(), feNarrow.traceSetDigest());
+    EXPECT_NE(feSmall.traceSetDigest(), feNarrow.traceSetDigest());
+    // Same traces + same geometry must still share a digest (the
+    // memo's whole point).
+    EXPECT_EQ(feBig.traceSetDigest(), feBig2.traceSetDigest());
+}
+
 } // namespace
 } // namespace gippr

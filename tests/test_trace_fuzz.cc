@@ -24,6 +24,8 @@
 #include "cache/config.hh"
 #include "core/vectors.hh"
 #include "sim/fastpath/engine.hh"
+#include "sim/select/engine.hh"
+#include "sim/select/select.hh"
 #include "trace/trace.hh"
 #include "trace/trace_io.hh"
 #include "util/rng.hh"
@@ -256,6 +258,46 @@ TEST(TraceFuzz, DuplicateAndMaxAddressRecordsReplayIdentically)
         EXPECT_EQ(scalar.replay(spec, cfg, trace, 500),
                   fast.replay(spec, cfg, trace, 500))
             << spec.name();
+    }
+}
+
+TEST(TraceFuzz, PhaseShiftSelectEdgeGeometryMatchesAcrossBackends)
+{
+    // Phase-shift family traces through the policy selector under
+    // adversarial epoch/warmup geometry: an epoch of 1 access (a
+    // bandit decision at every record), an epoch longer than the
+    // whole trace (one partial epoch, no decision at all), an odd
+    // length that never divides the trace, warmup 0 and warmup ==
+    // trace size.  Every combination must replay bit-identically on
+    // the scalar and fastpath backends.
+    SuiteParams params;
+    params.llcBlocks = 256; // scaled to tinyLlc()
+    params.accessesPerSimpoint = 3000;
+    params.baseSeed = 0x5eed;
+    const CacheConfig cfg = tinyLlc();
+    const auto lib = select::parseLibrary("LRU,LIP,GIPPR");
+    for (const WorkloadSpec &spec : phaseShiftFamily(params)) {
+        if (spec.name != "ps_quad" && spec.name != "ps_calm_storm")
+            continue;
+        const Workload w = SyntheticSuite::materialize(spec);
+        const auto &trace = *w.simpoints().front().trace;
+        for (const uint64_t epoch :
+             {uint64_t{1}, uint64_t{257}, uint64_t{1} << 20}) {
+            for (const size_t warmup :
+                 {size_t{0}, trace.size() / 3, trace.size()}) {
+                select::SelectConfig scfg;
+                scfg.epochLength = epoch;
+                const select::SelectResult fast_res =
+                    select::runSelect(lib, scfg, cfg, trace, warmup,
+                                      select::Backend::Fast);
+                const select::SelectResult scalar_res =
+                    select::runSelect(lib, scfg, cfg, trace, warmup,
+                                      select::Backend::Scalar);
+                EXPECT_EQ(fast_res, scalar_res)
+                    << spec.name << " epoch=" << epoch
+                    << " warmup=" << warmup;
+            }
+        }
     }
 }
 
