@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Hardware performance counters for the profiling benches.
+ *
+ * Wraps perf_event_open: a fixed set of architectural counters
+ * (instructions, cycles, L1d/LLC read misses, last-level references)
+ * opened per process, started/stopped around a measured region, and
+ * read as plain u64 deltas.  Every counter is optional — containers,
+ * VMs without a PMU, and non-Linux hosts simply report it as
+ * unavailable and the harness falls back to wall-clock-only
+ * attribution — so benches can use this unconditionally.  The no-op
+ * fallback keeps the same API on every platform.
+ */
+
+#ifndef GIPPR_BENCH_PERF_COUNTERS_HH_
+#define GIPPR_BENCH_PERF_COUNTERS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace gippr::bench
+{
+
+/** One perf event's identity and latest measured delta. */
+struct PerfCounter
+{
+    std::string name; ///< e.g. "instructions", "l1d_read_miss"
+    bool available = false;
+    uint64_t value = 0;
+#if defined(__linux__)
+    int fd = -1;
+#endif
+};
+
+/**
+ * The standard counter set for kernel profiling.  Construct once,
+ * then bracket each measured region with start()/stop(); counters()
+ * holds the deltas of the last region.  available() is false when no
+ * counter opened (no PMU / permissions) — values read 0 and the
+ * calls are no-ops.
+ */
+class PerfCounterSet
+{
+  public:
+    PerfCounterSet()
+    {
+#if defined(__linux__)
+        open("instructions", PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_INSTRUCTIONS);
+        open("cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+        open("l1d_read_miss", PERF_TYPE_HW_CACHE,
+             cacheConfig(PERF_COUNT_HW_CACHE_L1D,
+                         PERF_COUNT_HW_CACHE_OP_READ,
+                         PERF_COUNT_HW_CACHE_RESULT_MISS));
+        open("llc_read_miss", PERF_TYPE_HW_CACHE,
+             cacheConfig(PERF_COUNT_HW_CACHE_LL,
+                         PERF_COUNT_HW_CACHE_OP_READ,
+                         PERF_COUNT_HW_CACHE_RESULT_MISS));
+        open("cache_references", PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_CACHE_REFERENCES);
+        open("cache_misses", PERF_TYPE_HARDWARE,
+             PERF_COUNT_HW_CACHE_MISSES);
+#else
+        // Portable no-op: the same counter names, all unavailable.
+        for (const char *n :
+             {"instructions", "cycles", "l1d_read_miss",
+              "llc_read_miss", "cache_references", "cache_misses"})
+            counters_.push_back({n, false, 0});
+#endif
+    }
+
+    ~PerfCounterSet()
+    {
+#if defined(__linux__)
+        for (PerfCounter &c : counters_)
+            if (c.fd >= 0)
+                close(c.fd);
+#endif
+    }
+
+    PerfCounterSet(const PerfCounterSet &) = delete;
+    PerfCounterSet &operator=(const PerfCounterSet &) = delete;
+
+    /** True when at least one hardware counter opened. */
+    bool
+    available() const
+    {
+        for (const PerfCounter &c : counters_)
+            if (c.available)
+                return true;
+        return false;
+    }
+
+    /** Reset and enable every open counter. */
+    void
+    start()
+    {
+#if defined(__linux__)
+        for (PerfCounter &c : counters_) {
+            if (c.fd < 0)
+                continue;
+            ioctl(c.fd, PERF_EVENT_IOC_RESET, 0);
+            ioctl(c.fd, PERF_EVENT_IOC_ENABLE, 0);
+        }
+#endif
+    }
+
+    /** Disable and read every open counter into value. */
+    void
+    stop()
+    {
+#if defined(__linux__)
+        for (PerfCounter &c : counters_) {
+            if (c.fd < 0)
+                continue;
+            ioctl(c.fd, PERF_EVENT_IOC_DISABLE, 0);
+            uint64_t v = 0;
+            if (read(c.fd, &v, sizeof(v)) == sizeof(v))
+                c.value = v;
+            else
+                c.value = 0;
+        }
+#endif
+    }
+
+    const std::vector<PerfCounter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Last delta of the named counter; 0 when unavailable. */
+    uint64_t
+    value(const std::string &name) const
+    {
+        for (const PerfCounter &c : counters_)
+            if (c.name == name)
+                return c.value;
+        return 0;
+    }
+
+  private:
+#if defined(__linux__)
+    static uint64_t
+    cacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+    {
+        return cache | (op << 8) | (result << 16);
+    }
+
+    void
+    open(const char *name, uint32_t type, uint64_t config)
+    {
+        struct perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = type;
+        attr.config = config;
+        attr.disabled = 1;
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        const long fd = syscall(__NR_perf_event_open, &attr, 0, -1,
+                                -1, 0);
+        PerfCounter c;
+        c.name = name;
+        c.fd = static_cast<int>(fd);
+        c.available = fd >= 0;
+        counters_.push_back(c);
+    }
+#endif
+
+    std::vector<PerfCounter> counters_;
+};
+
+} // namespace gippr::bench
+
+#endif // GIPPR_BENCH_PERF_COUNTERS_HH_

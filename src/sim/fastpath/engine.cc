@@ -6,6 +6,7 @@
 #include "sim/fastpath/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 #include "cache/replay.hh"
@@ -20,6 +21,14 @@ namespace gippr::fastpath
 
 namespace
 {
+
+/**
+ * Requested dispatch width; -1 means "not resolved yet" and the
+ * first activeReplayKernel() call reads GIPPR_REPLAY_KERNEL.  Kept
+ * as a relaxed atomic so benches and tests can flip kernels between
+ * (never during) replays without a data race against worker shards.
+ */
+std::atomic<int> g_kernel_request{-1};
 
 CounterBank
 toBank(const CacheStats &s)
@@ -74,9 +83,16 @@ struct DecodedAccess
  * resident while that genome replays the chunk, and shrinks the
  * all-genomes re-stream cost to noise even for wide populations.
  */
-constexpr size_t kBatchChunk = 64 * 1024;
+constexpr size_t kBatchChunk = 128 * 1024;
 /** Lookahead distance for prefetching a genome's set rows. */
 constexpr size_t kBatchPrefetch = 8;
+/**
+ * Lookahead for the paired kernel.  A paired iteration retires about
+ * twice the work of a 16-way one and prefetches both models' rows
+ * (~10 lines per step), so half the distance covers the same latency
+ * with half the prefetch spray.
+ */
+constexpr size_t kPairPrefetch = 4;
 /**
  * Target resident footprint of one (genome, set-range) pass.  The
  * random set sequence makes every access pull its rows from wherever
@@ -87,14 +103,24 @@ constexpr size_t kBatchPrefetch = 8;
  */
 constexpr size_t kBatchL1Budget = 24 * 1024;
 
-/** Set-range buckets that keep one genome's slice near the budget. */
+/**
+ * Set-range buckets that keep one pass's slice near the budget.
+ * @p lanes is the number of genomes a pass touches at once: the
+ * paired kernel walks two models' slices simultaneously, so its
+ * resident footprint doubles and the ranges must shrink to match.
+ */
 size_t
-localityBuckets(uint64_t sets, unsigned assoc)
+localityBuckets(uint64_t sets, unsigned assoc, unsigned lanes)
 {
     // Per set: assoc tag words + assoc signature/position bytes +
     // valid/dirty/tree words (upper bound across families).
-    const uint64_t bytes = sets * (assoc * 10ull + 24);
-    const uint64_t buckets = (bytes + kBatchL1Budget - 1) / kBatchL1Budget;
+    const uint64_t bytes = lanes * sets * (assoc * 10ull + 24);
+    // Each lane also keeps ~2KB of per-model tables resident (the
+    // fused promotion LUT for TreeIpv, recency promotion rows) that
+    // bucketing cannot shrink; budget the set slices around them.
+    const uint64_t budget = std::max<uint64_t>(
+        kBatchL1Budget - lanes * 2048ull, 8 * 1024);
+    const uint64_t buckets = (bytes + budget - 1) / budget;
     return static_cast<size_t>(
         std::clamp<uint64_t>(buckets, 1, std::min<uint64_t>(sets, 256)));
 }
@@ -133,6 +159,101 @@ runChunk16(SoaCacheModel &m, const DecodedAccess *a, size_t n,
 }
 #endif
 
+#if GIPPR_BATCH_KERNEL32
+/**
+ * Chunk loop over the paired AVX2 kernel: one 256-bit signature scan
+ * resolves each decoded access against two genomes' models at once,
+ * so the decoded buffer streams through the core once per pair
+ * (instead of once per genome) and the two models' hit/victim
+ * dependency chains overlap across the shared scan.  Compiled with
+ * the avx2+bmi2 target so accessBatched32 and both branch-free tails
+ * inline; only dispatched when the CPU supports both.
+ */
+__attribute__((target("avx2,bmi2"))) void
+runChunk32(SoaCacheModel &ma, SoaCacheModel &mb, const DecodedAccess *a,
+           size_t n)
+{
+    const size_t steady = n > kPairPrefetch ? n - kPairPrefetch : 0;
+    uint64_t hits_a = 0, dmiss_a = 0, evic_a = 0, wb_a = 0;
+    uint64_t hits_b = 0, dmiss_b = 0, evic_b = 0, wb_b = 0;
+    SoaCacheModel::Step sa, sb;
+    for (size_t k = 0; k < steady; ++k) {
+        ma.prefetchSet(a[k + kPairPrefetch].set);
+        mb.prefetchSet(a[k + kPairPrefetch].set);
+        SoaCacheModel::accessBatched32(ma, mb, a[k].set, a[k].tag,
+                                       a[k].type, sa, sb);
+        const uint64_t demand = a[k].type != AccessType::Writeback;
+        hits_a += sa.hit;
+        dmiss_a += demand & !sa.hit;
+        evic_a += sa.evicted;
+        wb_a += sa.evictedDirty;
+        hits_b += sb.hit;
+        dmiss_b += demand & !sb.hit;
+        evic_b += sb.evicted;
+        wb_b += sb.evictedDirty;
+    }
+    for (size_t k = steady; k < n; ++k) {
+        SoaCacheModel::accessBatched32(ma, mb, a[k].set, a[k].tag,
+                                       a[k].type, sa, sb);
+        const uint64_t demand = a[k].type != AccessType::Writeback;
+        hits_a += sa.hit;
+        dmiss_a += demand & !sa.hit;
+        evic_a += sa.evicted;
+        wb_a += sa.evictedDirty;
+        hits_b += sb.hit;
+        dmiss_b += demand & !sb.hit;
+        evic_b += sb.evicted;
+        wb_b += sb.evictedDirty;
+    }
+    ma.addOutcomeCounters(hits_a, dmiss_a, evic_a, wb_a);
+    mb.addOutcomeCounters(hits_b, dmiss_b, evic_b, wb_b);
+}
+
+/**
+ * Four-model variant: two paired scans per decoded record, so the
+ * chunk buffer streams through the core once per quad.  The scans
+ * and all four tails are independent chains; the extra ILP rides the
+ * same buffer read.
+ */
+__attribute__((target("avx2,bmi2"))) void
+runChunk32Quad(SoaCacheModel &ma, SoaCacheModel &mb, SoaCacheModel &mc,
+               SoaCacheModel &md, const DecodedAccess *a, size_t n)
+{
+    uint64_t hits_a = 0, dmiss_a = 0, evic_a = 0, wb_a = 0;
+    uint64_t hits_b = 0, dmiss_b = 0, evic_b = 0, wb_b = 0;
+    uint64_t hits_c = 0, dmiss_c = 0, evic_c = 0, wb_c = 0;
+    uint64_t hits_d = 0, dmiss_d = 0, evic_d = 0, wb_d = 0;
+    SoaCacheModel::Step sa, sb, sc, sd;
+    for (size_t k = 0; k < n; ++k) {
+        SoaCacheModel::accessBatched32(ma, mb, a[k].set, a[k].tag,
+                                       a[k].type, sa, sb);
+        SoaCacheModel::accessBatched32(mc, md, a[k].set, a[k].tag,
+                                       a[k].type, sc, sd);
+        const uint64_t demand = a[k].type != AccessType::Writeback;
+        hits_a += sa.hit;
+        dmiss_a += demand & !sa.hit;
+        evic_a += sa.evicted;
+        wb_a += sa.evictedDirty;
+        hits_b += sb.hit;
+        dmiss_b += demand & !sb.hit;
+        evic_b += sb.evicted;
+        wb_b += sb.evictedDirty;
+        hits_c += sc.hit;
+        dmiss_c += demand & !sc.hit;
+        evic_c += sc.evicted;
+        wb_c += sc.evictedDirty;
+        hits_d += sd.hit;
+        dmiss_d += demand & !sd.hit;
+        evic_d += sd.evicted;
+        wb_d += sd.evictedDirty;
+    }
+    ma.addOutcomeCounters(hits_a, dmiss_a, evic_a, wb_a);
+    mb.addOutcomeCounters(hits_b, dmiss_b, evic_b, wb_b);
+    mc.addOutcomeCounters(hits_c, dmiss_c, evic_c, wb_c);
+    md.addOutcomeCounters(hits_d, dmiss_d, evic_d, wb_d);
+}
+#endif
+
 /**
  * Stream @p trace once and apply it to every model in @p models:
  * each chunk is decoded a single time and then replayed genome-major,
@@ -154,15 +275,29 @@ runChunk16(SoaCacheModel &m, const DecodedAccess *a, size_t n,
  * boundary the per-spec replay() uses.
  */
 void
-replayBatch(std::vector<SoaCacheModel> &models, const Trace &trace,
+replayBatch(std::vector<SoaCacheModel> &models, const TraceSource &trace,
             size_t warmup, size_t shard, size_t shards, uint64_t sets)
 {
     const SoaCacheModel &geo = models.front();
     const size_t chunk = std::min<size_t>(kBatchChunk, trace.size());
-    const size_t buckets = localityBuckets(sets, geo.assoc());
     bool any_ordered = false;
     for (const SoaCacheModel &m : models)
         any_ordered |= !m.isDuel();
+
+    // Models split by chunk access order: non-duel models replay the
+    // bucket-sorted stream, Dgippr models keep trace order.  The
+    // paired kernel pairs adjacent models inside one group so both
+    // lanes of a pass consume the identical access stream.
+    std::vector<SoaCacheModel *> groups[2];
+    for (SoaCacheModel &m : models)
+        groups[m.isDuel() ? 1 : 0].push_back(&m);
+    [[maybe_unused]] const ReplayKernel kernel = activeReplayKernel();
+    [[maybe_unused]] const bool wide = geo.assoc() == 16;
+    const bool pairing = kernel == ReplayKernel::Batch32 && wide &&
+                         groups[0].size() >= 2;
+    const bool quads = pairing && groups[0].size() >= 4;
+    const size_t buckets = localityBuckets(sets, geo.assoc(),
+                                           quads ? 4 : pairing ? 2 : 1);
     std::vector<DecodedAccess> buf(chunk);
     std::vector<DecodedAccess> ordered(
         buckets > 1 && any_ordered ? chunk : 0);
@@ -210,25 +345,45 @@ replayBatch(std::vector<SoaCacheModel> &models, const Trace &trace,
 
         const size_t steady = n > kBatchPrefetch ? n - kBatchPrefetch
                                                  : 0;
-#if GIPPR_BATCH_KERNEL16
-        static const bool kernel16 = __builtin_cpu_supports("bmi2");
-#endif
-        for (SoaCacheModel &m : models) {
-            const DecodedAccess *a = m.isDuel() ? buf.data() : ord;
-#if GIPPR_BATCH_KERNEL16
-            if (kernel16 && m.assoc() == 16) {
-                runChunk16(m, a, n, steady);
-                m.addStreamCounters(n, demand);
-                continue;
+        for (int g = 0; g < 2; ++g) {
+            const DecodedAccess *a = g == 1 ? buf.data() : ord;
+            std::vector<SoaCacheModel *> &grp = groups[g];
+            size_t m = 0;
+#if GIPPR_BATCH_KERNEL32
+            if (kernel == ReplayKernel::Batch32 && wide) {
+                for (; m + 3 < grp.size(); m += 4) {
+                    runChunk32Quad(*grp[m], *grp[m + 1], *grp[m + 2],
+                                   *grp[m + 3], a, n);
+                    for (int q = 0; q < 4; ++q)
+                        grp[m + q]->addStreamCounters(n, demand);
+                }
+                for (; m + 1 < grp.size(); m += 2) {
+                    runChunk32(*grp[m], *grp[m + 1], a, n);
+                    grp[m]->addStreamCounters(n, demand);
+                    grp[m + 1]->addStreamCounters(n, demand);
+                }
             }
 #endif
-            for (size_t k = 0; k < steady; ++k) {
-                m.prefetchSet(a[k + kBatchPrefetch].set);
-                m.accessBatched(a[k].set, a[k].tag, a[k].type);
+#if GIPPR_BATCH_KERNEL16
+            if (kernel != ReplayKernel::Scalar && wide) {
+                // Batch16, plus the odd leftover model of a Batch32
+                // pass.
+                for (; m < grp.size(); ++m) {
+                    runChunk16(*grp[m], a, n, steady);
+                    grp[m]->addStreamCounters(n, demand);
+                }
             }
-            for (size_t k = steady; k < n; ++k)
-                m.accessBatched(a[k].set, a[k].tag, a[k].type);
-            m.addStreamCounters(n, demand);
+#endif
+            for (; m < grp.size(); ++m) {
+                SoaCacheModel &mm = *grp[m];
+                for (size_t k = 0; k < steady; ++k) {
+                    mm.prefetchSet(a[k + kBatchPrefetch].set);
+                    mm.accessBatched(a[k].set, a[k].tag, a[k].type);
+                }
+                for (size_t k = steady; k < n; ++k)
+                    mm.accessBatched(a[k].set, a[k].tag, a[k].type);
+                mm.addStreamCounters(n, demand);
+            }
         }
         i = end;
     }
@@ -240,9 +395,76 @@ replayBatch(std::vector<SoaCacheModel> &models, const Trace &trace,
 
 } // namespace
 
+const char *
+replayKernelName(ReplayKernel kernel)
+{
+    switch (kernel) {
+    case ReplayKernel::Scalar:
+        return "scalar";
+    case ReplayKernel::Batch16:
+        return "batch16";
+    case ReplayKernel::Batch32:
+        return "batch32";
+    }
+    return "scalar";
+}
+
+ReplayKernel
+parseReplayKernel(const std::string &name)
+{
+    if (name == "scalar")
+        return ReplayKernel::Scalar;
+    if (name == "batch16")
+        return ReplayKernel::Batch16;
+    if (name == "batch32")
+        return ReplayKernel::Batch32;
+    fatal("unknown replay kernel '" + name +
+          "' (expected scalar, batch16 or batch32)");
+}
+
+ReplayKernel
+widestSupportedReplayKernel()
+{
+#if GIPPR_BATCH_KERNEL32
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2"))
+        return ReplayKernel::Batch32;
+#endif
+#if GIPPR_BATCH_KERNEL16
+    if (__builtin_cpu_supports("bmi2"))
+        return ReplayKernel::Batch16;
+#endif
+    return ReplayKernel::Scalar;
+}
+
+ReplayKernel
+activeReplayKernel()
+{
+    int req = g_kernel_request.load(std::memory_order_relaxed);
+    if (req < 0) {
+        ReplayKernel k = widestSupportedReplayKernel();
+        if (const char *e = std::getenv("GIPPR_REPLAY_KERNEL"))
+            k = parseReplayKernel(e);
+        req = static_cast<int>(k);
+        g_kernel_request.store(req, std::memory_order_relaxed);
+    }
+    const ReplayKernel want = static_cast<ReplayKernel>(req);
+    const ReplayKernel widest = widestSupportedReplayKernel();
+    return static_cast<uint8_t>(want) <= static_cast<uint8_t>(widest)
+               ? want
+               : widest;
+}
+
+ReplayKernel
+setReplayKernel(ReplayKernel kernel)
+{
+    g_kernel_request.store(static_cast<int>(kernel),
+                           std::memory_order_relaxed);
+    return activeReplayKernel();
+}
+
 std::vector<ReplayStats>
 ReplayEngine::replayMany(std::span<const ReplaySpec> specs,
-                         const CacheConfig &config, const Trace &trace,
+                         const CacheConfig &config, const TraceSource &trace,
                          size_t warmup) const
 {
     std::vector<ReplayStats> out;
@@ -254,7 +476,7 @@ ReplayEngine::replayMany(std::span<const ReplaySpec> specs,
 
 ReplayStats
 ScalarReplayEngine::replay(const ReplaySpec &spec,
-                           const CacheConfig &config, const Trace &trace,
+                           const CacheConfig &config, const TraceSource &trace,
                            size_t warmup) const
 {
     GIPPR_CHECK(warmup <= trace.size());
@@ -307,7 +529,7 @@ FastReplayEngine::supports(const ReplaySpec &spec,
 
 ReplayStats
 FastReplayEngine::replay(const ReplaySpec &spec,
-                         const CacheConfig &config, const Trace &trace,
+                         const CacheConfig &config, const TraceSource &trace,
                          size_t warmup) const
 {
     if (!supports(spec, config))
@@ -442,7 +664,7 @@ FastReplayEngine::replay(const ReplaySpec &spec,
 std::vector<ReplayStats>
 FastReplayEngine::replayMany(std::span<const ReplaySpec> specs,
                              const CacheConfig &config,
-                             const Trace &trace, size_t warmup) const
+                             const TraceSource &trace, size_t warmup) const
 {
     GIPPR_CHECK(warmup <= trace.size());
     std::vector<ReplayStats> out(specs.size());
@@ -464,6 +686,15 @@ FastReplayEngine::replayMany(std::span<const ReplaySpec> specs,
     }
     if (batch.empty())
         return out;
+
+    // A lone batched spec gains nothing from chunk decode + buffer
+    // restreaming and would lose to the tuned per-genome loop (the
+    // pop-1 regression): delegate so the batched entry point never
+    // underperforms replay().
+    if (batch.size() == 1) {
+        out[batch[0]] = replay(specs[batch[0]], config, trace, warmup);
+        return out;
+    }
 
     if (shards == 1) {
         std::vector<SoaCacheModel> models;

@@ -37,10 +37,49 @@
 #include <vector>
 
 #include "sim/fastpath/replay_spec.hh"
-#include "trace/trace.hh"
+#include "trace/trace_io.hh"
 
 namespace gippr::fastpath
 {
+
+/**
+ * Batched chunk kernels FastReplayEngine::replayMany can dispatch for
+ * a (genome-group, set-range) pass.  Widths nest: Batch32 pairs two
+ * genomes per AVX2 signature scan and finishes each through the
+ * 16-way branch-free tail, Batch16 is the BMI2 single-genome kernel,
+ * Scalar is the portable per-way loop.  All three are bit-identical.
+ */
+enum class ReplayKernel : uint8_t
+{
+    Scalar = 0,
+    Batch16 = 1,
+    Batch32 = 2,
+};
+
+/** Kernel name as spelled by GIPPR_REPLAY_KERNEL ("scalar", ...). */
+const char *replayKernelName(ReplayKernel kernel);
+
+/** Parse "scalar" | "batch16" | "batch32"; throws on other input. */
+ReplayKernel parseReplayKernel(const std::string &name);
+
+/** Widest kernel this build + CPU can actually run. */
+ReplayKernel widestSupportedReplayKernel();
+
+/**
+ * Kernel the batched replay path dispatches right now: the requested
+ * width (GIPPR_REPLAY_KERNEL at first use, or the latest
+ * setReplayKernel() call) clamped to widestSupportedReplayKernel().
+ * Narrower requests are honoured exactly — that is what makes every
+ * width independently testable on one host.
+ */
+ReplayKernel activeReplayKernel();
+
+/**
+ * Request a dispatch width for subsequent batched replays (benches
+ * and tests switch kernels in-process); returns the clamped width
+ * that will actually run.
+ */
+ReplayKernel setReplayKernel(ReplayKernel kernel);
 
 /** Replays traces under value-described policies. */
 class ReplayEngine
@@ -55,7 +94,7 @@ class ReplayEngine
      */
     virtual ReplayStats replay(const ReplaySpec &spec,
                                const CacheConfig &config,
-                               const Trace &trace,
+                               const TraceSource &trace,
                                size_t warmup) const = 0;
 
     /**
@@ -67,7 +106,7 @@ class ReplayEngine
      */
     virtual std::vector<ReplayStats>
     replayMany(std::span<const ReplaySpec> specs,
-               const CacheConfig &config, const Trace &trace,
+               const CacheConfig &config, const TraceSource &trace,
                size_t warmup) const;
 
     /** Backend name ("scalar" or "fast"). */
@@ -79,7 +118,7 @@ class ScalarReplayEngine : public ReplayEngine
 {
   public:
     ReplayStats replay(const ReplaySpec &spec, const CacheConfig &config,
-                       const Trace &trace,
+                       const TraceSource &trace,
                        size_t warmup) const override;
     std::string name() const override { return "scalar"; }
 };
@@ -92,7 +131,7 @@ class FastReplayEngine : public ReplayEngine
     explicit FastReplayEngine(unsigned shards = 1);
 
     ReplayStats replay(const ReplaySpec &spec, const CacheConfig &config,
-                       const Trace &trace,
+                       const TraceSource &trace,
                        size_t warmup) const override;
 
     /**
@@ -110,7 +149,7 @@ class FastReplayEngine : public ReplayEngine
      */
     std::vector<ReplayStats>
     replayMany(std::span<const ReplaySpec> specs,
-               const CacheConfig &config, const Trace &trace,
+               const CacheConfig &config, const TraceSource &trace,
                size_t warmup) const override;
 
     std::string name() const override { return "fast"; }

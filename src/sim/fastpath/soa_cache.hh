@@ -37,10 +37,21 @@
  * per-function target attribute, so the library builds with baseline
  * flags and the replay engine selects the kernel at run time
  * (__builtin_cpu_supports).  Only compiled where the attribute and
- * the intrinsics exist.
+ * the intrinsics exist.  The 32-wide kernel extends the same scheme
+ * to AVX2: one VPCMPEQB resolves the signature scans of TWO genomes'
+ * 16-byte rows (a 32-lane compare), so a genome pair shares each
+ * decoded record and the loop carries two independent dependency
+ * chains — compiled under the same guard, dispatched at run time.
+ *
+ * -DGIPPR_PORTABLE_KERNELS compiles both batch kernels out even on
+ * x86-64, so CI can prove the portable scalar path (the permanent
+ * fallback for hosts without BMI2/AVX2) stays bit-identical without
+ * needing such a machine.
  */
-#if defined(__GNUC__) && defined(__x86_64__) && defined(__SSE2__)
+#if defined(__GNUC__) && defined(__x86_64__) && defined(__SSE2__) && \
+    !defined(GIPPR_PORTABLE_KERNELS)
 #define GIPPR_BATCH_KERNEL16 1
+#define GIPPR_BATCH_KERNEL32 1
 #include <immintrin.h>
 #endif
 
@@ -219,8 +230,32 @@ class SoaCacheModel
      * gather.  Bit-identical to access() by the same argument as the
      * generic batched path; tests/test_batched_equiv.cc enforces it.
      */
-    GIPPR_HOT __attribute__((target("bmi2"))) Step
+    GIPPR_HOT
+    __attribute__((target("bmi2"), always_inline)) inline Step
     accessBatched16(uint64_t set, uint64_t tag, AccessType type);
+#endif
+
+#if GIPPR_BATCH_KERNEL32
+    /**
+     * 32-lane paired variant of accessBatched16() for AVX2 + BMI2
+     * hardware (engine-internal; dispatched per chunk): one 256-bit
+     * VPCMPEQB compares @p a's and @p b's signature rows for @p set
+     * against the broadcast tag byte — two 16-byte lanes, 32 byte
+     * lanes total — and each genome then finishes through the same
+     * branch-free tail as the 16-way kernel (accessResolved16).  The
+     * two models are independent, so the tails form two overlapping
+     * dependency chains and the decoded record is read once for the
+     * pair, halving the chunk-buffer re-stream traffic that bounds
+     * wide batched replay.  Bit-identical per model to access();
+     * tests/test_batched_equiv.cc enforces it for every kernel
+     * width.
+     */
+    GIPPR_HOT
+    __attribute__((target("avx2,bmi2"), always_inline)) static inline
+    void
+    accessBatched32(SoaCacheModel &a, SoaCacheModel &b, uint64_t set,
+                    uint64_t tag, AccessType type, Step &step_a,
+                    Step &step_b);
 #endif
 
     /** Credit @p accesses records (@p demand of them demand) to the
@@ -328,6 +363,13 @@ class SoaCacheModel
     void moveTo(uint8_t *pos, unsigned way, unsigned to);
 #if GIPPR_BATCH_KERNEL16
     void moveTo16(uint8_t *pos, unsigned way, unsigned to);
+    /** Branch-free tail shared by the 16- and 32-wide kernels:
+     *  everything after the signature scan, taking the raw 16-bit
+     *  signature-match mask (not yet masked with valid). */
+    GIPPR_HOT
+    __attribute__((target("bmi2"), always_inline)) inline Step
+    accessResolved16(uint64_t set, uint64_t tag, AccessType type,
+                     unsigned sig_match);
 #endif
     unsigned recencyVictim(const uint8_t *pos) const;
     int findWay(uint64_t base, uint64_t tag, uint64_t valid) const;
@@ -709,22 +751,31 @@ __attribute__((target("bmi2"))) inline SoaCacheModel::Step
 SoaCacheModel::accessBatched16(uint64_t set, uint64_t tag,
                                AccessType type)
 {
+    // Signature scan; the branch-free remainder lives in the tail
+    // shared with the 32-wide paired kernel.
+    const __m128i row = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(&sig_[set * 16]));
+    const unsigned sig_match =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+            row, _mm_set1_epi8(static_cast<char>(tag)))));
+    return accessResolved16(set, tag, type, sig_match);
+}
+
+__attribute__((target("bmi2"))) inline SoaCacheModel::Step
+SoaCacheModel::accessResolved16(uint64_t set, uint64_t tag,
+                                AccessType type, unsigned sig_match)
+{
     GIPPR_DCHECK(set < sets_ && assoc_ == 16);
     const bool demand = type != AccessType::Writeback;
     const bool is_store = type != AccessType::Load;
     const uint64_t base = set * 16;
     const uint64_t valid = valid_[set];
 
-    // Signature scan without the candidate loop: resolve the first
-    // candidate with flag arithmetic (tzcnt of an empty mask is
-    // steered to a sentinel lane); genuine signature collisions are
-    // rare enough that their verify loop stays a cold branch.
-    const __m128i row = _mm_loadu_si128(
-        reinterpret_cast<const __m128i *>(&sig_[base]));
-    const unsigned cand =
-        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
-            row, _mm_set1_epi8(static_cast<char>(tag))))) &
-        static_cast<unsigned>(valid);
+    // Resolve the first candidate with flag arithmetic (tzcnt of an
+    // empty mask is steered to a sentinel lane); genuine signature
+    // collisions are rare enough that their verify loop stays a cold
+    // branch.
+    const unsigned cand = sig_match & static_cast<unsigned>(valid);
     unsigned hw =
         static_cast<unsigned>(countTrailingZeros(cand | 0x10000u)) &
         15u;
@@ -829,6 +880,33 @@ SoaCacheModel::accessBatched16(uint64_t set, uint64_t tag,
     step.evictedDirty = evicted_dirty;
     step.evictedTag = evict ? evicted_tag : 0;
     return step;
+}
+#endif
+
+#if GIPPR_BATCH_KERNEL32
+__attribute__((target("avx2,bmi2"))) inline void
+SoaCacheModel::accessBatched32(SoaCacheModel &a, SoaCacheModel &b,
+                               uint64_t set, uint64_t tag,
+                               AccessType type, Step &step_a,
+                               Step &step_b)
+{
+    GIPPR_DCHECK(a.assoc_ == 16 && b.assoc_ == 16);
+    GIPPR_DCHECK(a.sets_ == b.sets_);
+    // One 256-bit compare scans both genomes' signature rows: lane 0
+    // (bits 0..15 of the movemask) is a's row, lane 1 is b's.
+    const uint64_t base = set * 16;
+    const __m256i rows = _mm256_set_m128i(
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(&b.sig_[base])),
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(&a.sig_[base])));
+    const unsigned match =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+            rows, _mm256_set1_epi8(static_cast<char>(tag)))));
+    // The tails are independent dependency chains; back-to-back calls
+    // overlap in the out-of-order window.
+    step_a = a.accessResolved16(set, tag, type, match & 0xffffu);
+    step_b = b.accessResolved16(set, tag, type, match >> 16);
 }
 #endif
 

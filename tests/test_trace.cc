@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "trace/simpoint.hh"
 #include "trace/trace.hh"
@@ -150,6 +153,82 @@ TEST_F(TraceIoTest, GarbageFileThrows)
     std::fputs("not a trace", f);
     std::fclose(f);
     EXPECT_THROW(readTrace(tempPath()), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MappedMatchesBufferedRecordForRecord)
+{
+    Trace t;
+    t.append(rec(0x1000, 3, false, 0x400100));
+    t.append(rec(0x2040, 7, true, 0x400104));
+    t.append(rec(0xdeadbeef00, 1, false, 0));
+    t.append(rec(UINT64_MAX, 2, true, UINT64_MAX));
+    writeTrace(t, tempPath());
+
+    const Trace buffered = readTrace(tempPath());
+    const MappedTrace mapped(tempPath());
+    ASSERT_EQ(mapped.size(), buffered.size());
+    for (size_t i = 0; i < buffered.size(); ++i)
+        EXPECT_TRUE(mapped[i] == buffered[i]) << i;
+
+    // Both loaders feed replay through the same non-owning view.
+    const TraceSource from_buffered(buffered);
+    const TraceSource from_mapped(mapped);
+    ASSERT_EQ(from_mapped.size(), from_buffered.size());
+    for (size_t i = 0; i < from_buffered.size(); ++i)
+        EXPECT_TRUE(from_mapped[i] == from_buffered[i]) << i;
+}
+
+TEST_F(TraceIoTest, MappedHonoursBufferedFallbackKnob)
+{
+    Trace t;
+    for (uint64_t i = 0; i < 32; ++i)
+        t.append(rec(i * 64, 1, (i & 3) == 0));
+    writeTrace(t, tempPath());
+
+    setenv("GIPPR_TRACE_MMAP", "0", 1);
+    const MappedTrace forced(tempPath());
+    unsetenv("GIPPR_TRACE_MMAP");
+    EXPECT_FALSE(forced.mapped());
+
+    const MappedTrace mapped(tempPath());
+    ASSERT_EQ(forced.size(), t.size());
+    ASSERT_EQ(mapped.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_TRUE(forced[i] == t[i]) << i;
+        EXPECT_TRUE(mapped[i] == t[i]) << i;
+    }
+}
+
+TEST_F(TraceIoTest, MappedReadsLegacyV1Files)
+{
+    Trace t;
+    t.append(rec(0x100, 2));
+    t.append(rec(0x940, 5, true, 0x400200));
+    writeTrace(t, tempPath());
+
+    // Rewrite the v2 file as its v1 equivalent: version byte 1, no
+    // CRC footer.  Both loaders must still accept it identically.
+    std::ifstream in(tempPath(), std::ios::binary);
+    std::vector<char> bytes(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>{});
+    in.close();
+    ASSERT_GE(bytes.size(), 20u);
+    bytes[4] = 1;
+    bytes.resize(bytes.size() - 4);
+    std::ofstream out(tempPath(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    const Trace buffered = readTrace(tempPath());
+    const MappedTrace mapped(tempPath());
+    ASSERT_EQ(buffered.size(), t.size());
+    ASSERT_EQ(mapped.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_TRUE(buffered[i] == t[i]) << i;
+        EXPECT_TRUE(mapped[i] == t[i]) << i;
+    }
 }
 
 TEST(Workload, AddAndCombine)
