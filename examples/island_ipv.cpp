@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Fault-tolerant island-model GA service — the paper's 200-CPU
+ * cluster search, reproduced as N supervised worker processes
+ * exchanging migrants through a shared coordination directory.
+ *
+ * Usage (coordinator mode):
+ *   ./build/examples/island_ipv --workdir DIR [options]
+ *     --islands N              worker processes / islands (default 4)
+ *     --exchange-every N       generations between exchanges (default 3)
+ *     --migrants N             individuals published per exchange (default 4)
+ *     --family giplr|gippr     substrate (default gippr)
+ *     --generations N          generations per island (default 8)
+ *     --population N           island population (default 32)
+ *     --threads N              fitness threads per worker (default 2)
+ *     --seed N                 master seed (default 42)
+ *     --accesses N             CPU references per simpoint (default 60000)
+ *     --exchange-deadline-ms N budget waiting on one peer (default 60000)
+ *     --poll-ms N              migrant/lease poll period (default 20)
+ *     --stale-ms N             lease silence before reclaim (default 15000)
+ *     --max-respawns N         respawn budget per island (default 16)
+ *     --checkpoint-every N     generations between checkpoints (default 1)
+ *     --merged PATH            write the deterministic merged artifact
+ *     --json PATH              write the "island" RunReport
+ *     --deterministic          pin the RunReport timestamp
+ *     --resume                 continue a previous run in --workdir
+ *
+ * Worker mode (spawned by the coordinator; not for direct use):
+ *     --worker-id N --incarnation K
+ *
+ * The merged artifact is a pure function of (master seed, islands,
+ * generations, exchange schedule): a run that suffered worker kills
+ * and respawns produces a byte-identical --merged file to an
+ * undisturbed run, as long as every kill was reclaimed before the
+ * peers' exchange deadline.  SIGINT/SIGTERM drains every island to
+ * its checkpoint and exits 75; rerunning with --resume continues.
+ * Operational nondeterminism (respawn counts, timings) goes to the
+ * --json RunReport, never the merged artifact.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "ga/fitness.hh"
+#include "island/island.hh"
+#include "island/service.hh"
+#include "robust/atomic_io.hh"
+#include "robust/shutdown.hh"
+#include "sim/system.hh"
+#include "telemetry/report.hh"
+#include "util/log.hh"
+#include "workloads/suite.hh"
+
+using namespace gippr;
+
+namespace
+{
+
+uint64_t
+argValue(int argc, char **argv, const char *flag, uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+std::string
+argString(int argc, char **argv, const char *flag,
+          const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/** This binary's absolute path, for re-exec'ing workers. */
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        fatal("island_ipv: cannot resolve /proc/self/exe");
+    buf[n] = '\0';
+    return buf;
+}
+
+/** Build the fitness evaluator every worker and the merge share. */
+FitnessEvaluator
+buildFitness(uint64_t accesses, const SystemParams &sys)
+{
+    SuiteParams sp;
+    sp.llcBlocks = 16384;
+    sp.accessesPerSimpoint = accesses;
+    SyntheticSuite suite(sp);
+    std::vector<FitnessTrace> traces;
+    for (const auto &spec : suite.specs()) {
+        std::vector<Workload> single;
+        single.push_back(SyntheticSuite::materialize(spec));
+        for (FitnessTrace &ft : buildFitnessTraces(single, sys.hier))
+            traces.push_back(std::move(ft));
+    }
+    return FitnessEvaluator(sys.hier.llc, std::move(traces));
+}
+
+/** Deterministic merged artifact (the byte-compared file). */
+void
+writeMergedArtifact(const std::string &path,
+                    const island::IslandParams &params,
+                    const std::string &familyName,
+                    const island::IslandMerge &merge)
+{
+    telemetry::JsonValue doc = telemetry::JsonValue::object();
+    doc.set("schema", telemetry::JsonValue("gippr-island-merged"));
+    doc.set("version", telemetry::JsonValue(1));
+    doc.set("family", telemetry::JsonValue(familyName));
+    doc.set("master_seed", telemetry::JsonValue(params.masterSeed));
+    doc.set("islands",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.islands)));
+    doc.set("generations",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.generations)));
+    doc.set("exchange_every",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.exchangeEvery)));
+    doc.set("migrants",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.migrants)));
+    doc.set("population",
+            telemetry::JsonValue(
+                static_cast<uint64_t>(params.population)));
+    telemetry::JsonValue merged_islands =
+        telemetry::JsonValue::array();
+    for (const IslandCheckpoint &ck : merge.finals)
+        merged_islands.push(telemetry::JsonValue(
+            static_cast<uint64_t>(ck.island)));
+    doc.set("merged_islands", std::move(merged_islands));
+    doc.set("best_vector",
+            telemetry::JsonValue(merge.result.best.toString()));
+    doc.set("best_fitness",
+            telemetry::JsonValue(merge.result.bestFitness));
+    telemetry::JsonValue history = telemetry::JsonValue::array();
+    for (double h : merge.result.history)
+        history.push(telemetry::JsonValue(h));
+    doc.set("history", std::move(history));
+    telemetry::JsonValue pop = telemetry::JsonValue::array();
+    for (const SampledIpv &s : merge.result.finalPopulation) {
+        telemetry::JsonValue entry = telemetry::JsonValue::object();
+        entry.set("ipv", telemetry::JsonValue(s.ipv.toString()));
+        entry.set("fitness", telemetry::JsonValue(s.fitness));
+        pop.push(std::move(entry));
+    }
+    doc.set("merged_population", std::move(pop));
+    robust::writeFileAtomic(path, doc.dump() + "\n");
+    std::printf("wrote merged artifact: %s\n", path.c_str());
+}
+
+/** Operational "island" RunReport (timelines, crashes, degradation). */
+void
+writeIslandReport(const std::string &path,
+                  const island::IslandParams &params,
+                  const std::string &familyName,
+                  const island::IslandMerge &merge,
+                  const island::ServiceOutcome &service,
+                  bool deterministic)
+{
+    telemetry::RunReport report("island", "island_ipv");
+    report.setConfig("family", telemetry::JsonValue(familyName));
+    report.setConfig("master_seed",
+                     telemetry::JsonValue(params.masterSeed));
+    report.setConfig("islands",
+                     telemetry::JsonValue(
+                         static_cast<uint64_t>(params.islands)));
+    report.setConfig("generations",
+                     telemetry::JsonValue(
+                         static_cast<uint64_t>(params.generations)));
+    report.setConfig(
+        "exchange_every",
+        telemetry::JsonValue(
+            static_cast<uint64_t>(params.exchangeEvery)));
+    report.setConfig("migrants",
+                     telemetry::JsonValue(
+                         static_cast<uint64_t>(params.migrants)));
+    report.setConfig("recovered_crashes",
+                     telemetry::JsonValue(service.recoveredCrashes));
+    report.setConfig(
+        "exchanges_missed",
+        telemetry::JsonValue(merge.exchangesMissed));
+    report.setConfig("best_vector",
+                     telemetry::JsonValue(merge.result.best.toString()));
+    telemetry::JsonValue dead = telemetry::JsonValue::array();
+    for (uint32_t i : merge.missing)
+        dead.push(telemetry::JsonValue(static_cast<uint64_t>(i)));
+    report.setConfig("dead_islands", std::move(dead));
+    report.setConfig("degraded",
+                     telemetry::JsonValue(!merge.missing.empty()));
+
+    // Per-island convergence timelines.
+    telemetry::ResultTable timeline;
+    timeline.title = "island_convergence";
+    timeline.metric = "estimated speedup over LRU";
+    for (const IslandCheckpoint &ck : merge.finals)
+        timeline.columns.push_back("island " +
+                                   std::to_string(ck.island));
+    for (unsigned g = 0; g <= params.generations; ++g) {
+        telemetry::ResultRow row;
+        row.name = "gen " + std::to_string(g);
+        for (const IslandCheckpoint &ck : merge.finals)
+            row.values.push_back(
+                g < ck.history.size() ? ck.history[g] : 0.0);
+        timeline.rows.push_back(std::move(row));
+    }
+    report.addTable(std::move(timeline));
+
+    // Exchange and recovery tallies per island.
+    telemetry::ResultTable ops;
+    ops.title = "island_operations";
+    ops.metric = "count";
+    ops.columns = {"exchanges_done", "exchanges_missed", "respawns"};
+    for (const IslandCheckpoint &ck : merge.finals) {
+        const uint64_t respawns =
+            ck.island < service.islands.size()
+                ? service.islands[ck.island].respawns
+                : 0;
+        ops.rows.push_back(
+            {"island " + std::to_string(ck.island),
+             {static_cast<double>(ck.exchangesDone),
+              static_cast<double>(ck.exchangesMissed),
+              static_cast<double>(respawns)}});
+    }
+    report.addTable(std::move(ops));
+    if (deterministic)
+        report.setTimestamp("1970-01-01T00:00:00Z");
+    report.writeFile(path);
+    std::printf("wrote island RunReport: %s\n", path.c_str());
+}
+
+int
+runWorker(int argc, char **argv, const island::IslandParams &params,
+          IpvFamily family, uint64_t accesses)
+{
+    const auto worker_id = static_cast<uint32_t>(
+        argValue(argc, argv, "--worker-id", 0));
+    const uint64_t incarnation =
+        argValue(argc, argv, "--incarnation", 0);
+
+    SystemParams sys;
+    sys.hier.llc = CacheConfig::benchLlc();
+    FitnessEvaluator fitness = buildFitness(accesses, sys);
+
+    robust::ShutdownGuard shutdown_guard;
+    island::IslandWorkerOptions opts;
+    opts.island = worker_id;
+    opts.incarnation = incarnation;
+    opts.resume = true; // a fresh island simply has no checkpoint yet
+    opts.watchShutdown = true;
+    const island::IslandOutcome outcome =
+        island::runIslandWorker(fitness, family, params, opts);
+    return outcome.interrupted ? 75 : 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    const std::string family_name =
+        argString(argc, argv, "--family", "gippr");
+    const IpvFamily family = family_name == "giplr" ? IpvFamily::Giplr
+                                                    : IpvFamily::Gippr;
+
+    island::IslandParams params;
+    params.islands = static_cast<uint32_t>(
+        argValue(argc, argv, "--islands", 4));
+    params.masterSeed = argValue(argc, argv, "--seed", 42);
+    params.generations = static_cast<unsigned>(
+        argValue(argc, argv, "--generations", 8));
+    params.population = argValue(argc, argv, "--population", 32);
+    params.initialPopulation = params.population * 2;
+    params.threads = static_cast<unsigned>(
+        argValue(argc, argv, "--threads", 2));
+    params.exchangeEvery = static_cast<unsigned>(
+        argValue(argc, argv, "--exchange-every", 3));
+    params.migrants = argValue(argc, argv, "--migrants", 4);
+    params.workdir = argString(argc, argv, "--workdir", "");
+    params.exchangeDeadlineMs = static_cast<unsigned>(
+        argValue(argc, argv, "--exchange-deadline-ms", 60000));
+    params.pollMs =
+        static_cast<unsigned>(argValue(argc, argv, "--poll-ms", 20));
+    params.checkpointEvery = static_cast<unsigned>(
+        argValue(argc, argv, "--checkpoint-every", 1));
+    const uint64_t accesses =
+        argValue(argc, argv, "--accesses", 60000);
+    if (params.workdir.empty())
+        fatal("island_ipv: --workdir is required");
+
+    if (hasFlag(argc, argv, "--worker-id"))
+        return runWorker(argc, argv, params, family, accesses);
+
+    // Coordinator mode.
+    if (::mkdir(params.workdir.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("island_ipv: cannot create workdir " + params.workdir);
+
+    island::ServiceParams sp;
+    sp.workdir = params.workdir;
+    sp.islands = params.islands;
+    sp.staleMs = static_cast<unsigned>(
+        argValue(argc, argv, "--stale-ms", 15000));
+    sp.pollMs = static_cast<unsigned>(
+        argValue(argc, argv, "--service-poll-ms", 50));
+    sp.maxRespawns = argValue(argc, argv, "--max-respawns", 16);
+    sp.workerCommand.push_back(selfExePath());
+    for (int i = 1; i < argc; ++i)
+        sp.workerCommand.push_back(argv[i]);
+
+    std::printf("island service: %u islands x %u generations, "
+                "exchange every %u, master seed %llu\n",
+                params.islands, params.generations,
+                params.exchangeEvery,
+                static_cast<unsigned long long>(params.masterSeed));
+
+    robust::ShutdownGuard shutdown_guard;
+    const island::ServiceOutcome service =
+        island::runIslandService(sp);
+    if (service.drained) {
+        std::printf("island service drained; resume with the same "
+                    "--workdir and --resume\n");
+        return 75; // EX_TEMPFAIL: every island checkpointed
+    }
+
+    SystemParams sys;
+    sys.hier.llc = CacheConfig::benchLlc();
+    FitnessEvaluator fitness = buildFitness(accesses, sys);
+    const island::IslandMerge merge =
+        island::mergeIslands(params, family, fitness, true);
+
+    std::printf("\nmerged %zu island(s); best vector %s "
+                "(fitness %.4f)\n",
+                merge.finals.size(),
+                merge.result.best.toString().c_str(),
+                merge.result.bestFitness);
+    if (!merge.missing.empty()) {
+        std::printf("DEGRADED: %zu island(s) permanently dead:",
+                    merge.missing.size());
+        for (uint32_t i : merge.missing)
+            std::printf(" %u", i);
+        std::printf("\n");
+    }
+    if (merge.exchangesMissed > 0)
+        std::printf("exchanges missed across islands: %llu\n",
+                    static_cast<unsigned long long>(
+                        merge.exchangesMissed));
+    if (service.recoveredCrashes > 0)
+        std::printf("worker crashes recovered: %llu\n",
+                    static_cast<unsigned long long>(
+                        service.recoveredCrashes));
+
+    const std::string merged_path =
+        argString(argc, argv, "--merged", "");
+    if (!merged_path.empty())
+        writeMergedArtifact(merged_path, params, family_name, merge);
+    const std::string json_path = argString(argc, argv, "--json", "");
+    if (!json_path.empty())
+        writeIslandReport(json_path, params, family_name, merge,
+                          service,
+                          hasFlag(argc, argv, "--deterministic"));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

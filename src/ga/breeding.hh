@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared GA breeding primitives (paper, Section 4.2).
+ *
+ * evolveIpv and the island-model workers (src/island) must apply the
+ * *same* operators in the *same* RNG-consumption order — the island
+ * service's kill/resume bit-identity guarantee depends on a resumed
+ * worker replaying exactly the stream an undisturbed one would have
+ * drawn.  These free functions are that single definition: tournament
+ * selection, single-point crossover, one-element mutation, and the
+ * batched population evaluation, each consuming the Rng precisely as
+ * the original in-process GA did.
+ */
+
+#ifndef GIPPR_GA_BREEDING_HH_
+#define GIPPR_GA_BREEDING_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ipv.hh"
+#include "ga/fitness.hh"
+#include "ga/random_search.hh"
+#include "telemetry/timer.hh"
+#include "util/rng.hh"
+
+namespace gippr
+{
+
+/**
+ * Evaluate pop[from..] through the batched fitness API (one streaming
+ * pass per trace per genome batch; see FitnessEvaluator::evaluateAll)
+ * with @p threads workers.  Individuals before @p from — carried-over
+ * elites — keep their fitness untouched.  Returns the wall-clock
+ * seconds spent evaluating; @p timings (nullable) accumulates the
+ * "ga_eval" phase.
+ */
+double evaluatePopulation(const FitnessEvaluator &fitness,
+                          IpvFamily family,
+                          std::vector<SampledIpv> &pop, size_t from,
+                          unsigned threads,
+                          telemetry::PhaseTimings *timings);
+
+/** Sort best-first (stable order for equal fitness is not needed by
+    evolveIpv, which never compares across runs; the island merge has
+    its own deterministic tie-break). */
+void sortByFitnessDesc(std::vector<SampledIpv> &pop);
+
+/** Tournament selection: best of @p t random individuals. */
+const SampledIpv &selectParent(const std::vector<SampledIpv> &pop,
+                               unsigned t, Rng &rng);
+
+/** Single-point crossover (paper: elements 0..k of one parent). */
+Ipv crossover(const Ipv &a, const Ipv &b, Rng &rng);
+
+/** With probability @p rate, replace one random element. */
+Ipv mutate(Ipv v, double rate, unsigned ways, Rng &rng);
+
+} // namespace gippr
+
+#endif // GIPPR_GA_BREEDING_HH_

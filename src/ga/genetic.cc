@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ga/breeding.hh"
 #include "ga/ga_checkpoint.hh"
 #include "ga/random_search.hh"
 #include "util/check.hh"
@@ -19,81 +20,6 @@ namespace gippr
 
 namespace
 {
-
-/**
- * Evaluate pop[from..] through the batched fitness API (one streaming
- * pass per trace per genome batch; see FitnessEvaluator::evaluateAll)
- * with the thread count from GaParams.  Individuals before @p from —
- * the carried-over elites — keep their fitness untouched.  Returns
- * the wall-clock seconds spent evaluating.
- */
-double
-evaluatePopulation(const FitnessEvaluator &fitness, IpvFamily family,
-                   std::vector<SampledIpv> &pop, size_t from,
-                   const GaParams &params)
-{
-    telemetry::ScopedTimer timer(params.timings, "ga_eval");
-    std::vector<Ipv> ipvs;
-    ipvs.reserve(pop.size() - from);
-    for (size_t i = from; i < pop.size(); ++i)
-        ipvs.push_back(pop[i].ipv);
-    const std::vector<double> scores =
-        fitness.evaluateAll(ipvs, family, params.threads);
-    for (size_t i = from; i < pop.size(); ++i)
-        pop[i].fitness = scores[i - from];
-    double seconds = timer.elapsed();
-    timer.stop();
-    return seconds;
-}
-
-void
-sortByFitnessDesc(std::vector<SampledIpv> &pop)
-{
-    std::sort(pop.begin(), pop.end(),
-              [](const SampledIpv &a, const SampledIpv &b) {
-                  return a.fitness > b.fitness;
-              });
-}
-
-/** Tournament selection: best of @p t random individuals. */
-const SampledIpv &
-selectParent(const std::vector<SampledIpv> &pop, unsigned t, Rng &rng)
-{
-    const SampledIpv *best = &pop[rng.nextBounded(pop.size())];
-    for (unsigned i = 1; i < t; ++i) {
-        const SampledIpv &cand = pop[rng.nextBounded(pop.size())];
-        if (cand.fitness > best->fitness)
-            best = &cand;
-    }
-    return *best;
-}
-
-/** Single-point crossover (paper: elements 0..k of one parent). */
-Ipv
-crossover(const Ipv &a, const Ipv &b, Rng &rng)
-{
-    const auto &ea = a.entries();
-    const auto &eb = b.entries();
-    GIPPR_CHECK(ea.size() == eb.size());
-    size_t cut = 1 + rng.nextBounded(ea.size() - 1);
-    std::vector<uint8_t> child(ea.begin(),
-                               ea.begin() + static_cast<long>(cut));
-    child.insert(child.end(), eb.begin() + static_cast<long>(cut),
-                 eb.end());
-    return Ipv(std::move(child));
-}
-
-/** With probability rate, replace one random element. */
-Ipv
-mutate(Ipv v, double rate, unsigned ways, Rng &rng)
-{
-    if (!rng.nextBool(rate))
-        return v;
-    std::vector<uint8_t> entries = v.entries();
-    size_t idx = rng.nextBounded(entries.size());
-    entries[idx] = static_cast<uint8_t>(rng.nextBounded(ways));
-    return Ipv(std::move(entries));
-}
 
 /**
  * Digest of every parameter that shapes an evolveIpv run's results.
@@ -186,8 +112,8 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
             pop.push_back({seed_ipv, 0.0});
         while (pop.size() < params.initialPopulation)
             pop.push_back({randomIpv(ways, rng), 0.0});
-        double gen0_seconds =
-            evaluatePopulation(fitness, family, pop, 0, params);
+        double gen0_seconds = evaluatePopulation(
+            fitness, family, pop, 0, params.threads, params.timings);
         sortByFitnessDesc(pop);
 
         result.history.push_back(pop.front().fitness);
@@ -234,7 +160,8 @@ evolveIpv(const FitnessEvaluator &fitness, IpvFamily family,
         // only reproduce the same value.  Children start at the elite
         // cutoff.
         double gen_seconds =
-            evaluatePopulation(fitness, family, next, elites, params);
+            evaluatePopulation(fitness, family, next, elites,
+                               params.threads, params.timings);
 #if GIPPR_CHECKS_ENABLED
         // The memoized fitness function must agree exactly with the
         // value each elite carried in.

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Island worker, migrant exchange, deterministic merge, and the
+ * in-process (threaded) island service used by the tests.
+ */
+
+#include "island/island.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "ga/breeding.hh"
+#include "ga/random_search.hh"
+#include "robust/atomic_io.hh"
+#include "robust/checkpoint.hh"
+#include "robust/lease.hh"
+#include "robust/shutdown.hh"
+#include "util/log.hh"
+
+namespace gippr::island
+{
+
+namespace
+{
+
+/**
+ * Exchange round due at boundary @p done (0 when none): rounds fire
+ * after E, 2E, ... completed generations, never at the final boundary
+ * (the merge folds full populations anyway) and never with fewer than
+ * two islands.
+ */
+uint64_t
+roundDueAt(uint64_t done, const IslandParams &params)
+{
+    const unsigned e = params.exchangeEvery;
+    if (e == 0 || params.islands < 2)
+        return 0;
+    if (done == 0 || done >= params.generations)
+        return 0;
+    return done % e == 0 ? done / e : 0;
+}
+
+/**
+ * Poll for peer @p peer's round-@p round migrant file until it
+ * arrives, the deadline budget runs out, or a drain is requested.
+ * Every poll heartbeats @p lease — an island stalled on a dead peer
+ * is waiting, not dead.  Sets @p stopped instead of returning a
+ * result when a drain interrupts the wait.
+ */
+bool
+waitForMigrants(const IslandParams &params, uint32_t peer,
+                uint64_t round, uint64_t configDigest,
+                robust::LeaseWriter &lease,
+                const std::function<bool()> &stopRequested,
+                IslandMigrants &out, bool &stopped)
+{
+    const std::string path =
+        migrantsPath(params.workdir, peer, round);
+    robust::RetryPolicy policy;
+    const unsigned poll = std::max(1u, params.pollMs);
+    policy.baseDelayMs = poll;
+    policy.maxDelayMs = poll;
+    policy.deadlineMs = params.exchangeDeadlineMs;
+    policy.attempts = params.exchangeDeadlineMs / poll + 2;
+    const bool got = robust::retryWithBackoff(policy, [&]() {
+        lease.beat();
+        if (stopRequested()) {
+            stopped = true;
+            return true; // stop polling; caller drains
+        }
+        IslandMigrants m;
+        if (!robust::checkpointExists(path) ||
+            !tryLoadIslandMigrants(path, configDigest, m) ||
+            m.island != peer || m.round != round)
+            return false;
+        out = std::move(m);
+        return true;
+    });
+    return got && !stopped;
+}
+
+/** Deterministic merge order: fitness desc, then IPV bytes. */
+bool
+mergedOrder(const SampledIpv &a, const SampledIpv &b)
+{
+    if (a.fitness != b.fitness)
+        return a.fitness > b.fitness;
+    return a.ipv.entries() < b.ipv.entries();
+}
+
+} // namespace
+
+std::string
+leasePath(const std::string &workdir, uint32_t island)
+{
+    return workdir + "/lease." + std::to_string(island);
+}
+
+std::string
+statePath(const std::string &workdir, uint32_t island)
+{
+    return workdir + "/island." + std::to_string(island) +
+           ".state.gpck";
+}
+
+std::string
+finalPath(const std::string &workdir, uint32_t island)
+{
+    return workdir + "/island." + std::to_string(island) +
+           ".final.gpck";
+}
+
+std::string
+migrantsPath(const std::string &workdir, uint32_t island,
+             uint64_t round)
+{
+    return workdir + "/migrants." + std::to_string(island) + ".r" +
+           std::to_string(round) + ".gpck";
+}
+
+std::string
+claimPath(const std::string &workdir, uint32_t island,
+          uint64_t incarnation)
+{
+    return workdir + "/claim." + std::to_string(island) + ".inc" +
+           std::to_string(incarnation);
+}
+
+uint64_t
+islandSeed(uint64_t masterSeed, uint32_t island)
+{
+    // Two FNV-1a rounds decorrelate the per-island streams; +1 keeps
+    // island 0 from collapsing to a digest of the seed alone.
+    return digestMix(digestMix(kDigestBasis, masterSeed),
+                     static_cast<uint64_t>(island) + 1);
+}
+
+uint64_t
+islandConfigDigest(const IslandParams &params, IpvFamily family,
+                   const FitnessEvaluator &fitness)
+{
+    uint64_t d = kDigestBasis;
+    d = digestMix(d, 0x69736c61ULL); // "isla" tag
+    d = digestMix(d, static_cast<uint64_t>(family));
+    d = digestMix(d, params.masterSeed);
+    d = digestMix(d, params.islands);
+    d = digestMix(d, params.initialPopulation);
+    d = digestMix(d, params.population);
+    d = digestMix(d, params.generations);
+    uint64_t rate_bits;
+    static_assert(sizeof(rate_bits) == sizeof(params.mutationRate));
+    std::memcpy(&rate_bits, &params.mutationRate, sizeof(rate_bits));
+    d = digestMix(d, rate_bits);
+    d = digestMix(d, params.elites);
+    d = digestMix(d, params.tournament);
+    d = digestMix(d, params.exchangeEvery);
+    d = digestMix(d, params.migrants);
+    d = digestMix(d, fitness.batchWidth());
+    d = digestMix(d, fitness.memoCapacity());
+    return d;
+}
+
+IslandOutcome
+runIslandWorker(const FitnessEvaluator &fitness, IpvFamily family,
+                const IslandParams &params,
+                const IslandWorkerOptions &opts)
+{
+    if (opts.island >= params.islands)
+        fatal("island worker index " + std::to_string(opts.island) +
+              " out of range (islands=" +
+              std::to_string(params.islands) + ")");
+    const unsigned ways = familyArity(family, fitness.llc());
+    const uint64_t config =
+        islandConfigDigest(params, family, fitness);
+    const uint64_t suite = fitness.traceSetDigest();
+    const uint32_t self = opts.island;
+    const std::string state_path = statePath(params.workdir, self);
+    const std::string final_path = finalPath(params.workdir, self);
+
+    const auto stop_requested = [&](uint64_t done) {
+        if (opts.stopHook && opts.stopHook(done))
+            return true;
+        return opts.watchShutdown &&
+               robust::ShutdownGuard::requested();
+    };
+
+    robust::LeaseWriter lease(leasePath(params.workdir, self), self,
+                              static_cast<int64_t>(::getpid()),
+                              opts.incarnation);
+    lease.beat();
+
+    // An island that already finished: a reclaimed worker may be
+    // respawned after its predecessor wrote the final artifact.
+    if (opts.resume && robust::checkpointExists(final_path)) {
+        IslandOutcome out;
+        out.state =
+            loadIslandCheckpoint(final_path, config, suite, true);
+        return out;
+    }
+
+    IslandCheckpoint ck;
+    ck.configDigest = config;
+    ck.suiteDigest = suite;
+    ck.island = self;
+    Rng rng(islandSeed(params.masterSeed, self));
+
+    const auto save = [&](bool final) {
+        ck.rngState = rng.state();
+        saveIslandCheckpoint(final ? final_path : state_path, ck,
+                             final);
+    };
+    const auto drain = [&]() {
+        save(false);
+        inform("island " + std::to_string(self) +
+               " drained at generation " +
+               std::to_string(ck.generation) + "/" +
+               std::to_string(params.generations));
+        IslandOutcome out;
+        out.interrupted = true;
+        out.state = ck;
+        return out;
+    };
+
+    bool resumed = false;
+    if (opts.resume && robust::checkpointExists(state_path)) {
+        ck = loadIslandCheckpoint(state_path, config, suite, false);
+        if (ck.island != self)
+            fatal("island checkpoint " + state_path +
+                  " belongs to island " + std::to_string(ck.island) +
+                  ", not " + std::to_string(self));
+        rng.setState(ck.rngState);
+        resumed = true;
+        inform("island " + std::to_string(self) +
+               " resumed at generation " +
+               std::to_string(ck.generation) + "/" +
+               std::to_string(params.generations));
+    }
+
+    if (!resumed) {
+        ck.population.reserve(params.initialPopulation);
+        while (ck.population.size() < params.initialPopulation)
+            ck.population.push_back({randomIpv(ways, rng), 0.0});
+        const double secs =
+            evaluatePopulation(fitness, family, ck.population, 0,
+                               params.threads, params.timings);
+        sortByFitnessDesc(ck.population);
+        ck.history.push_back(ck.population.front().fitness);
+        ck.generationSeconds.push_back(secs);
+        save(false);
+        lease.beat();
+    }
+
+    for (;;) {
+        // Exchange due at this boundary?  Covers both the fresh case
+        // and a resume that interrupted a partially completed round
+        // (exchangesDone < due): publication is idempotent — the
+        // boundary population is checkpointed before the round, so a
+        // redone publish emits byte-identical migrants.
+        const uint64_t due = roundDueAt(ck.generation, params);
+        if (due != 0 && ck.exchangesDone < due) {
+            if (stop_requested(ck.generation))
+                return drain();
+            IslandMigrants mine;
+            mine.configDigest = config;
+            mine.island = self;
+            mine.round = due;
+            const size_t k =
+                std::min(params.migrants, ck.population.size());
+            mine.migrants.assign(
+                ck.population.begin(),
+                ck.population.begin() + static_cast<long>(k));
+            saveIslandMigrants(
+                migrantsPath(params.workdir, self, due), mine);
+
+            bool stopped = false;
+            uint64_t missed = 0;
+            std::vector<IslandMigrants> arrived;
+            for (uint32_t p = 0; p < params.islands && !stopped;
+                 ++p) {
+                if (p == self)
+                    continue;
+                IslandMigrants m;
+                if (waitForMigrants(
+                        params, p, due, config, lease,
+                        [&]() { return stop_requested(ck.generation); },
+                        m, stopped)) {
+                    arrived.push_back(std::move(m));
+                } else if (!stopped) {
+                    ++missed;
+                    warn("island " + std::to_string(self) +
+                         " missed migrants from island " +
+                         std::to_string(p) + " in round " +
+                         std::to_string(due) +
+                         " (deadline/corrupt); continuing solo");
+                }
+            }
+            if (stopped)
+                return drain(); // round redone whole on resume
+            // Incorporate deterministically: append arrivals in
+            // ascending island order, re-rank, keep the population
+            // size.  No RNG is consumed, so the island's stream stays
+            // aligned with an exchange-free replay of the same seed.
+            const size_t keep = ck.population.size();
+            for (const IslandMigrants &m : arrived)
+                for (const SampledIpv &s : m.migrants)
+                    ck.population.push_back(s);
+            sortByFitnessDesc(ck.population);
+            ck.population.resize(keep);
+            ck.exchangesDone = due;
+            ck.exchangesMissed += missed;
+            save(false);
+            lease.beat();
+        }
+
+        if (ck.generation >= params.generations)
+            break;
+        if (stop_requested(ck.generation))
+            return drain();
+
+        // Breed one generation — operator order and RNG consumption
+        // identical to evolveIpv (shared primitives, ga/breeding.hh).
+        std::vector<SampledIpv> next;
+        next.reserve(params.population);
+        const size_t elites =
+            std::min(params.elites, ck.population.size());
+        for (size_t e = 0; e < elites; ++e)
+            next.push_back(ck.population[e]);
+        while (next.size() < params.population) {
+            const SampledIpv &pa =
+                selectParent(ck.population, params.tournament, rng);
+            const SampledIpv &pb =
+                selectParent(ck.population, params.tournament, rng);
+            Ipv child = mutate(crossover(pa.ipv, pb.ipv, rng),
+                               params.mutationRate, ways, rng);
+            next.push_back({std::move(child), 0.0});
+        }
+        const double secs =
+            evaluatePopulation(fitness, family, next, elites,
+                               params.threads, params.timings);
+        sortByFitnessDesc(next);
+        ck.population = std::move(next);
+        ++ck.generation;
+        ck.history.push_back(ck.population.front().fitness);
+        ck.generationSeconds.push_back(secs);
+        lease.beat();
+
+        const uint64_t next_due = roundDueAt(ck.generation, params);
+        const bool must_save =
+            ck.generation % std::max(1u, params.checkpointEvery) ==
+                0 ||
+            ck.generation == params.generations ||
+            (next_due != 0 && ck.exchangesDone < next_due);
+        if (must_save)
+            save(false);
+    }
+
+    save(true);
+    IslandOutcome out;
+    out.state = std::move(ck);
+    return out;
+}
+
+IslandMerge
+mergeIslands(const IslandParams &params, IpvFamily family,
+             const FitnessEvaluator &fitness, bool allowMissing)
+{
+    const uint64_t config =
+        islandConfigDigest(params, family, fitness);
+    const uint64_t suite = fitness.traceSetDigest();
+
+    IslandMerge merge;
+    for (uint32_t i = 0; i < params.islands; ++i) {
+        const std::string path = finalPath(params.workdir, i);
+        if (!robust::checkpointExists(path)) {
+            if (!allowMissing)
+                fatal("island merge: island " + std::to_string(i) +
+                      " has no final artifact at " + path);
+            merge.missing.push_back(i);
+            continue;
+        }
+        IslandCheckpoint ck =
+            loadIslandCheckpoint(path, config, suite, true);
+        if (ck.island != i)
+            fatal("island merge: " + path + " belongs to island " +
+                  std::to_string(ck.island) + ", not " +
+                  std::to_string(i));
+        if (ck.generation != params.generations)
+            fatal("island merge: " + path + " stopped at generation " +
+                  std::to_string(ck.generation) + " of " +
+                  std::to_string(params.generations) +
+                  "; refusing to merge a non-final island");
+        merge.exchangesMissed += ck.exchangesMissed;
+        merge.finals.push_back(std::move(ck));
+    }
+    if (merge.finals.empty())
+        fatal("island merge: no completed islands in " +
+              params.workdir);
+
+    GaResult &result = merge.result;
+    for (const IslandCheckpoint &ck : merge.finals)
+        result.finalPopulation.insert(result.finalPopulation.end(),
+                                      ck.population.begin(),
+                                      ck.population.end());
+    std::sort(result.finalPopulation.begin(),
+              result.finalPopulation.end(), mergedOrder);
+    result.best = result.finalPopulation.front().ipv;
+    result.bestFitness = result.finalPopulation.front().fitness;
+    // Convergence curve: best fitness across islands per generation.
+    result.history.assign(params.generations + 1, 0.0);
+    for (const IslandCheckpoint &ck : merge.finals) {
+        if (ck.history.size() != result.history.size())
+            fatal("island merge: island " + std::to_string(ck.island) +
+                  " recorded " + std::to_string(ck.history.size()) +
+                  " history points, expected " +
+                  std::to_string(result.history.size()));
+        for (size_t g = 0; g < ck.history.size(); ++g)
+            result.history[g] =
+                std::max(result.history[g], ck.history[g]);
+    }
+    // generationSeconds stays empty on purpose: wall-clock timings
+    // are nondeterministic and must never reach the byte-compared
+    // merged artifact.
+    return merge;
+}
+
+IslandMerge
+runIslandsInProcess(const FitnessEvaluator &fitness, IpvFamily family,
+                    const IslandParams &params, const KillPlan &plan,
+                    InProcessStats *stats)
+{
+    struct ScriptedKill
+    {
+        KillEvent event;
+        bool fired = false;
+    };
+    std::mutex mu;
+    std::vector<ScriptedKill> kills;
+    kills.reserve(plan.kills.size());
+    for (const KillEvent &e : plan.kills)
+        kills.push_back({e, false});
+    std::vector<uint64_t> respawns(params.islands, 0);
+    std::vector<std::string> errors(params.islands);
+
+    const auto worker = [&](uint32_t i) {
+        uint64_t incarnation = 0;
+        try {
+            for (;;) {
+                IslandWorkerOptions opts;
+                opts.island = i;
+                opts.incarnation = incarnation;
+                opts.resume = true;
+                opts.watchShutdown = false;
+                opts.stopHook = [&, i](uint64_t done) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    for (ScriptedKill &k : kills) {
+                        if (!k.fired && k.event.island == i &&
+                            k.event.generation == done) {
+                            k.fired = true;
+                            return true;
+                        }
+                    }
+                    return false;
+                };
+                const IslandOutcome outcome =
+                    runIslandWorker(fitness, family, params, opts);
+                if (!outcome.interrupted)
+                    return;
+                if (respawns[i] >= plan.maxRespawns)
+                    return; // stays dead: degraded completion
+                ++respawns[i];
+                ++incarnation;
+            }
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(mu);
+            errors[i] = e.what();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(params.islands);
+    for (uint32_t i = 0; i < params.islands; ++i)
+        threads.emplace_back(worker, i);
+    for (std::thread &t : threads)
+        t.join();
+    for (uint32_t i = 0; i < params.islands; ++i)
+        if (!errors[i].empty())
+            fatal("island " + std::to_string(i) + " failed: " +
+                  errors[i]);
+
+    if (stats)
+        stats->respawns = respawns;
+    return mergeIslands(params, family, fitness, true);
+}
+
+} // namespace gippr::island

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Island-model GA: per-island worker, migrant exchange, merge.
+ *
+ * The paper evolved its vectors on a 200-CPU cluster for a day; this
+ * subsystem is the reproduction's scaled-down equivalent.  N workers
+ * (threads in-process for tests, processes under the coordinator in
+ * src/island/service.hh) each evolve an independent island whose RNG
+ * stream derives from one master seed, and every exchangeEvery
+ * generations publish their top-k individuals as a CRC-guarded GPCK
+ * file in the shared coordination directory, then poll — bounded
+ * retryWithBackoff with a deadline cap — for every peer's file from
+ * the same round and fold the arrivals into their population.
+ *
+ * The determinism contract mirrors PR 5's resume bit-identity, but
+ * across processes: island state checkpoints capture every generation
+ * boundary, migrant publication is idempotent (a resumed worker
+ * republishes byte-identical files), and incorporation consumes no
+ * RNG — so a run that suffered any number of kill/resume cycles
+ * merges to an artifact bit-identical to an undisturbed same-seed
+ * run, *provided* every killed worker is reclaimed before its peers'
+ * exchange deadline expires.  A peer that stays dead past the
+ * deadline is the documented degraded path: the round is counted in
+ * exchangesMissed and the island continues solo.
+ *
+ * Coordination-directory layout (all files written atomically):
+ *
+ *   lease.<i>                  heartbeat (robust/lease.hh)
+ *   island.<i>.state.gpck      boundary checkpoint (kind island-state)
+ *   island.<i>.final.gpck      finished island (kind island-final)
+ *   migrants.<i>.r<r>.gpck     island i's emigrants for round r
+ *   claim.<i>.inc<k>           reclaim token (link(2) exclusivity)
+ */
+
+#ifndef GIPPR_ISLAND_ISLAND_HH_
+#define GIPPR_ISLAND_ISLAND_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ga/fitness.hh"
+#include "ga/ga_checkpoint.hh"
+#include "ga/genetic.hh"
+
+namespace gippr::island
+{
+
+/** Knobs shared by every worker of one island run. */
+struct IslandParams
+{
+    /** Worker count; each owns one island. */
+    uint32_t islands = 4;
+    /** Master seed; per-island streams derive via islandSeed(). */
+    uint64_t masterSeed = 12345;
+    /** Individuals in each island's generation zero. */
+    size_t initialPopulation = 400;
+    /** Individuals in subsequent generations. */
+    size_t population = 120;
+    /** Generations after the first, per island. */
+    unsigned generations = 25;
+    /** Probability an offspring suffers one random-element mutation. */
+    double mutationRate = 0.05;
+    /** Individuals copied unchanged to the next generation. */
+    size_t elites = 4;
+    /** Tournament size for parent selection. */
+    unsigned tournament = 3;
+    /** Worker threads for fitness evaluation (per island). */
+    unsigned threads = 4;
+    /** Exchange migrants after every E completed generations
+        (0 disables exchange entirely). */
+    unsigned exchangeEvery = 5;
+    /** Top-k individuals published per exchange round. */
+    size_t migrants = 4;
+    /** Shared coordination directory (must exist). */
+    std::string workdir;
+    /**
+     * Budget for waiting on one peer's migrant file (ms).  Must
+     * comfortably exceed worst-case worker respawn + catch-up time,
+     * or recovered crashes degrade into missed exchanges and the
+     * kill/resume bit-identity guarantee is forfeit.  0 polls once.
+     */
+    unsigned exchangeDeadlineMs = 60000;
+    /** Poll interval while waiting on peers (ms). */
+    unsigned pollMs = 20;
+    /** Generations between periodic state checkpoints (exchange
+        boundaries and the final generation always checkpoint). */
+    unsigned checkpointEvery = 1;
+    /** Optional sink for the "ga_eval" phase (may be null). */
+    telemetry::PhaseTimings *timings = nullptr;
+};
+
+/** Per-worker identity and control knobs. */
+struct IslandWorkerOptions
+{
+    /** Island this worker owns (< params.islands). */
+    uint32_t island = 0;
+    /** Respawn generation (0 = original spawn); lease metadata. */
+    uint64_t incarnation = 0;
+    /** Load an existing state/final checkpoint when present. */
+    bool resume = true;
+    /** Honour ShutdownGuard::requested() at boundaries. */
+    bool watchShutdown = true;
+    /**
+     * Test hook: polled (with the completed-generation count) at
+     * every boundary and while waiting on peers; returning true
+     * drains the island to a checkpoint, like a shutdown signal.
+     */
+    std::function<bool(uint64_t)> stopHook;
+};
+
+/** What one worker invocation produced. */
+struct IslandOutcome
+{
+    /** True when drained early; the state checkpoint resumes it. */
+    bool interrupted = false;
+    /** Island state at return (final state when not interrupted). */
+    IslandCheckpoint state;
+};
+
+/** Coordination-directory file names. */
+std::string leasePath(const std::string &workdir, uint32_t island);
+std::string statePath(const std::string &workdir, uint32_t island);
+std::string finalPath(const std::string &workdir, uint32_t island);
+std::string migrantsPath(const std::string &workdir, uint32_t island,
+                         uint64_t round);
+std::string claimPath(const std::string &workdir, uint32_t island,
+                      uint64_t incarnation);
+
+/** Deterministic per-island RNG seed derived from the master seed. */
+uint64_t islandSeed(uint64_t masterSeed, uint32_t island);
+
+/**
+ * Digest over every parameter that shapes an island run's results
+ * (threads and checkpoint cadence excluded); stamped into every
+ * checkpoint and migrant file so islands of different runs can never
+ * cross-pollinate.
+ */
+uint64_t islandConfigDigest(const IslandParams &params,
+                            IpvFamily family,
+                            const FitnessEvaluator &fitness);
+
+/**
+ * Run one island to completion (or to a drain): evolve, publish and
+ * incorporate migrants at each exchange boundary, heartbeat the
+ * lease, checkpoint at boundaries.  Resume (opts.resume) restores the
+ * last boundary state — including a pending, partially completed
+ * exchange round, which is redone idempotently.
+ */
+IslandOutcome runIslandWorker(const FitnessEvaluator &fitness,
+                              IpvFamily family,
+                              const IslandParams &params,
+                              const IslandWorkerOptions &opts);
+
+/** Result of folding the islands' final artifacts. */
+struct IslandMerge
+{
+    /**
+     * Deterministic merged result: the union of final populations
+     * ordered by (fitness desc, IPV bytes), history = per-generation
+     * max across islands.  generationSeconds is intentionally empty —
+     * wall-clock timings are nondeterministic and must not leak into
+     * the byte-compared merged artifact.
+     */
+    GaResult result;
+    /** Final checkpoint of every completed island, island order. */
+    std::vector<IslandCheckpoint> finals;
+    /** Islands with no final artifact (permanently dead workers). */
+    std::vector<uint32_t> missing;
+    /** Total peer exchanges missed across completed islands. */
+    uint64_t exchangesMissed = 0;
+};
+
+/**
+ * Load every island's final checkpoint and merge deterministically.
+ * With @p allowMissing, islands without a final artifact are recorded
+ * in IslandMerge::missing instead of failing the merge (degraded
+ * completion); at least one island must have finished either way.
+ */
+IslandMerge mergeIslands(const IslandParams &params, IpvFamily family,
+                         const FitnessEvaluator &fitness,
+                         bool allowMissing);
+
+/** Scripted worker death for deterministic crash tests. */
+struct KillEvent
+{
+    uint32_t island = 0;
+    /** Drain when this many generations are completed (fires once). */
+    uint64_t generation = 0;
+};
+
+/** In-process service crash/respawn plan. */
+struct KillPlan
+{
+    std::vector<KillEvent> kills;
+    /** Respawn budget per island; an island beyond it stays dead. */
+    uint64_t maxRespawns = 100;
+};
+
+/** Operational tallies from an in-process service run. */
+struct InProcessStats
+{
+    /** Workers respawned after a (scripted) drain, per island. */
+    std::vector<uint64_t> respawns;
+};
+
+/**
+ * Run all islands as threads of this process against the real
+ * file-based exchange protocol, respawning any island the kill plan
+ * drains — the deterministic stand-in for the process coordinator
+ * that ctest can exercise under ASan.  Returns the merged result
+ * (allowMissing = true, so out-of-respawn-budget islands surface as
+ * IslandMerge::missing).
+ */
+IslandMerge runIslandsInProcess(const FitnessEvaluator &fitness,
+                                IpvFamily family,
+                                const IslandParams &params,
+                                const KillPlan &plan = {},
+                                InProcessStats *stats = nullptr);
+
+} // namespace gippr::island
+
+#endif // GIPPR_ISLAND_ISLAND_HH_

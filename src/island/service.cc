@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Island service coordinator: fork/exec workers, supervise leases,
+ * reclaim and respawn dead islands, drain on shutdown.
+ */
+
+#include "island/service.hh"
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "island/island.hh"
+#include "robust/atomic_io.hh"
+#include "robust/lease.hh"
+#include "robust/shutdown.hh"
+#include "util/log.hh"
+
+namespace gippr::island
+{
+
+namespace
+{
+
+/** Live supervision state for one island's worker. */
+struct Slot
+{
+    int64_t pid = -1;
+    IslandStatus status;
+};
+
+/**
+ * Fork and exec one worker.  The argv vector is fully built before
+ * fork() so the child does nothing but execv + _exit.
+ */
+int64_t
+spawnWorker(const ServiceParams &params, uint32_t islandIdx,
+            uint64_t incarnation)
+{
+    std::vector<std::string> args = params.workerCommand;
+    args.push_back("--worker-id");
+    args.push_back(std::to_string(islandIdx));
+    args.push_back("--incarnation");
+    args.push_back(std::to_string(incarnation));
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t child = ::fork();
+    if (child < 0)
+        fatal("island service: fork failed for island " +
+              std::to_string(islandIdx));
+    if (child == 0) {
+        ::execv(argv[0], argv.data());
+        ::_exit(127); // exec failed; the parent sees a crash
+    }
+    inform("island " + std::to_string(islandIdx) + ": worker pid " +
+           std::to_string(child) + " (incarnation " +
+           std::to_string(incarnation) + ")");
+    return child;
+}
+
+/** Poll one island's lease file into the monitor. */
+void
+observeLease(const ServiceParams &params, uint32_t islandIdx,
+             robust::LeaseMonitor &monitor)
+{
+    std::string body;
+    robust::LeaseInfo info;
+    const bool ok =
+        robust::tryReadFileBytes(leasePath(params.workdir, islandIdx),
+                                 body) &&
+        robust::decodeLease(body, info) && info.island == islandIdx;
+    monitor.observe(islandIdx, ok, ok ? info.seq : 0,
+                    ok ? info.incarnation : 0, robust::steadyNowMs());
+}
+
+/**
+ * Reclaim a dead island: win the exclusive claim for the next
+ * incarnation, then spawn the replacement.  Returns false (marking
+ * the island dead) when the budget is exhausted or the claim was
+ * lost to another reclaimer.
+ */
+bool
+reclaimIsland(const ServiceParams &params, uint32_t islandIdx,
+              Slot &slot)
+{
+    if (slot.status.respawns >= params.maxRespawns) {
+        warn("island " + std::to_string(islandIdx) +
+             ": respawn budget (" +
+             std::to_string(params.maxRespawns) +
+             ") exhausted; leaving it dead");
+        return false;
+    }
+    const uint64_t next = slot.status.incarnation + 1;
+    const std::string claim =
+        claimPath(params.workdir, islandIdx, next);
+    const std::string token = "gippr-claim v1 island=" +
+                              std::to_string(islandIdx) +
+                              " incarnation=" + std::to_string(next) +
+                              " pid=" + std::to_string(::getpid()) +
+                              "\n";
+    if (!robust::publishFileExclusive(claim, token)) {
+        warn("island " + std::to_string(islandIdx) +
+             ": lost the reclaim race for incarnation " +
+             std::to_string(next) + "; not respawning");
+        return false;
+    }
+    slot.status.incarnation = next;
+    ++slot.status.respawns;
+    slot.pid = spawnWorker(params, islandIdx, next);
+    return true;
+}
+
+} // namespace
+
+bool
+ServiceOutcome::allCompleted() const
+{
+    for (const IslandStatus &s : islands)
+        if (!s.completed)
+            return false;
+    return true;
+}
+
+ServiceOutcome
+runIslandService(const ServiceParams &params)
+{
+    if (params.workerCommand.empty())
+        fatal("island service: empty worker command");
+
+    std::vector<Slot> slots(params.islands);
+    for (uint32_t i = 0; i < params.islands; ++i)
+        slots[i].pid = spawnWorker(params, i, 0);
+
+    robust::LeaseMonitor monitor(params.staleMs);
+    ServiceOutcome outcome;
+    bool draining = false;
+
+    const auto any_live = [&]() {
+        for (const Slot &s : slots)
+            if (s.pid >= 0)
+                return true;
+        return false;
+    };
+
+    while (any_live()) {
+        if (!draining && robust::ShutdownGuard::requested()) {
+            // Forward the drain from the supervision loop — the
+            // signal handler itself only set a flag.
+            draining = true;
+            outcome.drained = true;
+            inform("island service: draining " +
+                   std::to_string(params.islands) + " islands");
+            for (const Slot &s : slots)
+                if (s.pid >= 0)
+                    (void)::kill(static_cast<pid_t>(s.pid), SIGTERM);
+        }
+
+        for (uint32_t i = 0; i < params.islands; ++i) {
+            Slot &slot = slots[i];
+            if (slot.pid < 0)
+                continue;
+            int wstatus = 0;
+            const pid_t got = ::waitpid(
+                static_cast<pid_t>(slot.pid), &wstatus, WNOHANG);
+            if (got == 0) {
+                // Still running: watch for a silent hang.
+                observeLease(params, i, monitor);
+                if (!draining &&
+                    monitor.stale(i, robust::steadyNowMs())) {
+                    warn("island " + std::to_string(i) +
+                         ": lease stale (pid " +
+                         std::to_string(slot.pid) +
+                         " hung); killing and reclaiming");
+                    (void)::kill(static_cast<pid_t>(slot.pid),
+                                 SIGKILL);
+                    (void)::waitpid(static_cast<pid_t>(slot.pid),
+                                    &wstatus, 0);
+                    slot.pid = -1;
+                    monitor.forget(i);
+                    if (reclaimIsland(params, i, slot))
+                        ++outcome.recoveredCrashes;
+                    else
+                        slot.status.dead = true;
+                }
+                continue;
+            }
+            if (got < 0) {
+                warn("island " + std::to_string(i) +
+                     ": waitpid failed; treating worker as dead");
+            }
+            // Worker exited.
+            slot.pid = -1;
+            monitor.forget(i);
+            if (got > 0 && WIFEXITED(wstatus) &&
+                WEXITSTATUS(wstatus) == 0) {
+                slot.status.completed = true;
+                inform("island " + std::to_string(i) + " completed");
+                continue;
+            }
+            if (draining) {
+                slot.status.drainedWorker = true;
+                continue;
+            }
+            if (reclaimIsland(params, i, slot))
+                ++outcome.recoveredCrashes;
+            else
+                slot.status.dead = true;
+        }
+
+        if (any_live())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(params.pollMs));
+    }
+
+    outcome.islands.reserve(slots.size());
+    for (Slot &s : slots)
+        outcome.islands.push_back(s.status);
+    return outcome;
+}
+
+} // namespace gippr::island

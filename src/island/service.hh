@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-process island service coordinator.
+ *
+ * The coordinator forks one worker process per island (re-exec'ing
+ * this binary with --worker-id appended), then supervises: worker
+ * death is detected by waitpid, silent hangs by the lease monitor
+ * (robust/lease.hh); either way the island is reclaimed by winning a
+ * link(2)-exclusive claim file and a replacement worker is spawned
+ * with --resume semantics and a bumped incarnation, picking the
+ * island up from its last checkpoint.  SIGINT/SIGTERM (observed via
+ * ShutdownGuard's flag — the handler itself stays async-signal-safe)
+ * forwards SIGTERM to every live worker, waits for each to drain to
+ * its checkpoint, and reports the run as drained (exit 75 at the
+ * CLI).  An island that exhausts its respawn budget is left dead;
+ * the run still completes and the degradation is reported.
+ */
+
+#ifndef GIPPR_ISLAND_SERVICE_HH_
+#define GIPPR_ISLAND_SERVICE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gippr::island
+{
+
+/** Coordinator knobs. */
+struct ServiceParams
+{
+    /** Shared coordination directory (must exist). */
+    std::string workdir;
+    /** Worker (= island) count. */
+    uint32_t islands = 4;
+    /**
+     * Command line to exec one worker — typically this binary's own
+     * argv; the service appends "--worker-id <i> --incarnation <k>".
+     * workerCommand[0] must be an absolute executable path.
+     */
+    std::vector<std::string> workerCommand;
+    /** Lease silence (ms of coordinator time) before a live process
+        is presumed hung and reclaimed. */
+    unsigned staleMs = 15000;
+    /** Supervision loop period (ms). */
+    unsigned pollMs = 50;
+    /** Respawn budget per island; beyond it the island stays dead. */
+    uint64_t maxRespawns = 16;
+};
+
+/** Supervision record for one island. */
+struct IslandStatus
+{
+    /** Times a replacement worker was spawned. */
+    uint64_t respawns = 0;
+    /** Incarnation of the most recent worker. */
+    uint64_t incarnation = 0;
+    /** Worker exited 0 (final artifact written). */
+    bool completed = false;
+    /** Crashed and not reclaimed (budget exhausted or claim lost). */
+    bool dead = false;
+    /** Worker drained to a checkpoint during shutdown. */
+    bool drainedWorker = false;
+};
+
+/** What a service run observed. */
+struct ServiceOutcome
+{
+    std::vector<IslandStatus> islands;
+    /** Worker deaths that were successfully reclaimed. */
+    uint64_t recoveredCrashes = 0;
+    /** True when the run was drained by SIGINT/SIGTERM. */
+    bool drained = false;
+
+    /** Every island completed (no deaths left unreclaimed). */
+    bool allCompleted() const;
+};
+
+/**
+ * Spawn and supervise the workers until every island has completed,
+ * died permanently, or drained.  Never throws on worker failure —
+ * that is the degradation being reported — but fatal()s on
+ * coordinator-side I/O errors (fork failure, unwritable workdir).
+ */
+ServiceOutcome runIslandService(const ServiceParams &params);
+
+} // namespace gippr::island
+
+#endif // GIPPR_ISLAND_SERVICE_HH_

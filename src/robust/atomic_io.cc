@@ -5,10 +5,13 @@
 
 #include "robust/atomic_io.hh"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -186,21 +189,43 @@ retryWithBackoff(const RetryPolicy &policy,
 {
     Rng jitter(policy.jitterSeed);
     const unsigned attempts = policy.attempts > 0 ? policy.attempts : 1;
+    uint64_t scheduled_ms = 0;
     for (unsigned attempt = 1;; ++attempt) {
         if (op())
             return true;
         if (attempt >= attempts)
             return false;
         const double scale = 0.5 + jitter.nextDouble() / 2.0;
-        const unsigned delay = static_cast<unsigned>(
-            static_cast<double>(policy.baseDelayMs) *
-            static_cast<double>(1u << (attempt - 1)) * scale);
+        // Clamp the exponent so the shift cannot overflow on long
+        // deadline-bounded polls (2^31 ms is already ~25 days).
+        const unsigned exponent = std::min(attempt - 1, 31u);
+        double raw = static_cast<double>(policy.baseDelayMs) *
+                     static_cast<double>(1ull << exponent) * scale;
+        if (policy.maxDelayMs > 0)
+            raw = std::min(raw, static_cast<double>(policy.maxDelayMs));
+        const unsigned delay = static_cast<unsigned>(raw);
+        if (policy.deadlineMs > 0 &&
+            scheduled_ms + delay > policy.deadlineMs) {
+            return false; // backoff budget exhausted
+        }
+        scheduled_ms += delay;
         if (policy.sleeper)
             policy.sleeper(delay);
         else if (delay > 0)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay));
     }
+}
+
+RetryPolicy
+defaultRetryPolicy()
+{
+    RetryPolicy policy;
+    const char *env = std::getenv("GIPPR_IO_RETRY_BASE_MS");
+    if (env && *env)
+        policy.baseDelayMs =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return policy;
 }
 
 void
@@ -243,29 +268,116 @@ writeFileAtomic(const std::string &path, std::string_view payload)
     syncParentDir(path);
 }
 
-std::string
-readFileBytes(const std::string &path)
+namespace
+{
+
+/**
+ * Shared read loop: fills @p out from @p path, reporting failure via
+ * @p error (empty on success).  Open and read both route through the
+ * fault injector so the CI read-side sweep can fail either.
+ */
+bool
+readFileBytesImpl(const std::string &path, std::string &out,
+                  std::string &error)
 {
     const int fd = fiOpen(path, O_RDONLY, 0);
-    if (fd < 0)
-        fatal("cannot open " + path + " for reading: " + errnoText());
-    std::string out;
+    if (fd < 0) {
+        error = "cannot open " + path + " for reading: " + errnoText();
+        return false;
+    }
+    std::string bytes;
     char buf[1 << 16];
     for (;;) {
+        if (FaultInjector::instance().check(FaultOp::Read) !=
+            FaultKind::None) {
+            (void)::close(fd);
+            error = "read of " + path + " failed: " +
+                    std::strerror(EIO);
+            return false;
+        }
         const ssize_t got = ::read(fd, buf, sizeof(buf));
         if (got < 0) {
             if (errno == EINTR)
                 continue;
-            const std::string err = errnoText();
+            error = "read of " + path + " failed: " + errnoText();
             (void)::close(fd);
-            fatal("read of " + path + " failed: " + err);
+            return false;
         }
         if (got == 0)
             break;
-        out.append(buf, static_cast<size_t>(got));
+        bytes.append(buf, static_cast<size_t>(got));
     }
     (void)::close(fd);
+    out = std::move(bytes);
+    return true;
+}
+
+} // namespace
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::string out;
+    std::string error;
+    if (!readFileBytesImpl(path, out, error))
+        fatal(error);
     return out;
+}
+
+bool
+tryReadFileBytes(const std::string &path, std::string &out)
+{
+    std::string error;
+    return readFileBytesImpl(path, out, error);
+}
+
+bool
+publishFileExclusive(const std::string &path, std::string_view payload)
+{
+    // Stage like writeFileAtomic, but publish with link(2): link
+    // fails with EEXIST when the destination already exists, which is
+    // the atomic exactly-one-wins arbitration a reclaim needs (a
+    // rename would silently crown every contender in turn).  The temp
+    // name must be unique per *call*, not per process: same-process
+    // threads (the in-process island harness) race here too, and a
+    // shared temp would let one contender unlink another's staging
+    // file between its close and link.
+    static std::atomic<uint64_t> publish_counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(++publish_counter);
+    const int fd = fiOpen(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("cannot open temp file for exclusive publish of " +
+              path + ": " + errnoText());
+    auto fail = [&](const std::string &step) {
+        const std::string err = errnoText();
+        (void)::close(fd);
+        (void)::unlink(tmp.c_str());
+        fatal(step + " failed during exclusive publish of " + path +
+              ": " + err);
+    };
+    if (!fiWriteAll(fd, payload.data(), payload.size()))
+        fail("write");
+    if (!fiFsync(fd))
+        fail("fsync");
+    if (!fiClose(fd)) {
+        const std::string err = errnoText();
+        (void)::unlink(tmp.c_str());
+        fatal("close failed during exclusive publish of " + path +
+              ": " + err);
+    }
+    const bool won = ::link(tmp.c_str(), path.c_str()) == 0;
+    if (!won && errno != EEXIST) {
+        const std::string err = errnoText();
+        (void)::unlink(tmp.c_str());
+        fatal("link failed during exclusive publish of " + path +
+              ": " + err);
+    }
+    (void)::unlink(tmp.c_str());
+    if (won)
+        syncParentDir(path);
+    return won;
 }
 
 } // namespace gippr::robust

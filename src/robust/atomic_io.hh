@@ -50,6 +50,20 @@ struct RetryPolicy
      * by a Rng seeded with jitterSeed — deterministic per policy.
      */
     unsigned baseDelayMs = 10;
+    /**
+     * Cap on any single backoff delay (ms); 0 leaves the exponential
+     * schedule uncapped.  Long waits (a peer process republishing a
+     * file) want steady polling, not minute-long doubled sleeps.
+     */
+    unsigned maxDelayMs = 0;
+    /**
+     * Total backoff budget (ms); 0 means unlimited.  Retrying stops —
+     * returning false — once the next scheduled delay would push the
+     * cumulative backoff past this deadline.  The budget counts the
+     * deterministic scheduled delays, not wall-clock time spent in
+     * @p op, so the retry schedule stays replayable in tests.
+     */
+    unsigned deadlineMs = 0;
     uint64_t jitterSeed = 0x9e3779b97f4a7c15ULL;
     /**
      * Sleep hook (milliseconds); null means really sleep.  Tests
@@ -60,12 +74,20 @@ struct RetryPolicy
 };
 
 /**
- * Run @p op until it returns true or @p policy.attempts are
- * exhausted, backing off between attempts.  Returns whether @p op
- * eventually succeeded.
+ * Run @p op until it returns true, @p policy.attempts are exhausted,
+ * or the deadline budget runs out, backing off between attempts.
+ * Returns whether @p op eventually succeeded.
  */
 bool retryWithBackoff(const RetryPolicy &policy,
                       const std::function<bool()> &op);
+
+/**
+ * The repo-wide default retry policy: 3 attempts with a base delay
+ * from GIPPR_IO_RETRY_BASE_MS (default 10 ms; the env knob paces CI
+ * fault-injection sweeps).  The env is re-read per call so tests can
+ * vary it.
+ */
+RetryPolicy defaultRetryPolicy();
 
 /**
  * Durably replace the contents of @p path with @p payload via the
@@ -81,6 +103,25 @@ void writeFileAtomic(const std::string &path, std::string_view payload);
  * fatal() on open/read failure.
  */
 std::string readFileBytes(const std::string &path);
+
+/**
+ * Non-throwing readFileBytes: returns false on open/read failure
+ * (leaving @p out untouched) instead of fatal().  Cross-process
+ * readers — lease monitors, migrant polls — treat a failed read as
+ * "not there yet", never as a run-ending error.
+ */
+bool tryReadFileBytes(const std::string &path, std::string &out);
+
+/**
+ * Atomically publish @p payload at @p path ONLY if nothing exists
+ * there yet: the payload is staged to a synced temp file and
+ * hard-linked into place, so concurrent contenders race on the
+ * link(2) — exactly one wins, everyone else gets false, and the file
+ * is never observable torn.  (rename(2) silently replaces, which is
+ * why claims use link.)  fatal() on non-contention I/O errors.
+ */
+bool publishFileExclusive(const std::string &path,
+                          std::string_view payload);
 
 } // namespace gippr::robust
 

@@ -25,6 +25,8 @@
  *   rename=N       Nth rename() fails
  *   fsync=N        Nth fsync() fails
  *   close=N        Nth close() fails (buffered-data flush failure)
+ *   read=N         Nth read()/fread() fails (EIO)
+ *   mmap=N         Nth mmap() fails (caller must fall back or err)
  *
  * Counters are global and thread-safe; each armed fault fires once.
  */
@@ -50,10 +52,12 @@ enum class FaultOp : unsigned
     Rename,
     Fsync,
     Close,
+    Read,
+    Mmap,
 };
 
 /** Number of FaultOp classes (array sizing). */
-constexpr unsigned kFaultOpCount = 5;
+constexpr unsigned kFaultOpCount = 7;
 
 /** What an armed fault does when it fires. */
 enum class FaultKind : uint8_t

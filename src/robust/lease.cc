@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Lease encode/decode, heartbeat writer, and staleness monitor.
+ */
+
+#include "robust/lease.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "robust/atomic_io.hh"
+
+namespace gippr::robust
+{
+
+namespace
+{
+
+/** The prefix every lease line starts with (format version pinned). */
+constexpr const char *kLeaseTag = "gippr-lease v1";
+
+} // namespace
+
+std::string
+encodeLease(const LeaseInfo &info)
+{
+    char prefix[160];
+    const int n = std::snprintf(
+        prefix, sizeof(prefix),
+        "%s island=%u pid=%lld incarnation=%llu seq=%llu", kLeaseTag,
+        static_cast<unsigned>(info.island),
+        static_cast<long long>(info.pid),
+        static_cast<unsigned long long>(info.incarnation),
+        static_cast<unsigned long long>(info.seq));
+    const uint32_t crc = crc32(prefix, static_cast<size_t>(n));
+    char line[192];
+    std::snprintf(line, sizeof(line), "%s crc=%08x\n", prefix, crc);
+    return line;
+}
+
+bool
+decodeLease(std::string_view text, LeaseInfo &out)
+{
+    // Strip a single trailing newline; anything else trailing is a
+    // malformation.
+    if (!text.empty() && text.back() == '\n')
+        text.remove_suffix(1);
+    const size_t crc_at = text.rfind(" crc=");
+    if (crc_at == std::string_view::npos)
+        return false;
+    const std::string prefix(text.substr(0, crc_at));
+    const std::string crc_text(text.substr(crc_at + 5));
+    if (crc_text.size() != 8)
+        return false;
+    unsigned long stored = 0;
+    if (std::sscanf(crc_text.c_str(), "%8lx", &stored) != 1)
+        return false;
+    if (crc32(prefix.data(), prefix.size()) !=
+        static_cast<uint32_t>(stored))
+        return false;
+
+    LeaseInfo parsed;
+    unsigned island = 0;
+    long long pid = 0;
+    unsigned long long incarnation = 0;
+    unsigned long long seq = 0;
+    const std::string pattern =
+        std::string(kLeaseTag) +
+        " island=%u pid=%lld incarnation=%llu seq=%llu";
+    if (std::sscanf(prefix.c_str(), pattern.c_str(), &island, &pid,
+                    &incarnation, &seq) != 4)
+        return false;
+    parsed.island = island;
+    parsed.pid = pid;
+    parsed.incarnation = incarnation;
+    parsed.seq = seq;
+    out = parsed;
+    return true;
+}
+
+LeaseWriter::LeaseWriter(std::string path, uint32_t island,
+                         int64_t pid, uint64_t incarnation)
+    : path_(std::move(path))
+{
+    info_.island = island;
+    info_.pid = pid;
+    info_.incarnation = incarnation;
+    info_.seq = 0;
+}
+
+void
+LeaseWriter::beat()
+{
+    ++info_.seq;
+    writeFileAtomic(path_, encodeLease(info_));
+}
+
+void
+LeaseMonitor::observe(uint32_t island, bool hasLease, uint64_t seq,
+                      uint64_t incarnation, uint64_t nowMs)
+{
+    auto [it, inserted] = tracks_.try_emplace(island);
+    Track &track = it->second;
+    if (inserted)
+        track.lastChangeMs = nowMs;
+    if (!hasLease)
+        return; // silence: the clock keeps running toward stale
+    if (!track.everHadLease || seq != track.lastSeq ||
+        incarnation != track.lastIncarnation) {
+        track.everHadLease = true;
+        track.lastSeq = seq;
+        track.lastIncarnation = incarnation;
+        track.lastChangeMs = nowMs;
+    }
+}
+
+bool
+LeaseMonitor::stale(uint32_t island, uint64_t nowMs) const
+{
+    const auto it = tracks_.find(island);
+    if (it == tracks_.end())
+        return false;
+    // A worker that never heartbeat is not stale — it may still be
+    // initializing; outright process death is the spawner's (waitpid)
+    // problem, not the lease monitor's.
+    return it->second.everHadLease &&
+           nowMs - it->second.lastChangeMs >= staleAfterMs_;
+}
+
+void
+LeaseMonitor::forget(uint32_t island)
+{
+    tracks_.erase(island);
+}
+
+uint64_t
+steadyNowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace gippr::robust

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Worker leases and clock-skew-robust staleness detection.
+ *
+ * Every island worker in the multi-process GA service periodically
+ * rewrites a small lease file through writeFileAtomic().  The lease
+ * carries a monotonically increasing sequence counter — NOT a
+ * timestamp: the coordinator may run on a machine (or container)
+ * whose clock disagrees arbitrarily with the worker's, so embedded
+ * wall-clock times are useless for liveness.  Instead, LeaseMonitor
+ * decides staleness purely on its *own* steady clock: a worker is
+ * presumed dead once its sequence counter has not advanced for
+ * staleAfterMs of the observer's time.  Clock skew between processes
+ * therefore cannot cause false positives or negatives; only genuine
+ * heartbeat silence can.
+ *
+ * The lease body is a single CRC-guarded text line so a torn or
+ * half-written file (impossible via writeFileAtomic, but a hostile
+ * filesystem is exactly what src/robust plans for) is rejected and
+ * treated as "no observation", never misparsed.
+ */
+
+#ifndef GIPPR_ROBUST_LEASE_HH_
+#define GIPPR_ROBUST_LEASE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gippr::robust
+{
+
+/** Decoded contents of a lease file. */
+struct LeaseInfo
+{
+    /** Island the worker owns. */
+    uint32_t island = 0;
+    /** Worker process id (diagnostics and CI kill targeting only). */
+    int64_t pid = 0;
+    /**
+     * Respawn generation of this worker: 0 for the original spawn,
+     * incremented by the coordinator at each reclaim.  Lets a monitor
+     * distinguish "the old worker resumed beating" from "a
+     * replacement took over".
+     */
+    uint64_t incarnation = 0;
+    /** Heartbeat counter; advances by 1 per beat. */
+    uint64_t seq = 0;
+};
+
+/** Serialize @p info as the canonical CRC-guarded lease line. */
+std::string encodeLease(const LeaseInfo &info);
+
+/**
+ * Parse a lease file body.  Returns false (leaving @p out untouched)
+ * on any malformation or CRC mismatch — callers treat that exactly
+ * like a missing file.
+ */
+bool decodeLease(std::string_view text, LeaseInfo &out);
+
+/**
+ * One worker's side of the protocol: beat() bumps the sequence
+ * counter and atomically rewrites the lease file.
+ */
+class LeaseWriter
+{
+  public:
+    /**
+     * @p path is the lease file location, @p island / @p pid /
+     * @p incarnation identify the worker (see LeaseInfo).  Nothing is
+     * written until the first beat().
+     */
+    LeaseWriter(std::string path, uint32_t island, int64_t pid,
+                uint64_t incarnation);
+
+    /** Advance the sequence counter and durably rewrite the lease. */
+    void beat();
+
+    /** The lease as last written (seq 0 before the first beat). */
+    const LeaseInfo &info() const { return info_; }
+
+  private:
+    std::string path_;
+    LeaseInfo info_;
+};
+
+/**
+ * The observer's side: fed one observation per island per poll, it
+ * tracks when each island's sequence counter last *changed* on the
+ * observer's clock and flags islands whose counter has been frozen
+ * (or whose lease has been absent) past the staleness threshold.
+ *
+ * All times are caller-supplied milliseconds from any monotonic
+ * source — production passes steadyNowMs(), tests pass a fake clock.
+ */
+class LeaseMonitor
+{
+  public:
+    /** @p staleAfterMs of observed silence flags a worker as dead. */
+    explicit LeaseMonitor(uint64_t staleAfterMs)
+        : staleAfterMs_(staleAfterMs)
+    {
+    }
+
+    /**
+     * Record one poll of @p island at observer time @p nowMs.
+     * @p hasLease is false when the lease file was missing or
+     * unparsable; @p seq and @p incarnation are ignored in that case.
+     * A first-ever observation starts the island's silence clock at
+     * @p nowMs; a changed (seq, incarnation) pair restarts it.
+     */
+    void observe(uint32_t island, bool hasLease, uint64_t seq,
+                 uint64_t incarnation, uint64_t nowMs);
+
+    /**
+     * True when @p island has been observed at least once and its
+     * counter has not advanced for >= staleAfterMs of observer time.
+     */
+    bool stale(uint32_t island, uint64_t nowMs) const;
+
+    /** Forget @p island (after reclaiming it, so the replacement's
+        lease starts a fresh silence clock). */
+    void forget(uint32_t island);
+
+  private:
+    struct Track
+    {
+        uint64_t lastSeq = 0;
+        uint64_t lastIncarnation = 0;
+        uint64_t lastChangeMs = 0;
+        bool everHadLease = false;
+    };
+
+    uint64_t staleAfterMs_;
+    std::unordered_map<uint32_t, Track> tracks_;
+};
+
+/** Milliseconds from the process-local monotonic clock. */
+uint64_t steadyNowMs();
+
+} // namespace gippr::robust
+
+#endif // GIPPR_ROBUST_LEASE_HH_

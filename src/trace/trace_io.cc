@@ -57,16 +57,6 @@ transientOpenError(int err)
            err == ENFILE || err == EIO;
 }
 
-/** Base backoff delay (ms); GIPPR_IO_RETRY_BASE_MS overrides. */
-unsigned
-retryBaseMs()
-{
-    const char *env = std::getenv("GIPPR_IO_RETRY_BASE_MS");
-    if (!env || !*env)
-        return 10;
-    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-}
-
 /**
  * fopen with bounded, jittered retry on transient failures (fault-
  * injector aware, so tests can script the Nth open failing).
@@ -76,9 +66,7 @@ FilePtr
 openWithRetry(const std::string &path, const char *mode)
 {
     std::FILE *f = nullptr;
-    robust::RetryPolicy policy;
-    policy.attempts = 3;
-    policy.baseDelayMs = retryBaseMs();
+    const robust::RetryPolicy policy = robust::defaultRetryPolicy();
     robust::retryWithBackoff(policy, [&]() {
         if (robust::FaultInjector::instance().check(
                 robust::FaultOp::Open) != robust::FaultKind::None) {
@@ -99,6 +87,22 @@ appendScalar(std::string &buf, T v)
 }
 
 /**
+ * fread with read-side fault injection: an armed read=N fault makes
+ * the Nth call report a short read, so the trace loaders' truncation
+ * and I/O-error paths get the same scripted coverage as the writers.
+ */
+size_t
+fiFread(void *out, size_t size, size_t count, std::FILE *f)
+{
+    if (robust::FaultInjector::instance().check(
+            robust::FaultOp::Read) != robust::FaultKind::None) {
+        errno = EIO;
+        return 0;
+    }
+    return std::fread(out, size, count, f);
+}
+
+/**
  * fread @p count bytes into @p out, folding them into @p crc.  The
  * running checksum lets the reader verify the v2 footer without
  * buffering the whole file.
@@ -109,7 +113,7 @@ readScalar(std::FILE *f, uint32_t &crc, const std::string &path,
            const std::string &what)
 {
     T v;
-    if (std::fread(&v, sizeof(T), 1, f) != 1)
+    if (fiFread(&v, sizeof(T), 1, f) != 1)
         fatal("trace file truncated reading " + what + ": " + path);
     crc = robust::crc32(&v, sizeof(T), crc);
     return v;
@@ -175,7 +179,7 @@ readTrace(const std::string &path)
         fatal("cannot open trace file for reading: " + path);
     uint32_t crc = 0;
     char magic[4];
-    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+    if (fiFread(magic, 1, 4, f.get()) != 4 ||
         std::memcmp(magic, kMagic, 4) != 0) {
         fatal("not a GPTR trace file: " + path);
     }
@@ -225,7 +229,7 @@ readTrace(const std::string &path)
     if (version == kVersion) {
         uint32_t body_crc = crc;
         uint32_t stored = 0;
-        if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1)
+        if (fiFread(&stored, sizeof(stored), 1, f.get()) != 1)
             fatal("trace file truncated reading checksum: " + path);
         if (stored != body_crc)
             fatal("trace file checksum mismatch (corrupt contents): " +
@@ -246,9 +250,17 @@ MappedTrace::MappedTrace(const std::string &path)
             fatal("cannot determine size of trace file: " + path);
         const uint64_t len = static_cast<uint64_t>(st.st_size);
         if (len >= kHeaderBytes) {
+            // An armed mmap=N fault models MAP_FAILED (exotic
+            // filesystem): the reader must degrade to the buffered
+            // loader with identical results.
+            const bool injected =
+                robust::FaultInjector::instance().check(
+                    robust::FaultOp::Mmap) != robust::FaultKind::None;
             void *map =
-                mmap(nullptr, static_cast<size_t>(len), PROT_READ,
-                     MAP_PRIVATE, fileno(f.get()), 0);
+                injected ? MAP_FAILED
+                         : mmap(nullptr, static_cast<size_t>(len),
+                                PROT_READ, MAP_PRIVATE,
+                                fileno(f.get()), 0);
             if (map != MAP_FAILED) {
                 // The mapping must be released if validation throws
                 // (a throwing constructor never runs the destructor).

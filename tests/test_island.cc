@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Tests for the island-model GA: per-island determinism, migrant
+ * exchange, kill/resume bit-identity, torn-migrant skipping, missing
+ * peers, merge validation, and the in-process crash harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ga/genetic.hh"
+#include "island/island.hh"
+#include "robust/atomic_io.hh"
+
+namespace gippr::island
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+fs::path
+scratchDir(const std::string &leaf)
+{
+    fs::path dir = fs::path(testing::TempDir()) / ("gippr_" + leaf);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+CacheConfig
+llcCfg()
+{
+    CacheConfig c;
+    c.name = "LLC";
+    c.blockBytes = 64;
+    c.assoc = 16;
+    c.sizeBytes = 32 * 16 * 64; // 32 sets, 512 blocks
+    return c;
+}
+
+Trace
+loopTrace(uint64_t blocks, int reps, uint64_t base = 0)
+{
+    Trace t;
+    for (int rep = 0; rep < reps; ++rep) {
+        for (uint64_t b = 0; b < blocks; ++b) {
+            MemRecord r;
+            r.addr = (base + b) * 64;
+            r.pc = 0x400000;
+            r.instGap = 10;
+            t.append(r);
+        }
+    }
+    return t;
+}
+
+FitnessEvaluator
+makeEvaluator()
+{
+    std::vector<FitnessTrace> traces;
+    FitnessTrace thrash;
+    thrash.name = "thrash/0";
+    thrash.llcTrace = std::make_shared<Trace>(loopTrace(640, 12));
+    thrash.instructions = thrash.llcTrace->instructions();
+    traces.push_back(thrash);
+    return FitnessEvaluator(llcCfg(), std::move(traces), {});
+}
+
+/** Small, fast island geometry shared by most tests. */
+IslandParams
+smallParams(const std::string &workdir, uint32_t islands = 3)
+{
+    IslandParams p;
+    p.islands = islands;
+    p.masterSeed = 777;
+    p.initialPopulation = 14;
+    p.population = 10;
+    p.generations = 5;
+    p.elites = 2;
+    p.tournament = 3;
+    p.threads = 1;
+    p.exchangeEvery = 2;
+    p.migrants = 3;
+    p.workdir = workdir;
+    p.exchangeDeadlineMs = 20000;
+    p.pollMs = 2;
+    return p;
+}
+
+/** The contract is BIT-identity, so compare doubles by bit pattern —
+    EXPECT_DOUBLE_EQ's 4-ULP tolerance would mask a real divergence. */
+uint64_t
+bits(double v)
+{
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+void
+expectSamePopulation(const std::vector<SampledIpv> &a,
+                     const std::vector<SampledIpv> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].ipv == b[i].ipv) << "individual " << i;
+        EXPECT_EQ(bits(a[i].fitness), bits(b[i].fitness))
+            << "individual " << i;
+    }
+}
+
+void
+expectSameMerge(const IslandMerge &a, const IslandMerge &b)
+{
+    EXPECT_TRUE(a.result.best == b.result.best);
+    EXPECT_EQ(bits(a.result.bestFitness), bits(b.result.bestFitness));
+    ASSERT_EQ(a.result.history.size(), b.result.history.size());
+    for (size_t g = 0; g < a.result.history.size(); ++g)
+        EXPECT_EQ(bits(a.result.history[g]),
+                  bits(b.result.history[g]))
+            << "generation " << g;
+    expectSamePopulation(a.result.finalPopulation,
+                         b.result.finalPopulation);
+    ASSERT_EQ(a.finals.size(), b.finals.size());
+    for (size_t i = 0; i < a.finals.size(); ++i)
+        expectSamePopulation(a.finals[i].population,
+                             b.finals[i].population);
+}
+
+TEST(IslandSeed, DistinctAndDeterministicPerIsland)
+{
+    EXPECT_EQ(islandSeed(42, 0), islandSeed(42, 0));
+    EXPECT_NE(islandSeed(42, 0), islandSeed(42, 1));
+    EXPECT_NE(islandSeed(42, 0), islandSeed(43, 0));
+    EXPECT_NE(islandSeed(42, 0), 42u);
+}
+
+TEST(IslandMigrantsCodec, RoundTripAndRejection)
+{
+    fs::path dir = scratchDir("migrant_codec");
+    const std::string path = (dir / "m.gpck").string();
+
+    IslandMigrants m;
+    m.configDigest = 0xabcdef;
+    m.island = 2;
+    m.round = 3;
+    Rng rng(1);
+    m.migrants.push_back({randomIpv(16, rng), 1.25});
+    m.migrants.push_back({randomIpv(16, rng), 1.125});
+    saveIslandMigrants(path, m);
+
+    IslandMigrants out;
+    ASSERT_TRUE(tryLoadIslandMigrants(path, 0xabcdef, out));
+    EXPECT_EQ(out.island, 2u);
+    EXPECT_EQ(out.round, 3u);
+    expectSamePopulation(out.migrants, m.migrants);
+
+    // Wrong config digest: a different run's migrants are refused.
+    EXPECT_FALSE(tryLoadIslandMigrants(path, 0xabcde0, out));
+
+    // Missing file: false, not fatal.
+    EXPECT_FALSE(tryLoadIslandMigrants((dir / "none.gpck").string(),
+                                       0xabcdef, out));
+
+    // Torn file (payload bit flip under the envelope CRC): false.
+    std::string bytes = robust::readFileBytes(path);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x08);
+    robust::writeFileAtomic(path, bytes);
+    EXPECT_FALSE(tryLoadIslandMigrants(path, 0xabcdef, out));
+}
+
+TEST(IslandWorker, SingleIslandMatchesEvolveIpv)
+{
+    // With one island there is no exchange, and the worker's breeding
+    // loop must consume RNG exactly like evolveIpv — so the island
+    // run IS an evolveIpv run of the derived seed, bit for bit.
+    fs::path dir = scratchDir("island_single");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 1);
+
+    IslandWorkerOptions opts;
+    opts.island = 0;
+    opts.watchShutdown = false;
+    const IslandOutcome island =
+        runIslandWorker(fe, IpvFamily::Gippr, p, opts);
+    EXPECT_FALSE(island.interrupted);
+    EXPECT_EQ(island.state.generation, p.generations);
+
+    GaParams gp;
+    gp.initialPopulation = p.initialPopulation;
+    gp.population = p.population;
+    gp.generations = p.generations;
+    gp.mutationRate = p.mutationRate;
+    gp.elites = p.elites;
+    gp.tournament = p.tournament;
+    gp.threads = p.threads;
+    gp.seed = islandSeed(p.masterSeed, 0);
+    const GaResult ga = evolveIpv(fe, IpvFamily::Gippr, gp);
+
+    expectSamePopulation(island.state.population,
+                         ga.finalPopulation);
+    ASSERT_EQ(island.state.history.size(), ga.history.size());
+    for (size_t g = 0; g < ga.history.size(); ++g)
+        EXPECT_EQ(bits(island.state.history[g]), bits(ga.history[g]));
+}
+
+TEST(IslandWorker, ExchangeRoundsIncorporateAndCount)
+{
+    fs::path dir = scratchDir("island_exchange");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 2);
+
+    const IslandMerge merge =
+        runIslandsInProcess(fe, IpvFamily::Gippr, p);
+    ASSERT_EQ(merge.finals.size(), 2u);
+    EXPECT_TRUE(merge.missing.empty());
+    EXPECT_EQ(merge.exchangesMissed, 0u);
+    // 5 generations, exchange every 2: rounds after gens 2 and 4
+    // (never at gen 0 or the final boundary).
+    for (const IslandCheckpoint &ck : merge.finals) {
+        EXPECT_EQ(ck.exchangesDone, 2u) << "island " << ck.island;
+        EXPECT_EQ(ck.exchangesMissed, 0u);
+    }
+    // The published migrant files exist for exactly those rounds.
+    for (uint32_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(robust::checkpointExists(
+            migrantsPath(p.workdir, i, 1)));
+        EXPECT_TRUE(robust::checkpointExists(
+            migrantsPath(p.workdir, i, 2)));
+        EXPECT_FALSE(robust::checkpointExists(
+            migrantsPath(p.workdir, i, 3)));
+    }
+}
+
+TEST(IslandWorker, UndisturbedRunsAreDeterministic)
+{
+    fs::path dir_a = scratchDir("island_det_a");
+    fs::path dir_b = scratchDir("island_det_b");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams pa = smallParams(dir_a.string());
+    IslandParams pb = smallParams(dir_b.string());
+
+    const IslandMerge a = runIslandsInProcess(fe, IpvFamily::Gippr, pa);
+    const IslandMerge b = runIslandsInProcess(fe, IpvFamily::Gippr, pb);
+    expectSameMerge(a, b);
+    // generationSeconds must never reach the merged result: it is the
+    // one nondeterministic field.
+    EXPECT_TRUE(a.result.generationSeconds.empty());
+}
+
+TEST(IslandWorker, KillResumeCyclesAreBitIdentical)
+{
+    // The tentpole contract: scripted kills at assorted boundaries —
+    // mid-exchange and mid-breeding, multiple islands, repeated kills
+    // of the same island — merge bit-identically to an undisturbed
+    // run, because every boundary is checkpointed and exchange rounds
+    // are redone idempotently.
+    fs::path dir_ref = scratchDir("island_kill_ref");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams ref_params = smallParams(dir_ref.string());
+    const IslandMerge undisturbed =
+        runIslandsInProcess(fe, IpvFamily::Gippr, ref_params);
+
+    KillPlan plan;
+    plan.kills = {{0, 0}, {0, 2}, {1, 2}, {2, 3}, {1, 4}};
+    fs::path dir_kill = scratchDir("island_kill_run");
+    IslandParams kill_params = smallParams(dir_kill.string());
+    InProcessStats stats;
+    const IslandMerge disturbed = runIslandsInProcess(
+        fe, IpvFamily::Gippr, kill_params, plan, &stats);
+
+    expectSameMerge(undisturbed, disturbed);
+    uint64_t total_respawns = 0;
+    for (uint64_t r : stats.respawns)
+        total_respawns += r;
+    EXPECT_EQ(total_respawns, plan.kills.size());
+}
+
+TEST(IslandWorker, TornMigrantFileIsSkippedNotFatal)
+{
+    // Island 0 of a 2-island run whose peer "published" a corrupt
+    // migrant file and then went silent: the torn file must be
+    // rejected by CRC and the round completed solo after the
+    // deadline, counting one miss — never a crash, never a hang.
+    fs::path dir = scratchDir("island_torn");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 2);
+    p.generations = 3;
+    p.exchangeEvery = 2; // one round, after generation 2
+    p.exchangeDeadlineMs = 100;
+    p.pollMs = 5;
+
+    // Fabricate the peer's torn migrant file for round 1.
+    robust::writeFileAtomic(migrantsPath(p.workdir, 1, 1),
+                            "GPCK garbage that is not a checkpoint");
+
+    IslandWorkerOptions opts;
+    opts.island = 0;
+    opts.watchShutdown = false;
+    const IslandOutcome out =
+        runIslandWorker(fe, IpvFamily::Gippr, p, opts);
+    EXPECT_FALSE(out.interrupted);
+    EXPECT_EQ(out.state.generation, 3u);
+    EXPECT_EQ(out.state.exchangesDone, 1u);
+    EXPECT_EQ(out.state.exchangesMissed, 1u);
+}
+
+TEST(IslandWorker, PermanentlyDeadPeerDegradesButCompletes)
+{
+    // A 3-island config where island 2 never runs: the two live
+    // islands miss it at every round and still finish; the merge
+    // reports the dead island and the missed exchanges.
+    fs::path dir = scratchDir("island_dead_peer");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 3);
+    p.exchangeDeadlineMs = 150;
+    p.pollMs = 5;
+
+    std::vector<std::thread> workers;
+    for (uint32_t i = 0; i < 2; ++i)
+        workers.emplace_back([&, i]() {
+            IslandWorkerOptions opts;
+            opts.island = i;
+            opts.watchShutdown = false;
+            runIslandWorker(fe, IpvFamily::Gippr, p, opts);
+        });
+    for (std::thread &t : workers)
+        t.join();
+
+    const IslandMerge merge =
+        mergeIslands(p, IpvFamily::Gippr, fe, true);
+    ASSERT_EQ(merge.finals.size(), 2u);
+    ASSERT_EQ(merge.missing.size(), 1u);
+    EXPECT_EQ(merge.missing.front(), 2u);
+    // 2 rounds x 2 live islands, the dead peer missed every time.
+    EXPECT_EQ(merge.exchangesMissed, 4u);
+
+    // Without allowMissing the same directory refuses to merge.
+    EXPECT_THROW(mergeIslands(p, IpvFamily::Gippr, fe, false),
+                 std::runtime_error);
+}
+
+TEST(IslandWorker, RespawnBudgetExhaustionLeavesIslandDead)
+{
+    fs::path dir = scratchDir("island_budget");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 2);
+    p.exchangeDeadlineMs = 150;
+    p.pollMs = 5;
+
+    KillPlan plan;
+    plan.kills = {{1, 1}};
+    plan.maxRespawns = 0; // the first drain is final
+    InProcessStats stats;
+    const IslandMerge merge = runIslandsInProcess(
+        fe, IpvFamily::Gippr, p, plan, &stats);
+    ASSERT_EQ(merge.finals.size(), 1u);
+    EXPECT_EQ(merge.finals.front().island, 0u);
+    ASSERT_EQ(merge.missing.size(), 1u);
+    EXPECT_EQ(merge.missing.front(), 1u);
+    EXPECT_GT(merge.exchangesMissed, 0u);
+    EXPECT_EQ(stats.respawns[1], 0u);
+}
+
+TEST(IslandWorker, ResumeAfterDrainContinuesFromCheckpoint)
+{
+    // Drain via stopHook at generation 2, then resume in a fresh call
+    // (bumped incarnation, like a respawned process) and compare to
+    // an undisturbed single-island run.
+    fs::path dir_ref = scratchDir("island_resume_ref");
+    fs::path dir = scratchDir("island_resume");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams ref_params = smallParams(dir_ref.string(), 1);
+    IslandParams p = smallParams(dir.string(), 1);
+
+    IslandWorkerOptions ref_opts;
+    ref_opts.island = 0;
+    ref_opts.watchShutdown = false;
+    const IslandOutcome reference =
+        runIslandWorker(fe, IpvFamily::Gippr, ref_params, ref_opts);
+
+    IslandWorkerOptions first;
+    first.island = 0;
+    first.watchShutdown = false;
+    first.stopHook = [](uint64_t done) { return done == 2; };
+    const IslandOutcome drained =
+        runIslandWorker(fe, IpvFamily::Gippr, p, first);
+    EXPECT_TRUE(drained.interrupted);
+    EXPECT_EQ(drained.state.generation, 2u);
+
+    IslandWorkerOptions second;
+    second.island = 0;
+    second.incarnation = 1;
+    second.watchShutdown = false;
+    const IslandOutcome resumed =
+        runIslandWorker(fe, IpvFamily::Gippr, p, second);
+    EXPECT_FALSE(resumed.interrupted);
+    expectSamePopulation(resumed.state.population,
+                         reference.state.population);
+
+    // A third call short-circuits on the final artifact.
+    const IslandOutcome again =
+        runIslandWorker(fe, IpvFamily::Gippr, p, second);
+    EXPECT_FALSE(again.interrupted);
+    expectSamePopulation(again.state.population,
+                         reference.state.population);
+}
+
+TEST(IslandMerge, TieBreakOrderIsDeterministic)
+{
+    // Equal-fitness individuals across islands order by IPV bytes, so
+    // the merged population never depends on island completion order.
+    fs::path dir = scratchDir("island_tie");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 2);
+    const uint64_t config =
+        islandConfigDigest(p, IpvFamily::Gippr, fe);
+    const uint64_t suite = fe.traceSetDigest();
+
+    Rng rng(7);
+    for (uint32_t i = 0; i < 2; ++i) {
+        IslandCheckpoint ck;
+        ck.configDigest = config;
+        ck.suiteDigest = suite;
+        ck.island = i;
+        ck.generation = p.generations;
+        ck.history.assign(p.generations + 1, 1.0);
+        for (int k = 0; k < 4; ++k)
+            ck.population.push_back({randomIpv(16, rng), 1.0});
+        saveIslandCheckpoint(finalPath(p.workdir, i), ck, true);
+    }
+
+    const IslandMerge merge =
+        mergeIslands(p, IpvFamily::Gippr, fe, false);
+    ASSERT_EQ(merge.result.finalPopulation.size(), 8u);
+    for (size_t i = 1; i < merge.result.finalPopulation.size(); ++i) {
+        const auto &prev = merge.result.finalPopulation[i - 1];
+        const auto &cur = merge.result.finalPopulation[i];
+        EXPECT_TRUE(prev.fitness > cur.fitness ||
+                    (prev.fitness == cur.fitness &&
+                     !(cur.ipv.entries() < prev.ipv.entries())))
+            << "position " << i;
+    }
+}
+
+TEST(IslandMerge, RefusesNonFinalIslands)
+{
+    // A state checkpoint masquerading as final (wrong kind) and a
+    // final checkpoint of a half-finished island must both be
+    // rejected — the merge only folds completed islands.
+    fs::path dir = scratchDir("island_nonfinal");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 1);
+    const uint64_t config =
+        islandConfigDigest(p, IpvFamily::Gippr, fe);
+
+    IslandCheckpoint ck;
+    ck.configDigest = config;
+    ck.suiteDigest = fe.traceSetDigest();
+    ck.island = 0;
+    ck.generation = 2; // not params.generations
+    ck.history.assign(3, 1.0);
+    Rng rng(9);
+    ck.population.push_back({randomIpv(16, rng), 1.0});
+
+    // Wrong kind at the final path.
+    saveIslandCheckpoint(finalPath(p.workdir, 0), ck, false);
+    EXPECT_THROW(mergeIslands(p, IpvFamily::Gippr, fe, false),
+                 std::runtime_error);
+
+    // Right kind, wrong generation count.
+    saveIslandCheckpoint(finalPath(p.workdir, 0), ck, true);
+    EXPECT_THROW(mergeIslands(p, IpvFamily::Gippr, fe, false),
+                 std::runtime_error);
+}
+
+TEST(IslandWorker, RejectsOutOfRangeIslandAndForeignCheckpoint)
+{
+    fs::path dir = scratchDir("island_guard");
+    FitnessEvaluator fe = makeEvaluator();
+    IslandParams p = smallParams(dir.string(), 2);
+
+    IslandWorkerOptions opts;
+    opts.island = 5;
+    EXPECT_THROW(runIslandWorker(fe, IpvFamily::Gippr, p, opts),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace gippr::island

@@ -7,15 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "robust/atomic_io.hh"
 #include "robust/checkpoint.hh"
 #include "robust/fault_inject.hh"
+#include "robust/lease.hh"
 #include "robust/shutdown.hh"
 
 namespace gippr::robust
@@ -174,6 +178,247 @@ TEST(Retry, DeterministicJitterSchedule)
     EXPECT_EQ(delaysFor(99).size(), 2u);
     // Immediate success never sleeps.
     EXPECT_TRUE(delaysFor(0).empty());
+}
+
+TEST(Retry, MaxDelayCapsTheExponentialSchedule)
+{
+    std::vector<unsigned> delays;
+    RetryPolicy policy;
+    policy.attempts = 6;
+    policy.baseDelayMs = 10;
+    policy.maxDelayMs = 15;
+    policy.sleeper = [&](unsigned ms) { delays.push_back(ms); };
+    EXPECT_FALSE(retryWithBackoff(policy, []() { return false; }));
+    ASSERT_EQ(delays.size(), 5u);
+    for (unsigned d : delays)
+        EXPECT_LE(d, 15u);
+    // The cap turns the tail into steady polling, not ever-longer
+    // doubled sleeps: the last delays all sit at the cap.
+    EXPECT_EQ(delays.back(), 15u);
+}
+
+TEST(Retry, DeadlineBudgetStopsRetrying)
+{
+    // A generous attempt count but a tight deadline: retrying must
+    // stop once the next scheduled delay would exceed the budget.
+    std::vector<unsigned> delays;
+    RetryPolicy policy;
+    policy.attempts = 1000;
+    policy.baseDelayMs = 10;
+    policy.maxDelayMs = 10;
+    policy.deadlineMs = 35;
+    policy.sleeper = [&](unsigned ms) { delays.push_back(ms); };
+    unsigned calls = 0;
+    EXPECT_FALSE(retryWithBackoff(policy, [&]() {
+        ++calls;
+        return false;
+    }));
+    // Delays are in [5, 10] each (jittered, capped at 10), so at most
+    // 7 sleeps fit a 35 ms budget — nowhere near 1000 attempts.
+    unsigned total = 0;
+    for (unsigned d : delays)
+        total += d;
+    EXPECT_LE(total, 35u);
+    EXPECT_EQ(calls, delays.size() + 1);
+    EXPECT_LT(calls, 10u);
+
+    // The deadline counts *scheduled* delays, so the schedule (and
+    // attempt count) replays exactly.
+    std::vector<unsigned> replay;
+    policy.sleeper = [&](unsigned ms) { replay.push_back(ms); };
+    EXPECT_FALSE(retryWithBackoff(policy, []() { return false; }));
+    EXPECT_EQ(replay, delays);
+
+    // A deadline smaller than any first delay still allows the
+    // initial attempt (attempts >= 1 semantics).
+    policy.deadlineMs = 1;
+    calls = 0;
+    EXPECT_TRUE(retryWithBackoff(policy, [&]() {
+        ++calls;
+        return true;
+    }));
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(Retry, DefaultPolicyReadsEnvKnobDeterministically)
+{
+    const auto scheduleFor = [](const char *base_ms) {
+        if (base_ms)
+            ::setenv("GIPPR_IO_RETRY_BASE_MS", base_ms, 1);
+        else
+            ::unsetenv("GIPPR_IO_RETRY_BASE_MS");
+        RetryPolicy policy = defaultRetryPolicy();
+        std::vector<unsigned> delays;
+        policy.sleeper = [&](unsigned ms) { delays.push_back(ms); };
+        EXPECT_FALSE(retryWithBackoff(policy, []() { return false; }));
+        ::unsetenv("GIPPR_IO_RETRY_BASE_MS");
+        return delays;
+    };
+
+    // The env knob is re-read per call and the jitter is seeded: the
+    // same setting replays the same schedule.
+    const std::vector<unsigned> fast = scheduleFor("2");
+    EXPECT_EQ(fast, scheduleFor("2"));
+    ASSERT_EQ(fast.size(), 2u); // default attempts = 3
+    for (unsigned d : fast)
+        EXPECT_LT(d, 5u); // base 2: delays in [1,2] then [2,4]
+
+    const std::vector<unsigned> dflt = scheduleFor(nullptr);
+    ASSERT_EQ(dflt.size(), 2u);
+    EXPECT_GE(dflt[0], 5u); // base 10: first delay in [5,10)
+}
+
+TEST(FaultInjection, ReadFaultFiresAndFileSurvives)
+{
+    fs::path dir = scratchDir("fault_read");
+    const std::string path = (dir / "data.bin").string();
+    writeFileAtomic(path, "payload");
+
+    FaultInjector::instance().configure("read=1");
+    EXPECT_THROW(readFileBytes(path), std::runtime_error);
+    FaultInjector::instance().reset();
+    // The injected EIO is a read-side fault: the file itself is whole.
+    EXPECT_EQ(readFileBytes(path), "payload");
+
+    // The non-throwing reader reports the same fault as false.
+    FaultInjector::instance().configure("read=1");
+    std::string out = "untouched";
+    EXPECT_FALSE(tryReadFileBytes(path, out));
+    EXPECT_EQ(out, "untouched");
+    FaultInjector::instance().reset();
+    EXPECT_TRUE(tryReadFileBytes(path, out));
+    EXPECT_EQ(out, "payload");
+}
+
+TEST(TryReadFileBytes, MissingFileIsFalseNotFatal)
+{
+    std::string out = "untouched";
+    EXPECT_FALSE(
+        tryReadFileBytes("/nonexistent-gippr-dir/nope.bin", out));
+    EXPECT_EQ(out, "untouched");
+}
+
+TEST(PublishExclusive, FirstWinsSecondLosesContentsKept)
+{
+    fs::path dir = scratchDir("publish_excl");
+    const std::string path = (dir / "claim").string();
+    EXPECT_TRUE(publishFileExclusive(path, "winner"));
+    EXPECT_FALSE(publishFileExclusive(path, "loser"));
+    EXPECT_EQ(readFileBytes(path), "winner");
+    EXPECT_FALSE(hasTempFiles(dir));
+}
+
+TEST(PublishExclusive, ConcurrentRaceHasExactlyOneWinner)
+{
+    fs::path dir = scratchDir("publish_race");
+    const std::string path = (dir / "claim").string();
+    constexpr int kContenders = 8;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kContenders);
+    for (int t = 0; t < kContenders; ++t)
+        threads.emplace_back([&, t]() {
+            if (publishFileExclusive(path,
+                                     "contender " + std::to_string(t)))
+                ++winners;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(winners.load(), 1);
+    // The surviving contents are one whole payload, never a mix.
+    const std::string body = readFileBytes(path);
+    EXPECT_EQ(body.rfind("contender ", 0), 0u);
+    EXPECT_FALSE(hasTempFiles(dir));
+}
+
+TEST(Lease, CodecRoundTripAndCorruptionRejected)
+{
+    LeaseInfo info;
+    info.island = 3;
+    info.pid = 12345;
+    info.incarnation = 2;
+    info.seq = 99;
+    const std::string line = encodeLease(info);
+
+    LeaseInfo out;
+    ASSERT_TRUE(decodeLease(line, out));
+    EXPECT_EQ(out.island, 3u);
+    EXPECT_EQ(out.pid, 12345);
+    EXPECT_EQ(out.incarnation, 2u);
+    EXPECT_EQ(out.seq, 99u);
+
+    // Any single-character damage trips the CRC (or the grammar).
+    for (size_t i = 0; i < line.size() - 1; ++i) {
+        std::string bad = line;
+        bad[i] = bad[i] == 'x' ? 'y' : 'x';
+        LeaseInfo ignored;
+        EXPECT_FALSE(decodeLease(bad, ignored)) << "flip at " << i;
+    }
+    EXPECT_FALSE(decodeLease("", out));
+    EXPECT_FALSE(decodeLease("gippr-lease v1 island=1", out));
+}
+
+TEST(Lease, WriterBeatsAdvanceSeqDurably)
+{
+    fs::path dir = scratchDir("lease_writer");
+    const std::string path = (dir / "lease.0").string();
+    LeaseWriter writer(path, 0, 4242, 1);
+    writer.beat();
+    writer.beat();
+
+    LeaseInfo info;
+    std::string body;
+    ASSERT_TRUE(tryReadFileBytes(path, body));
+    ASSERT_TRUE(decodeLease(body, info));
+    EXPECT_EQ(info.seq, 2u);
+    EXPECT_EQ(info.pid, 4242);
+    EXPECT_EQ(info.incarnation, 1u);
+    EXPECT_FALSE(hasTempFiles(dir));
+}
+
+TEST(LeaseMonitor, StalenessIsObserverClockOnly)
+{
+    // All times below are the OBSERVER's fake clock; the lease itself
+    // carries no timestamp, so arbitrary worker clock skew is
+    // irrelevant by construction.
+    LeaseMonitor monitor(100);
+
+    // Never-observed islands are not stale.
+    EXPECT_FALSE(monitor.stale(0, 1000000));
+
+    // A worker that has not yet managed a first beat (slow startup)
+    // is not stale either — process death is waitpid's job.
+    monitor.observe(0, false, 0, 0, 0);
+    EXPECT_FALSE(monitor.stale(0, 1000000));
+
+    // Heartbeats advancing: never stale.
+    monitor.observe(0, true, 1, 0, 10);
+    monitor.observe(0, true, 2, 0, 80);
+    monitor.observe(0, true, 3, 0, 150);
+    EXPECT_FALSE(monitor.stale(0, 220));
+
+    // Counter frozen at 3: stale once 100 ms of observer time pass.
+    monitor.observe(0, true, 3, 0, 200);
+    EXPECT_FALSE(monitor.stale(0, 249));
+    EXPECT_TRUE(monitor.stale(0, 250));
+
+    // A fresh beat un-stales.
+    monitor.observe(0, true, 4, 0, 260);
+    EXPECT_FALSE(monitor.stale(0, 300));
+
+    // A vanished lease file keeps the silence clock running.
+    monitor.observe(0, false, 0, 0, 320);
+    EXPECT_TRUE(monitor.stale(0, 360));
+
+    // Same seq but a new incarnation is a change (replacement worker).
+    monitor.observe(0, true, 4, 1, 365);
+    EXPECT_FALSE(monitor.stale(0, 400));
+
+    // forget() wipes history: the island needs a fresh first lease.
+    monitor.forget(0);
+    EXPECT_FALSE(monitor.stale(0, 1000000));
+    monitor.observe(0, false, 0, 0, 1000001);
+    EXPECT_FALSE(monitor.stale(0, 2000000));
 }
 
 TEST(Shutdown, FlagLifecycle)

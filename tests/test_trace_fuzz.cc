@@ -23,6 +23,7 @@
 
 #include "cache/config.hh"
 #include "core/vectors.hh"
+#include "robust/fault_inject.hh"
 #include "sim/fastpath/engine.hh"
 #include "sim/select/engine.hh"
 #include "sim/select/select.hh"
@@ -275,6 +276,47 @@ TEST(TraceFuzz, MappedZeroLengthTraceStreamsZeroRecords)
         fast.replay(fastpath::gipprSpec(local_vectors::gippr()), cfg,
                     m, 0);
     EXPECT_EQ(stats.total.accesses, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, InjectedReadFaultErrorsCleanly)
+{
+    // A mid-file read(2)/fread(3) failure (flaky NFS, dying disk) must
+    // surface as a clean runtime_error from the buffered reader, never
+    // a partial trace.
+    const std::string path = tempPath("readfault.gptr");
+    writeTrace(sampleTrace(8), path);
+
+    for (const char *spec : {"read=1", "read=2"}) {
+        robust::FaultInjector::instance().configure(spec);
+        EXPECT_THROW(readTrace(path), std::runtime_error)
+            << "spec " << spec;
+        robust::FaultInjector::instance().reset();
+    }
+    EXPECT_EQ(readTrace(path).size(), 8u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, InjectedMmapFailureFallsBackToBufferedRead)
+{
+    // When mmap(2) fails (address-space pressure, filesystem without
+    // mmap support), MappedTrace must degrade to the buffered reader
+    // and stream the identical records.
+    const std::string path = tempPath("mmapfault.gptr");
+    const Trace reference = sampleTrace(32);
+    writeTrace(reference, path);
+
+    robust::FaultInjector::instance().configure("mmap=1");
+    const MappedTrace fallback(path);
+    robust::FaultInjector::instance().reset();
+    const MappedTrace mapped(path);
+
+    ASSERT_EQ(fallback.size(), reference.size());
+    ASSERT_EQ(mapped.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(fallback[i], reference[i]) << "record " << i;
+        EXPECT_EQ(mapped[i], reference[i]) << "record " << i;
+    }
     std::remove(path.c_str());
 }
 

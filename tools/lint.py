@@ -59,6 +59,7 @@ GETENV_ALLOW = {
     "src/trace/trace_io.cc",        # GIPPR_IO_RETRY_BASE_MS pacing
     "src/ga/fitness.cc",            # GIPPR_GA_BATCH / GIPPR_GA_MEMO
     "src/robust/fault_inject.cc",   # GIPPR_FAULT_INJECT test hook
+    "src/robust/atomic_io.cc",      # GIPPR_IO_RETRY_BASE_MS pacing
     "src/sim/fastpath/engine.cc",   # GIPPR_REPLAY_BACKEND / _SHARDS
 }
 
